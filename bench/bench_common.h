@@ -1,0 +1,106 @@
+// Shared helpers for the figure-reproduction benches: dataset presets
+// (DS1-like, DS2-like), BDM construction for a given map-task count, and
+// simulation wrappers. Scale is controlled by the ERLB_SCALE environment
+// variable: "full" (paper scale: DS1 114k, DS2 1.4M entities) or "small"
+// (default; ~4x reduced DS1, ~20x reduced DS2 for fast bench runs — the
+// figure *shapes* are scale-invariant).
+#ifndef ERLB_BENCH_BENCH_COMMON_H_
+#define ERLB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bdm/bdm.h"
+#include "common/logging.h"
+#include "er/blocking.h"
+#include "er/entity.h"
+#include "gen/product_gen.h"
+#include "gen/publication_gen.h"
+#include "lb/strategy.h"
+#include "sim/cost_model.h"
+#include "sim/er_sim.h"
+
+namespace erlb {
+namespace bench {
+
+inline bool FullScale() {
+  const char* s = std::getenv("ERLB_SCALE");
+  return s != nullptr && std::strcmp(s, "full") == 0;
+}
+
+inline uint64_t Ds1Entities() { return FullScale() ? 114000 : 30000; }
+inline uint64_t Ds2Entities() { return FullScale() ? 1400000 : 70000; }
+
+/// DS1-like product descriptions.
+inline std::vector<er::Entity> MakeDs1() {
+  gen::ProductConfig cfg;
+  cfg.num_entities = Ds1Entities();
+  auto e = gen::GenerateProducts(cfg);
+  ERLB_CHECK(e.ok()) << e.status().ToString();
+  return std::move(e).ValueOrDie();
+}
+
+/// DS2-like publication records.
+inline std::vector<er::Entity> MakeDs2() {
+  gen::PublicationConfig cfg;
+  cfg.num_entities = Ds2Entities();
+  auto e = gen::GeneratePublications(cfg);
+  ERLB_CHECK(e.ok()) << e.status().ToString();
+  return std::move(e).ValueOrDie();
+}
+
+/// Builds the BDM of `entities` under `blocking` for `m` input partitions
+/// (contiguous splits, as HDFS would).
+inline bdm::Bdm BuildBdm(const std::vector<er::Entity>& entities,
+                         const er::BlockingFunction& blocking, uint32_t m) {
+  std::vector<std::vector<std::string>> keys(m);
+  const size_t n = entities.size();
+  const size_t base = n / m, extra = n % m;
+  size_t idx = 0;
+  for (uint32_t p = 0; p < m; ++p) {
+    size_t count = base + (p < extra ? 1 : 0);
+    keys[p].reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      keys[p].push_back(blocking.Key(entities[idx++]));
+    }
+  }
+  auto bdm = bdm::Bdm::FromKeys(keys);
+  ERLB_CHECK(bdm.ok()) << bdm.status().ToString();
+  return std::move(bdm).ValueOrDie();
+}
+
+/// The evaluation's cluster cost model (see sim/cost_model.h for the
+/// calibration rationale).
+inline sim::CostModel PaperCostModel() {
+  sim::CostModel cost;
+  // Computational skew ("heterogeneous hardware and matching attribute
+  // values of different length", Section VI-B): ~15% node speed spread.
+  cost.heterogeneity_sigma = 0.15;
+  return cost;
+}
+
+/// Simulated end-to-end seconds for one strategy.
+inline sim::ErSimResult Simulate(lb::StrategyKind kind,
+                                 const bdm::Bdm& bdm, uint32_t r,
+                                 uint32_t nodes,
+                                 const sim::CostModel& cost) {
+  sim::ClusterConfig cluster;
+  cluster.num_nodes = nodes;
+  auto res = sim::SimulateEr(kind, bdm, r, cluster, cost);
+  ERLB_CHECK(res.ok()) << res.status().ToString();
+  return std::move(res).ValueOrDie();
+}
+
+inline std::string Fmt(double v, int digits = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace erlb
+
+#endif  // ERLB_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,60 @@
+// Figure 11: BlockSplit vs. PairRange on unsorted and title-sorted DS1.
+// Sorting groups whole blocks into few input partitions, crippling
+// BlockSplit's partition-based splitting; PairRange is unaffected.
+//
+// Expected shape (paper): sorting deteriorates BlockSplit by ~80%;
+// PairRange's curves coincide.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/table.h"
+
+int main() {
+  using namespace erlb;
+  std::printf(
+      "=== Figure 11: execution times, unsorted vs. sorted input (DS1) "
+      "===\n");
+  std::printf("n=10 nodes, m=20 map tasks; input sorted by title\n\n");
+
+  const uint32_t kNodes = 10, kMapTasks = 20;
+  auto cost = bench::PaperCostModel();
+  er::PrefixBlocking blocking(0, 3);
+
+  auto unsorted = bench::MakeDs1();
+  auto sorted = unsorted;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const er::Entity& a, const er::Entity& b) {
+              return a.title() < b.title();
+            });
+
+  auto bdm_unsorted = bench::BuildBdm(unsorted, blocking, kMapTasks);
+  auto bdm_sorted = bench::BuildBdm(sorted, blocking, kMapTasks);
+
+  core::TextTable table;
+  table.SetHeader({"r", "BlockSplit s", "BlockSplit sorted s",
+                   "PairRange s", "PairRange sorted s"});
+  double worst_ratio = 0;
+  for (uint32_t r = 20; r <= 160; r += 20) {
+    auto bs_u = bench::Simulate(lb::StrategyKind::kBlockSplit,
+                                bdm_unsorted, r, kNodes, cost);
+    auto bs_s = bench::Simulate(lb::StrategyKind::kBlockSplit, bdm_sorted,
+                                r, kNodes, cost);
+    auto pr_u = bench::Simulate(lb::StrategyKind::kPairRange,
+                                bdm_unsorted, r, kNodes, cost);
+    auto pr_s = bench::Simulate(lb::StrategyKind::kPairRange, bdm_sorted,
+                                r, kNodes, cost);
+    worst_ratio = std::max(worst_ratio, bs_s.total_s / bs_u.total_s);
+    table.AddRow({std::to_string(r), bench::Fmt(bs_u.total_s),
+                  bench::Fmt(bs_s.total_s), bench::Fmt(pr_u.total_s),
+                  bench::Fmt(pr_s.total_s)});
+  }
+  table.Print();
+  std::printf(
+      "\nWorst BlockSplit sorted/unsorted ratio: %.2fx\n"
+      "Paper: sorted input deteriorates BlockSplit's execution time by\n"
+      "~80%% (limited splitting); PairRange is insensitive to input "
+      "order.\n",
+      worst_ratio);
+  return 0;
+}

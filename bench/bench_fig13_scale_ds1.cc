@@ -1,0 +1,57 @@
+// Figure 13: execution times and speedup vs. cluster size n (1..100) on
+// DS1, with m = 2n map tasks and r = 10n reduce tasks.
+//
+// Expected shape (paper): Basic saturates beyond ~2 nodes (the largest
+// block serializes ~70% of the pairs); BlockSplit and PairRange scale
+// almost linearly up to ~10 nodes for this small dataset, then flatten;
+// at n=100 BlockSplit overtakes PairRange, whose per-range replication
+// overhead grows with r = 1000.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/table.h"
+
+int main() {
+  using namespace erlb;
+  std::printf(
+      "=== Figure 13: execution times and speedup vs. nodes (DS1) ===\n");
+  std::printf("m = 2n map tasks, r = 10n reduce tasks\n\n");
+
+  auto cost = bench::PaperCostModel();
+  auto entities = bench::MakeDs1();
+  er::PrefixBlocking blocking(0, 3);
+
+  const uint32_t nodes[] = {1, 2, 5, 10, 20, 40, 100};
+  double base[3] = {0, 0, 0};
+
+  core::TextTable table;
+  table.SetHeader({"n", "Basic s", "BlockSplit s", "PairRange s",
+                   "Basic spd", "BlockSplit spd", "PairRange spd"});
+  for (uint32_t n : nodes) {
+    auto bdm = bench::BuildBdm(entities, blocking, 2 * n);
+    double secs[3];
+    int i = 0;
+    for (auto kind : lb::AllStrategies()) {
+      secs[i++] =
+          bench::Simulate(kind, bdm, 10 * n, n, cost).total_s;
+    }
+    if (n == 1) {
+      base[0] = secs[0];
+      base[1] = secs[1];
+      base[2] = secs[2];
+    }
+    table.AddRow({std::to_string(n), bench::Fmt(secs[0]),
+                  bench::Fmt(secs[1]), bench::Fmt(secs[2]),
+                  bench::Fmt(base[0] / secs[0], 1),
+                  bench::Fmt(base[1] / secs[1], 1),
+                  bench::Fmt(base[2] / secs[2], 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper: Basic does not scale past 2 nodes; BlockSplit/PairRange\n"
+      "scale almost linearly to ~10 nodes on this small dataset;\n"
+      "BlockSplit outperforms PairRange for DS1 at n=100 because the\n"
+      "large r=1000 makes PairRange's replication overhead significant\n"
+      "relative to the small per-task workload.\n");
+  return 0;
+}

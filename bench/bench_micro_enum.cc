@@ -1,0 +1,69 @@
+// Micro-benchmarks for PairRange's enumeration primitives: cell index,
+// its inverse, and the relevant-range computation (skip-jump vs. brute
+// force) — the map-side hot path.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "lb/pair_enum.h"
+
+namespace {
+
+using namespace erlb::lb;
+
+void BM_CellIndex(benchmark::State& state) {
+  const uint64_t n = 100000;
+  uint64_t x = 0, y = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CellIndex(x, y, n));
+    x = (x + 7919) % (n - 1);
+    y = x + 1 + (y % (n - x - 1));
+  }
+}
+BENCHMARK(BM_CellIndex);
+
+void BM_CellToPair(benchmark::State& state) {
+  const uint64_t n = 100000;
+  const uint64_t total = PairsOfBlock(n);
+  uint64_t c = 0, x, y;
+  for (auto _ : state) {
+    CellToPair(c, n, &x, &y);
+    benchmark::DoNotOptimize(x + y);
+    c = (c + 1000003) % total;
+  }
+}
+BENCHMARK(BM_CellToPair);
+
+void BM_RelevantRangesFast(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const uint32_t r = 100;
+  const uint64_t total = PairsOfBlock(n);
+  std::vector<uint32_t> out;
+  uint64_t x = 0;
+  for (auto _ : state) {
+    out.clear();
+    RelevantRangesOneSource(x, n, 0, total, r, &out);
+    benchmark::DoNotOptimize(out.data());
+    x = (x + 101) % n;
+  }
+}
+BENCHMARK(BM_RelevantRangesFast)->Arg(1000)->Arg(100000);
+
+void BM_RelevantRangesBrute(benchmark::State& state) {
+  const uint64_t n = state.range(0);
+  const uint32_t r = 100;
+  const uint64_t total = PairsOfBlock(n);
+  std::vector<uint32_t> out;
+  uint64_t x = 0;
+  for (auto _ : state) {
+    out.clear();
+    RelevantRangesOneSourceBrute(x, n, 0, total, r, &out);
+    benchmark::DoNotOptimize(out.data());
+    x = (x + 101) % n;
+  }
+}
+BENCHMARK(BM_RelevantRangesBrute)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

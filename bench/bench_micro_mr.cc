@@ -1,0 +1,84 @@
+// Micro-benchmarks for the MR runtime and the end-to-end pipeline on
+// small real workloads (actual multi-threaded execution with real edit
+// distance matching).
+#include <benchmark/benchmark.h>
+
+#include "core/pipeline.h"
+#include "er/blocking.h"
+#include "er/matcher.h"
+#include "gen/product_gen.h"
+
+namespace {
+
+using namespace erlb;
+
+std::vector<er::Entity> SmallDataset(uint64_t n) {
+  gen::ProductConfig cfg;
+  cfg.num_entities = n;
+  cfg.num_brands = 60;
+  cfg.zipf_exponent = 1.0;  // milder skew keeps the pair count bounded
+  auto e = gen::GenerateProducts(cfg);
+  return *e;
+}
+
+void BM_PipelineEndToEnd(benchmark::State& state) {
+  auto kind = static_cast<lb::StrategyKind>(state.range(0));
+  auto entities = SmallDataset(3000);
+  er::PrefixBlocking blocking(0, 3);
+  er::EditDistanceMatcher matcher(0.8);
+  core::ErPipelineConfig cfg;
+  cfg.strategy = kind;
+  cfg.num_map_tasks = 4;
+  cfg.num_reduce_tasks = 16;
+  cfg.num_workers = 4;
+  core::ErPipeline pipeline(cfg);
+  int64_t comparisons = 0;
+  for (auto _ : state) {
+    auto result = pipeline.Deduplicate(entities, blocking, matcher);
+    benchmark::DoNotOptimize(result.ok());
+    comparisons = result->comparisons;
+  }
+  state.counters["comparisons"] = static_cast<double>(comparisons);
+  state.SetLabel(lb::StrategyName(kind));
+}
+BENCHMARK(BM_PipelineEndToEnd)
+    ->Arg(static_cast<int>(lb::StrategyKind::kBasic))
+    ->Arg(static_cast<int>(lb::StrategyKind::kBlockSplit))
+    ->Arg(static_cast<int>(lb::StrategyKind::kPairRange))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BdmJobOnly(benchmark::State& state) {
+  auto entities = SmallDataset(10000);
+  er::PrefixBlocking blocking(0, 3);
+  er::Partitions parts = er::SplitIntoPartitions(entities, 4);
+  mr::JobRunner runner(4);
+  bdm::BdmJobOptions options;
+  options.num_reduce_tasks = 8;
+  for (auto _ : state) {
+    auto out = bdm::RunBdmJob(parts, blocking, options, runner);
+    benchmark::DoNotOptimize(out.ok());
+  }
+}
+BENCHMARK(BM_BdmJobOnly)->Unit(benchmark::kMillisecond);
+
+void BM_WorkerScaling(benchmark::State& state) {
+  auto entities = SmallDataset(4000);
+  er::PrefixBlocking blocking(0, 3);
+  er::EditDistanceMatcher matcher(0.8);
+  core::ErPipelineConfig cfg;
+  cfg.strategy = lb::StrategyKind::kBlockSplit;
+  cfg.num_map_tasks = 8;
+  cfg.num_reduce_tasks = 32;
+  cfg.num_workers = static_cast<uint32_t>(state.range(0));
+  core::ErPipeline pipeline(cfg);
+  for (auto _ : state) {
+    auto result = pipeline.Deduplicate(entities, blocking, matcher);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_WorkerScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Micro-benchmarks (google-benchmark) for the similarity kernels: full
+// Levenshtein vs. the banded threshold kernel the matcher uses, plus the
+// token/n-gram measures.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "er/similarity.h"
+
+namespace {
+
+using erlb::Pcg32;
+
+std::vector<std::pair<std::string, std::string>> MakeTitlePairs(
+    size_t count, bool similar) {
+  Pcg32 rng(similar ? 1 : 2);
+  std::vector<std::pair<std::string, std::string>> pairs;
+  pairs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string a;
+    for (int j = 0; j < 24; ++j) {
+      a += static_cast<char>('a' + rng.NextBounded(26));
+      if (j % 6 == 5) a += ' ';
+    }
+    std::string b = a;
+    if (similar) {
+      b[rng.NextBounded(static_cast<uint32_t>(b.size()))] = 'q';
+    } else {
+      for (auto& c : b) {
+        if (rng.NextDouble() < 0.5) {
+          c = static_cast<char>('a' + rng.NextBounded(26));
+        }
+      }
+    }
+    pairs.emplace_back(std::move(a), std::move(b));
+  }
+  return pairs;
+}
+
+void BM_EditDistanceFull(benchmark::State& state) {
+  auto pairs = MakeTitlePairs(256, state.range(0) != 0);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 255];
+    benchmark::DoNotOptimize(erlb::er::EditDistance(a, b));
+  }
+}
+BENCHMARK(BM_EditDistanceFull)->Arg(0)->Arg(1);
+
+void BM_EditSimilarityThreshold(benchmark::State& state) {
+  auto pairs = MakeTitlePairs(256, state.range(0) != 0);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 255];
+    benchmark::DoNotOptimize(erlb::er::EditSimilarityAtLeast(a, b, 0.8));
+  }
+}
+BENCHMARK(BM_EditSimilarityThreshold)->Arg(0)->Arg(1);
+
+void BM_JaccardTokens(benchmark::State& state) {
+  auto pairs = MakeTitlePairs(256, true);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 255];
+    benchmark::DoNotOptimize(erlb::er::JaccardTokenSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaccardTokens);
+
+void BM_TrigramSimilarity(benchmark::State& state) {
+  auto pairs = MakeTitlePairs(256, true);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = pairs[i++ & 255];
+    benchmark::DoNotOptimize(erlb::er::NgramSimilarity(a, b, 3));
+  }
+}
+BENCHMARK(BM_TrigramSimilarity);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Product catalog deduplication at DS1-like scale: runs all three
+// strategies over a skewed synthetic product dataset, verifies they agree,
+// and reports workload distribution, match quality against the generator's
+// ground truth, and wall-clock times.
+//
+//   $ ./product_dedup [num_entities]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pipeline.h"
+#include "core/table.h"
+#include "common/string_util.h"
+#include "er/blocking.h"
+#include "er/evaluation.h"
+#include "er/matcher.h"
+#include "gen/dataset_stats.h"
+#include "gen/product_gen.h"
+
+using namespace erlb;
+
+int main(int argc, char** argv) {
+  uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 12000;
+
+  gen::ProductConfig gen_cfg;
+  gen_cfg.num_entities = n;
+  gen_cfg.duplicate_fraction = 0.2;
+  auto entities = gen::GenerateProducts(gen_cfg);
+  if (!entities.ok()) {
+    std::fprintf(stderr, "%s\n", entities.status().ToString().c_str());
+    return 1;
+  }
+
+  er::PrefixBlocking blocking(0, 3);
+  er::EditDistanceMatcher matcher(0.8);
+
+  auto stats = gen::ComputeDatasetStats(*entities, blocking);
+  std::printf("dataset: %s entities, %u blocks, largest block %.1f%% of "
+              "entities / %.1f%% of pairs, %s candidate pairs\n\n",
+              FormatWithCommas(entities->size()).c_str(),
+              stats->num_blocks, stats->largest_block_entity_share * 100,
+              stats->largest_block_pair_share * 100,
+              FormatWithCommas(stats->total_pairs).c_str());
+
+  core::TextTable table;
+  table.SetHeader({"strategy", "matches", "comparisons", "map KV pairs",
+                   "precision", "recall", "F1", "wall s"});
+  er::MatchResult previous;
+  bool first = true;
+  for (auto kind : lb::AllStrategies()) {
+    core::ErPipelineConfig cfg;
+    cfg.strategy = kind;
+    cfg.num_map_tasks = 8;
+    cfg.num_reduce_tasks = 32;
+    core::ErPipeline pipeline(cfg);
+    auto result = pipeline.Deduplicate(*entities, blocking, matcher);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", lb::StrategyName(kind),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    auto quality = er::EvaluateMatches(*entities, result->matches);
+    table.AddRow(
+        {lb::StrategyName(kind), FormatWithCommas(result->matches.size()),
+         FormatWithCommas(result->comparisons),
+         FormatWithCommas(result->match_metrics.TotalMapOutputPairs()),
+         FormatDouble(quality.Precision(), 3),
+         FormatDouble(quality.Recall(), 3), FormatDouble(quality.F1(), 3),
+         FormatDouble(result->total_seconds, 2)});
+    if (!first && !result->matches.SameAs(previous)) {
+      std::fprintf(stderr, "ERROR: strategies disagree!\n");
+      return 1;
+    }
+    previous = std::move(result->matches);
+    first = false;
+  }
+  table.Print();
+  std::printf("\nAll strategies produce the identical match result; they "
+              "differ only in\nhow the comparison workload is distributed "
+              "over reduce tasks.\n");
+  return 0;
+}

@@ -1,0 +1,244 @@
+#include "bdm/bdm.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace erlb {
+namespace bdm {
+
+Result<Bdm> Bdm::FromTriples(const std::vector<BdmTriple>& triples,
+                             uint32_t num_partitions) {
+  if (num_partitions == 0) {
+    return Status::InvalidArgument("num_partitions must be >= 1");
+  }
+  Bdm bdm;
+  bdm.num_partitions_ = num_partitions;
+  std::map<std::string, std::map<uint32_t, uint64_t>> table;
+  for (const auto& t : triples) {
+    if (t.partition >= num_partitions) {
+      return Status::OutOfRange("triple partition " +
+                                std::to_string(t.partition) +
+                                " >= m=" + std::to_string(num_partitions));
+    }
+    auto [it, inserted] = table[t.block_key].emplace(t.partition, t.count);
+    if (!inserted) {
+      return Status::AlreadyExists("duplicate triple for block '" +
+                                   t.block_key + "' partition " +
+                                   std::to_string(t.partition));
+    }
+  }
+  bdm.block_keys_.reserve(table.size());
+  bdm.counts_.reserve(table.size());
+  for (const auto& [key, per_part] : table) {  // std::map: sorted keys
+    std::vector<uint64_t> row(num_partitions, 0);
+    for (const auto& [p, c] : per_part) row[p] = c;
+    bdm.key_to_index_.emplace(key,
+                              static_cast<uint32_t>(bdm.block_keys_.size()));
+    bdm.block_keys_.push_back(key);
+    bdm.counts_.push_back(std::move(row));
+  }
+  bdm.BuildDerived();
+  return bdm;
+}
+
+Result<Bdm> Bdm::FromTriplesTwoSource(
+    const std::vector<BdmTriple>& triples,
+    const std::vector<er::Source>& partition_sources) {
+  if (partition_sources.empty()) {
+    return Status::InvalidArgument("partition_sources must be non-empty");
+  }
+  for (const auto& t : triples) {
+    if (t.partition >= partition_sources.size()) {
+      return Status::OutOfRange("triple partition out of range");
+    }
+    if (partition_sources[t.partition] != t.source) {
+      return Status::InvalidArgument(
+          "triple source tag disagrees with partition_sources for block '" +
+          t.block_key + "'");
+    }
+  }
+  ERLB_ASSIGN_OR_RETURN(
+      Bdm bdm,
+      FromTriples(triples,
+                  static_cast<uint32_t>(partition_sources.size())));
+  bdm.partition_sources_ = partition_sources;
+  bdm.BuildDerived();
+  return bdm;
+}
+
+Result<Bdm> Bdm::FromKeys(
+    const std::vector<std::vector<std::string>>& keys_per_partition,
+    const std::vector<er::Source>* partition_sources) {
+  if (keys_per_partition.empty()) {
+    return Status::InvalidArgument("need at least one partition");
+  }
+  std::map<std::string, std::map<uint32_t, uint64_t>> table;
+  for (uint32_t p = 0; p < keys_per_partition.size(); ++p) {
+    for (const auto& key : keys_per_partition[p]) {
+      table[key][p] += 1;
+    }
+  }
+  std::vector<BdmTriple> triples;
+  for (const auto& [key, per_part] : table) {
+    for (const auto& [p, c] : per_part) {
+      BdmTriple t;
+      t.block_key = key;
+      t.partition = p;
+      t.count = c;
+      t.source = partition_sources ? (*partition_sources)[p] : er::Source::kR;
+      triples.push_back(std::move(t));
+    }
+  }
+  if (partition_sources != nullptr) {
+    if (partition_sources->size() != keys_per_partition.size()) {
+      return Status::InvalidArgument(
+          "partition_sources size must equal number of partitions");
+    }
+    return FromTriplesTwoSource(triples, *partition_sources);
+  }
+  return FromTriples(triples,
+                     static_cast<uint32_t>(keys_per_partition.size()));
+}
+
+void Bdm::BuildDerived() {
+  const uint32_t b = num_blocks();
+  block_sizes_.assign(b, 0);
+  block_sizes_r_.assign(b, 0);
+  block_sizes_s_.assign(b, 0);
+  for (uint32_t k = 0; k < b; ++k) {
+    for (uint32_t p = 0; p < num_partitions_; ++p) {
+      uint64_t c = counts_[k][p];
+      block_sizes_[k] += c;
+      if (two_source()) {
+        if (partition_sources_[p] == er::Source::kR) {
+          block_sizes_r_[k] += c;
+        } else {
+          block_sizes_s_[k] += c;
+        }
+      }
+    }
+    if (!two_source()) block_sizes_r_[k] = block_sizes_[k];
+  }
+  pair_offsets_.assign(b + 1, 0);
+  for (uint32_t k = 0; k < b; ++k) {
+    pair_offsets_[k + 1] = pair_offsets_[k] + PairsInBlock(k);
+  }
+}
+
+Result<uint32_t> Bdm::BlockIndex(std::string_view key) const {
+  auto it = key_to_index_.find(std::string(key));
+  if (it == key_to_index_.end()) {
+    return Status::NotFound("no block for key '" + std::string(key) + "'");
+  }
+  return it->second;
+}
+
+bool Bdm::HasBlock(std::string_view key) const {
+  return key_to_index_.count(std::string(key)) > 0;
+}
+
+const std::string& Bdm::BlockKey(uint32_t k) const {
+  ERLB_CHECK(k < num_blocks());
+  return block_keys_[k];
+}
+
+uint64_t Bdm::Size(uint32_t k) const {
+  ERLB_CHECK(k < num_blocks());
+  return block_sizes_[k];
+}
+
+uint64_t Bdm::Size(uint32_t k, uint32_t p) const {
+  ERLB_CHECK(k < num_blocks());
+  ERLB_CHECK(p < num_partitions_);
+  return counts_[k][p];
+}
+
+uint64_t Bdm::SizeOfSource(uint32_t k, er::Source src) const {
+  ERLB_CHECK(k < num_blocks());
+  return src == er::Source::kR ? block_sizes_r_[k] : block_sizes_s_[k];
+}
+
+uint64_t Bdm::EntityIndexOffset(uint32_t k, uint32_t p) const {
+  ERLB_CHECK(k < num_blocks());
+  ERLB_CHECK(p < num_partitions_);
+  uint64_t off = 0;
+  for (uint32_t q = 0; q < p; ++q) {
+    if (two_source() && partition_sources_[q] != partition_sources_[p]) {
+      continue;  // entity enumeration is per source
+    }
+    off += counts_[k][q];
+  }
+  return off;
+}
+
+std::vector<std::vector<uint64_t>> Bdm::BuildEntityIndexOffsets() const {
+  std::vector<std::vector<uint64_t>> offsets(
+      num_blocks(), std::vector<uint64_t>(num_partitions_, 0));
+  for (uint32_t k = 0; k < num_blocks(); ++k) {
+    uint64_t run_r = 0, run_s = 0;
+    for (uint32_t p = 0; p < num_partitions_; ++p) {
+      bool is_s = two_source() && partition_sources_[p] == er::Source::kS;
+      offsets[k][p] = is_s ? run_s : run_r;
+      (is_s ? run_s : run_r) += counts_[k][p];
+    }
+  }
+  return offsets;
+}
+
+uint64_t Bdm::PairsInBlock(uint32_t k) const {
+  ERLB_CHECK(k < num_blocks());
+  if (two_source()) {
+    return block_sizes_r_[k] * block_sizes_s_[k];
+  }
+  uint64_t n = block_sizes_[k];
+  return n * (n - 1) / 2;
+}
+
+uint64_t Bdm::PairOffset(uint32_t k) const {
+  ERLB_CHECK(k <= num_blocks());
+  return pair_offsets_[k];
+}
+
+uint64_t Bdm::TotalPairs() const { return pair_offsets_[num_blocks()]; }
+
+uint64_t Bdm::TotalEntities() const {
+  uint64_t n = 0;
+  for (uint64_t s : block_sizes_) n += s;
+  return n;
+}
+
+er::Source Bdm::PartitionSource(uint32_t p) const {
+  ERLB_CHECK(two_source());
+  ERLB_CHECK(p < num_partitions_);
+  return partition_sources_[p];
+}
+
+uint32_t Bdm::LargestBlock() const {
+  ERLB_CHECK(num_blocks() >= 1);
+  uint32_t best = 0;
+  for (uint32_t k = 1; k < num_blocks(); ++k) {
+    if (block_sizes_[k] > block_sizes_[best]) best = k;
+  }
+  return best;
+}
+
+std::vector<BdmTriple> Bdm::ToTriples() const {
+  std::vector<BdmTriple> out;
+  for (uint32_t k = 0; k < num_blocks(); ++k) {
+    for (uint32_t p = 0; p < num_partitions_; ++p) {
+      if (counts_[k][p] == 0) continue;
+      BdmTriple t;
+      t.block_key = block_keys_[k];
+      t.partition = p;
+      t.count = counts_[k][p];
+      t.source = two_source() ? partition_sources_[p] : er::Source::kR;
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+}  // namespace bdm
+}  // namespace erlb

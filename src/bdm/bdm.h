@@ -1,0 +1,141 @@
+// Block Distribution Matrix (BDM): the paper's Section III-B data
+// structure. A b×m matrix holding the number of entities of each block in
+// each of the m input partitions; both load balancing strategies plan from
+// it. Supports the one-source (deduplication) and two-source (record
+// linkage, Appendix I) cases.
+#ifndef ERLB_BDM_BDM_H_
+#define ERLB_BDM_BDM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "er/entity.h"
+
+namespace erlb {
+namespace bdm {
+
+/// One reduce output row of the BDM job: "(blocking key, partition index,
+/// number of entities)" (two-source runs also carry the source tag).
+struct BdmTriple {
+  std::string block_key;
+  er::Source source = er::Source::kR;
+  uint32_t partition = 0;
+  uint64_t count = 0;
+
+  friend bool operator==(const BdmTriple&, const BdmTriple&) = default;
+};
+
+/// The block distribution matrix.
+///
+/// Blocks are indexed 0..b-1 in lexicographic blocking-key order — the
+/// order the paper derives from the (sorted) reduce output of Job 1.
+/// In two-source mode every input partition belongs to exactly one source
+/// (the paper's MultipleInputs assumption) and per-block sizes are kept per
+/// source; the pair count of a block is then |Φk,R|·|Φk,S| instead of
+/// C(|Φk|, 2).
+class Bdm {
+ public:
+  /// Constructs an empty BDM (0 blocks, 0 partitions); assign a factory
+  /// result before use.
+  Bdm() = default;
+
+  /// Builds a one-source BDM from Job 1's output triples.
+  /// \param triples        reduce outputs (any order; keys may repeat per
+  ///                       partition only once)
+  /// \param num_partitions m, the number of input partitions
+  static Result<Bdm> FromTriples(const std::vector<BdmTriple>& triples,
+                                 uint32_t num_partitions);
+
+  /// Builds a two-source BDM. `partition_sources[i]` tags input partition
+  /// i with its source; triples must agree with the tags.
+  static Result<Bdm> FromTriplesTwoSource(
+      const std::vector<BdmTriple>& triples,
+      const std::vector<er::Source>& partition_sources);
+
+  /// Convenience: computes a BDM directly from partitions + blocking keys
+  /// without running the MR job (used by tests and the planner fast path).
+  /// `keys[p][i]` is the blocking key of the i-th entity of partition p.
+  static Result<Bdm> FromKeys(
+      const std::vector<std::vector<std::string>>& keys_per_partition,
+      const std::vector<er::Source>* partition_sources = nullptr);
+
+  bool two_source() const { return !partition_sources_.empty(); }
+  uint32_t num_blocks() const {
+    return static_cast<uint32_t>(block_keys_.size());
+  }
+  uint32_t num_partitions() const { return num_partitions_; }
+
+  /// Index of `key`, or NotFound. O(1) average.
+  Result<uint32_t> BlockIndex(std::string_view key) const;
+  /// True iff `key` occurs in the input.
+  bool HasBlock(std::string_view key) const;
+
+  /// Blocking key of block `k`.
+  const std::string& BlockKey(uint32_t k) const;
+
+  /// |Φk|: total entities of block `k` (both sources in two-source mode).
+  uint64_t Size(uint32_t k) const;
+  /// Number of entities of block `k` in partition `p`.
+  uint64_t Size(uint32_t k, uint32_t p) const;
+  /// |Φk,src| (two-source mode; in one-source mode source kR = Size(k)).
+  uint64_t SizeOfSource(uint32_t k, er::Source src) const;
+
+  /// Entities of block `k` in partitions 0..p-1 — the PairRange entity
+  /// index offset ("the overall number of entities of Φk in all preceding
+  /// partitions"). In two-source mode, only partitions of the same source
+  /// as partition `p` are counted (entity enumeration is per source).
+  uint64_t EntityIndexOffset(uint32_t k, uint32_t p) const;
+
+  /// Builds the full b×m matrix of EntityIndexOffset values in O(b·m)
+  /// (running per-source sums), for map tasks that need one column each.
+  std::vector<std::vector<uint64_t>> BuildEntityIndexOffsets() const;
+
+  /// Comparisons of block `k`: C(|Φk|,2) one-source, |Φk,R|·|Φk,S|
+  /// two-source.
+  uint64_t PairsInBlock(uint32_t k) const;
+
+  /// o(k): total pairs in blocks 0..k-1 (PairRange pair-index offset).
+  uint64_t PairOffset(uint32_t k) const;
+
+  /// P: total pairs over all blocks.
+  uint64_t TotalPairs() const;
+
+  /// Total entities.
+  uint64_t TotalEntities() const;
+
+  /// Source of input partition `p` (two-source mode only).
+  er::Source PartitionSource(uint32_t p) const;
+  const std::vector<er::Source>& partition_sources() const {
+    return partition_sources_;
+  }
+
+  /// The largest block's index (ties: lowest index). Requires b >= 1.
+  uint32_t LargestBlock() const;
+
+  /// Serializes to triples (sorted by block, partition) — what Job 1 would
+  /// have written to DFS.
+  std::vector<BdmTriple> ToTriples() const;
+
+ private:
+  void BuildDerived();
+
+  uint32_t num_partitions_ = 0;
+  std::vector<std::string> block_keys_;                // b, sorted
+  std::unordered_map<std::string, uint32_t> key_to_index_;
+  std::vector<std::vector<uint64_t>> counts_;          // b × m
+  std::vector<er::Source> partition_sources_;          // empty = one source
+  // Derived:
+  std::vector<uint64_t> block_sizes_;                  // Σ_p counts[k][p]
+  std::vector<uint64_t> block_sizes_r_;                // two-source only
+  std::vector<uint64_t> block_sizes_s_;
+  std::vector<uint64_t> pair_offsets_;                 // b+1 prefix sums
+};
+
+}  // namespace bdm
+}  // namespace erlb
+
+#endif  // ERLB_BDM_BDM_H_

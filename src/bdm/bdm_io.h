@@ -1,0 +1,27 @@
+// BDM persistence: the paper notes the BDM can be kept "in a distributed
+// storage like HBase to avoid memory shortcomings"; here it round-trips
+// as a CSV file of (blocking key, source, partition, count) triples —
+// exactly Job 1's reduce output format.
+#ifndef ERLB_BDM_BDM_IO_H_
+#define ERLB_BDM_BDM_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "bdm/bdm.h"
+#include "common/result.h"
+
+namespace erlb {
+namespace bdm {
+
+/// Writes `bdm` as CSV triples (with header). Two-source BDMs also
+/// persist the partition source tags (as a leading metadata row).
+Status SaveBdmToCsv(const std::string& path, const Bdm& bdm);
+
+/// Reads a BDM written by SaveBdmToCsv.
+Result<Bdm> LoadBdmFromCsv(const std::string& path);
+
+}  // namespace bdm
+}  // namespace erlb
+
+#endif  // ERLB_BDM_BDM_IO_H_

@@ -1,0 +1,181 @@
+#include "bdm/bdm_job.h"
+
+#include <atomic>
+#include <tuple>
+
+#include "common/string_util.h"
+
+namespace erlb {
+namespace bdm {
+
+namespace {
+
+/// Composite map output key of Algorithm 3: (blocking key ∘ partition
+/// index), with the source tag added in two-source runs (Appendix I).
+struct BdmKey {
+  std::string block_key;
+  er::Source source = er::Source::kR;
+  uint32_t partition = 0;
+};
+
+bool BdmKeyLess(const BdmKey& a, const BdmKey& b) {
+  return std::tie(a.block_key, a.source, a.partition) <
+         std::tie(b.block_key, b.source, b.partition);
+}
+
+bool BdmKeyEqual(const BdmKey& a, const BdmKey& b) {
+  return std::tie(a.block_key, a.source, a.partition) ==
+         std::tie(b.block_key, b.source, b.partition);
+}
+
+class BdmMapper : public mr::Mapper<uint32_t, er::EntityRef, BdmKey,
+                                    uint64_t> {
+ public:
+  BdmMapper(const er::BlockingFunction* blocking, AnnotatedStore* side,
+            uint32_t partition, er::Source source,
+            MissingKeyPolicy missing_policy, std::atomic<uint64_t>* skipped,
+            std::atomic<bool>* missing_key_error)
+      : blocking_(blocking),
+        side_(side),
+        partition_(partition),
+        source_(source),
+        missing_policy_(missing_policy),
+        skipped_(skipped),
+        missing_key_error_(missing_key_error) {}
+
+  void Map(const uint32_t& /*key*/, const er::EntityRef& entity,
+           mr::MapContext<BdmKey, uint64_t>* ctx) override {
+    std::string key = blocking_->Key(*entity);
+    if (key.empty()) {
+      switch (missing_policy_) {
+        case MissingKeyPolicy::kError:
+          missing_key_error_->store(true);
+          return;
+        case MissingKeyPolicy::kSkip:
+          skipped_->fetch_add(1);
+          return;
+        case MissingKeyPolicy::kBottom:
+          key = er::kBottomKey;
+          break;
+      }
+    }
+    // additionalOutput: entity annotated with its blocking key, to DFS.
+    side_->Append(partition_, key, entity);
+    ctx->Emit(BdmKey{key, source_, partition_}, 1);
+  }
+
+ private:
+  const er::BlockingFunction* blocking_;
+  AnnotatedStore* side_;
+  uint32_t partition_;
+  er::Source source_;
+  MissingKeyPolicy missing_policy_;
+  std::atomic<uint64_t>* skipped_;
+  std::atomic<bool>* missing_key_error_;
+};
+
+class BdmReducer
+    : public mr::Reducer<BdmKey, uint64_t, uint32_t, BdmTriple> {
+ public:
+  void Reduce(std::span<const std::pair<BdmKey, uint64_t>> group,
+              mr::ReduceContext<uint32_t, BdmTriple>* ctx) override {
+    uint64_t sum = 0;
+    for (const auto& [k, v] : group) sum += v;
+    const BdmKey& key = group.front().first;
+    BdmTriple t;
+    t.block_key = key.block_key;
+    t.source = key.source;
+    t.partition = key.partition;
+    t.count = sum;
+    ctx->Emit(0, std::move(t));
+  }
+};
+
+}  // namespace
+
+Result<BdmJobOutput> RunBdmJob(const er::Partitions& input,
+                               const er::BlockingFunction& blocking,
+                               const BdmJobOptions& options,
+                               const mr::JobRunner& runner) {
+  if (input.empty()) {
+    return Status::InvalidArgument("input must have at least one partition");
+  }
+  const uint32_t m = static_cast<uint32_t>(input.size());
+  const bool two_source = !options.partition_sources.empty();
+  if (two_source && options.partition_sources.size() != m) {
+    return Status::InvalidArgument(
+        "partition_sources size must equal number of input partitions");
+  }
+
+  auto side = std::make_shared<AnnotatedStore>(m);
+  std::atomic<uint64_t> skipped{0};
+  std::atomic<bool> missing_key_error{false};
+
+  mr::JobSpec<uint32_t, er::EntityRef, BdmKey, uint64_t, uint32_t, BdmTriple>
+      spec;
+  spec.num_reduce_tasks = options.num_reduce_tasks;
+  const auto& opts = options;
+  spec.mapper_factory = [&blocking, side, &opts, &skipped,
+                         &missing_key_error,
+                         two_source](const mr::TaskContext& ctx) {
+    er::Source src = two_source ? opts.partition_sources[ctx.task_index]
+                                : er::Source::kR;
+    return std::make_unique<BdmMapper>(&blocking, side.get(),
+                                       ctx.task_index, src,
+                                       opts.missing_key_policy, &skipped,
+                                       &missing_key_error);
+  };
+  spec.reducer_factory = [](const mr::TaskContext&) {
+    return std::make_unique<BdmReducer>();
+  };
+  // part: repartition by blocking key only, so every (block, partition)
+  // cell of one block lands in one reduce task.
+  spec.partitioner = [](const BdmKey& k, uint32_t r) {
+    return static_cast<uint32_t>(Fnv1a64(k.block_key) % r);
+  };
+  spec.key_less = BdmKeyLess;
+  spec.group_equal = BdmKeyEqual;  // group by the entire composite key
+  if (options.use_combiner) {
+    spec.combiner = [](std::span<const std::pair<BdmKey, uint64_t>> group,
+                       std::vector<std::pair<BdmKey, uint64_t>>* out) {
+      uint64_t sum = 0;
+      for (const auto& [k, v] : group) sum += v;
+      out->emplace_back(group.front().first, sum);
+    };
+  }
+
+  // Build input with dummy keys (paper: k_in = unused).
+  std::vector<std::vector<std::pair<uint32_t, er::EntityRef>>> job_input(m);
+  for (uint32_t p = 0; p < m; ++p) {
+    job_input[p].reserve(input[p].size());
+    for (const auto& e : input[p]) job_input[p].emplace_back(0u, e);
+  }
+
+  auto job_result = runner.Run(spec, job_input);
+  if (missing_key_error.load()) {
+    return Status::InvalidArgument(
+        "entity without blocking key under MissingKeyPolicy::kError "
+        "(blocking: " +
+        blocking.Describe() + ")");
+  }
+
+  std::vector<BdmTriple> triples;
+  for (auto& [k, t] : job_result.MergedOutput()) {
+    triples.push_back(std::move(t));
+  }
+
+  BdmJobOutput out;
+  if (two_source) {
+    ERLB_ASSIGN_OR_RETURN(out.bdm, Bdm::FromTriplesTwoSource(
+                                       triples, options.partition_sources));
+  } else {
+    ERLB_ASSIGN_OR_RETURN(out.bdm, Bdm::FromTriples(triples, m));
+  }
+  out.annotated = std::move(side);
+  out.metrics = std::move(job_result.metrics);
+  out.skipped_entities = skipped.load();
+  return out;
+}
+
+}  // namespace bdm
+}  // namespace erlb

@@ -1,0 +1,95 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace erlb {
+
+std::vector<std::string> ParseCsvLine(std::string_view line, char delim) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"' && cur.empty()) {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string EscapeCsvField(std::string_view field, char delim) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string FormatCsvRow(const std::vector<std::string>& fields,
+                         char delim) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) out.push_back(delim);
+    out += EscapeCsvField(fields[i], delim);
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, char delim) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open " + path);
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    rows.push_back(ParseCsvLine(line, delim));
+  }
+  return rows;
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char delim) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  for (const auto& row : rows) {
+    out << FormatCsvRow(row, delim) << "\n";
+  }
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace erlb

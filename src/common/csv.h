@@ -1,0 +1,39 @@
+// Minimal RFC-4180-ish CSV reading/writing for loading external datasets
+// and dumping experiment series.
+#ifndef ERLB_COMMON_CSV_H_
+#define ERLB_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace erlb {
+
+/// Parses one CSV line into fields. Supports double-quoted fields with
+/// embedded delimiters and doubled quotes ("").
+std::vector<std::string> ParseCsvLine(std::string_view line,
+                                      char delim = ',');
+
+/// Escapes a field for CSV output (quotes when needed).
+std::string EscapeCsvField(std::string_view field, char delim = ',');
+
+/// Serializes a row.
+std::string FormatCsvRow(const std::vector<std::string>& fields,
+                         char delim = ',');
+
+/// Reads an entire CSV file into rows of fields.
+/// Returns IOError if the file cannot be opened.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, char delim = ',');
+
+/// Writes rows to `path`, overwriting. Returns IOError on failure.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows,
+                    char delim = ',');
+
+}  // namespace erlb
+
+#endif  // ERLB_COMMON_CSV_H_

@@ -1,0 +1,66 @@
+// Minimal leveled logging + check macros (Arrow/RocksDB style).
+#ifndef ERLB_COMMON_LOGGING_H_
+#define ERLB_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace erlb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+/// Defaults to kInfo; tests may lower/raise it.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates a log line and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace erlb
+
+#define ERLB_LOG(level)                                                  \
+  ::erlb::internal::LogMessage(::erlb::LogLevel::k##level, __FILE__,     \
+                               __LINE__)
+
+/// Aborts the process with a message when `cond` is false. Always on.
+#define ERLB_CHECK(cond)                                                   \
+  if (!(cond))                                                             \
+  ::erlb::internal::LogMessage(::erlb::LogLevel::kError, __FILE__,         \
+                               __LINE__, /*fatal=*/true)                   \
+      << "Check failed: " #cond " "
+
+#define ERLB_CHECK_OK(expr)                                     \
+  do {                                                          \
+    ::erlb::Status _st = (expr);                                \
+    ERLB_CHECK(_st.ok()) << _st.ToString();                     \
+  } while (0)
+
+/// Debug-only invariant check.
+#ifdef NDEBUG
+#define ERLB_DCHECK(cond) ERLB_CHECK(true)
+#else
+#define ERLB_DCHECK(cond) ERLB_CHECK(cond)
+#endif
+
+#endif  // ERLB_COMMON_LOGGING_H_

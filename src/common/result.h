@@ -1,0 +1,82 @@
+// Result<T>: value-or-Status, in the style of arrow::Result / StatusOr.
+#ifndef ERLB_COMMON_RESULT_H_
+#define ERLB_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace erlb {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent.
+///
+/// Typical use:
+/// \code
+///   Result<Bdm> r = Bdm::FromTriples(triples, m);
+///   if (!r.ok()) return r.status();
+///   Bdm bdm = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status) : var_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(var_).ok()) {
+      // An OK status carries no value; this is a programming error.
+      std::abort();
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  /// The status; OK iff a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(var_);
+  }
+
+  /// Returns the value; aborts if no value is present.
+  const T& ValueOrDie() const& {
+    if (!ok()) std::abort();
+    return std::get<T>(var_);
+  }
+  T& ValueOrDie() & {
+    if (!ok()) std::abort();
+    return std::get<T>(var_);
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) std::abort();
+    return std::get<T>(std::move(var_));
+  }
+
+  /// Dereference sugar, same contract as ValueOrDie().
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+/// Propagates the error of a Result expression, otherwise assigns its value.
+#define ERLB_ASSIGN_OR_RETURN(lhs, expr)          \
+  ERLB_ASSIGN_OR_RETURN_IMPL(                     \
+      ERLB_CONCAT_NAME(_result_, __LINE__), lhs, expr)
+
+#define ERLB_CONCAT_NAME_INNER(x, y) x##y
+#define ERLB_CONCAT_NAME(x, y) ERLB_CONCAT_NAME_INNER(x, y)
+#define ERLB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie();
+
+}  // namespace erlb
+
+#endif  // ERLB_COMMON_RESULT_H_

@@ -1,0 +1,50 @@
+#include "common/status.h"
+
+namespace erlb {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message)
+    : rep_(new Rep{code, std::move(message)}) {}
+
+Status::Status(const Status& other)
+    : rep_(other.rep_ ? new Rep(*other.rep_) : nullptr) {}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    rep_.reset(other.rep_ ? new Rep(*other.rep_) : nullptr);
+  }
+  return *this;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(rep_->code);
+  out += ": ";
+  out += rep_->message;
+  return out;
+}
+
+}  // namespace erlb

@@ -1,0 +1,117 @@
+// Status: lightweight error propagation without exceptions, in the style of
+// RocksDB/Arrow. Library entry points that can fail return Status (or
+// Result<T>, see result.h); internal invariant violations use ERLB_DCHECK.
+#ifndef ERLB_COMMON_STATUS_H_
+#define ERLB_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace erlb {
+
+/// Error category for a failed operation.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kIOError = 7,
+  kNotImplemented = 8,
+};
+
+/// Returns a human-readable name for a status code, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that may fail.
+///
+/// A Status is either OK (the default) or carries a code and a message.
+/// Statuses are cheap to copy in the OK case (single pointer).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+  ~Status() = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The status code; kOk iff ok().
+  StatusCode code() const { return ok() ? StatusCode::kOk : rep_->code; }
+
+  /// The error message; empty iff ok().
+  std::string_view message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : rep_->message;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; avoids allocation on the hot success path.
+  std::unique_ptr<Rep> rep_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define ERLB_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::erlb::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace erlb
+
+#endif  // ERLB_COMMON_STATUS_H_

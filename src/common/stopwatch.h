@@ -1,0 +1,38 @@
+// Wall-clock stopwatch for measuring phases of real executions.
+#ifndef ERLB_COMMON_STOPWATCH_H_
+#define ERLB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace erlb {
+
+/// Measures elapsed wall-clock time with nanosecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction / last Restart().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  /// Milliseconds elapsed (fractional).
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+
+  /// Seconds elapsed (fractional).
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace erlb
+
+#endif  // ERLB_COMMON_STOPWATCH_H_

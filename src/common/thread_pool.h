@@ -1,0 +1,52 @@
+// Fixed-size worker pool used by the MapReduce runtime to emulate a set of
+// map/reduce processes executing tasks in FIFO order.
+#ifndef ERLB_COMMON_THREAD_POOL_H_
+#define ERLB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace erlb {
+
+/// A minimal FIFO thread pool.
+///
+/// Tasks submitted via Submit() are executed by `num_threads` workers in
+/// submission order (the order a Hadoop scheduler would hand queued tasks
+/// to freed process slots). Wait() blocks until the queue is drained and
+/// all running tasks have finished.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace erlb
+
+#endif  // ERLB_COMMON_THREAD_POOL_H_

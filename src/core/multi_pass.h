@@ -1,0 +1,60 @@
+// Multi-pass blocking — the paper's stated future work ("we will extend
+// our approaches to multi-pass blocking that assigns multiple blocks per
+// entity").
+//
+// Each entity receives one blocking key per pass (e.g. pass 0: title
+// prefix, pass 1: manufacturer). Two entities become a candidate pair if
+// they share the key of at least one pass. The implementation replicates
+// each entity once per pass with a non-empty key, namespaces keys by pass
+// ("<pass>|<key>", so equal key strings of different passes never
+// collide), and suppresses duplicate evaluation of pairs that co-occur in
+// several passes: a pair is evaluated in pass p only if the two entities
+// do not already share a key of an earlier pass q < p. All three load
+// balancing strategies work unchanged on the replicated input.
+#ifndef ERLB_CORE_MULTI_PASS_H_
+#define ERLB_CORE_MULTI_PASS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/pipeline.h"
+#include "er/blocking.h"
+#include "er/entity.h"
+#include "er/match_result.h"
+#include "er/matcher.h"
+
+namespace erlb {
+namespace core {
+
+/// Result of a multi-pass deduplication.
+struct MultiPassResult {
+  er::MatchResult matches;
+  /// Matcher invocations, including the cheap key-recheck rejections of
+  /// pairs already handled by an earlier pass.
+  int64_t comparisons = 0;
+  /// Matcher invocations rejected as earlier-pass duplicates.
+  int64_t suppressed_duplicates = 0;
+  double total_seconds = 0;
+};
+
+/// Deduplicates `entities` under multi-pass blocking. `passes` must hold
+/// at least one blocking function; pass functions must only read the
+/// entity's original fields (the adapter appends an internal marker
+/// field to each replica).
+Result<MultiPassResult> DeduplicateMultiPass(
+    const ErPipeline& pipeline, const std::vector<er::Entity>& entities,
+    const std::vector<const er::BlockingFunction*>& passes,
+    const er::Matcher& matcher);
+
+/// Brute-force reference: the union of per-pass within-block match
+/// results. Used by tests.
+er::MatchResult ReferenceMultiPassDeduplicate(
+    const std::vector<er::Entity>& entities,
+    const std::vector<const er::BlockingFunction*>& passes,
+    const er::Matcher& matcher);
+
+}  // namespace core
+}  // namespace erlb
+
+#endif  // ERLB_CORE_MULTI_PASS_H_

@@ -1,0 +1,224 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "lb/basic.h"
+#include "mr/job.h"
+
+namespace erlb {
+namespace core {
+
+namespace {
+
+/// Splits m map tasks between R and S proportionally to dataset size
+/// (at least one partition each).
+void SplitMapTasks(uint32_t m, size_t nr, size_t ns, uint32_t* mr,
+                   uint32_t* ms) {
+  ERLB_CHECK(m >= 2) << "two-source linkage needs m >= 2";
+  double total = static_cast<double>(nr) + static_cast<double>(ns);
+  uint32_t r_share = total == 0
+                         ? m / 2
+                         : static_cast<uint32_t>(m * (nr / total) + 0.5);
+  *mr = std::clamp<uint32_t>(r_share, 1, m - 1);
+  *ms = m - *mr;
+}
+
+}  // namespace
+
+Result<ErPipelineResult> ErPipeline::Deduplicate(
+    const std::vector<er::Entity>& entities,
+    const er::BlockingFunction& blocking, const er::Matcher& matcher) const {
+  if (entities.empty()) {
+    return Status::InvalidArgument("input is empty");
+  }
+  if (config_.num_map_tasks == 0) {
+    return Status::InvalidArgument("num_map_tasks must be >= 1");
+  }
+  er::Partitions parts =
+      er::SplitIntoPartitions(entities, config_.num_map_tasks);
+  return RunPartitioned(parts, nullptr, blocking, matcher);
+}
+
+Result<ErPipelineResult> ErPipeline::DeduplicatePartitioned(
+    const er::Partitions& partitions, const er::BlockingFunction& blocking,
+    const er::Matcher& matcher) const {
+  return RunPartitioned(partitions, nullptr, blocking, matcher);
+}
+
+Result<ErPipelineResult> ErPipeline::Link(
+    const std::vector<er::Entity>& r_entities,
+    const std::vector<er::Entity>& s_entities,
+    const er::BlockingFunction& blocking, const er::Matcher& matcher) const {
+  if (r_entities.empty() || s_entities.empty()) {
+    return Status::InvalidArgument("both sources must be non-empty");
+  }
+  uint32_t mr_tasks = 0, ms_tasks = 0;
+  SplitMapTasks(std::max(config_.num_map_tasks, 2u), r_entities.size(),
+                s_entities.size(), &mr_tasks, &ms_tasks);
+
+  // Tag sources, then lay out partitions: R's first, then S's.
+  std::vector<er::Entity> tagged_r = r_entities;
+  for (auto& e : tagged_r) e.source = er::Source::kR;
+  std::vector<er::Entity> tagged_s = s_entities;
+  for (auto& e : tagged_s) e.source = er::Source::kS;
+
+  er::Partitions parts = er::SplitIntoPartitions(tagged_r, mr_tasks);
+  er::Partitions s_parts = er::SplitIntoPartitions(tagged_s, ms_tasks);
+  std::vector<er::Source> sources(mr_tasks, er::Source::kR);
+  for (auto& p : s_parts) {
+    parts.push_back(std::move(p));
+    sources.push_back(er::Source::kS);
+  }
+  return RunPartitioned(parts, &sources, blocking, matcher);
+}
+
+Result<ErPipelineResult> ErPipeline::RunPartitioned(
+    const er::Partitions& partitions,
+    const std::vector<er::Source>* partition_sources,
+    const er::BlockingFunction& blocking, const er::Matcher& matcher) const {
+  if (partitions.empty()) {
+    return Status::InvalidArgument("need at least one partition");
+  }
+  if (config_.num_reduce_tasks == 0) {
+    return Status::InvalidArgument("num_reduce_tasks must be >= 1");
+  }
+  mr::JobRunner runner(config_.EffectiveWorkers());
+  lb::MatchJobOptions match_options;
+  match_options.num_reduce_tasks = config_.num_reduce_tasks;
+  match_options.assignment = config_.assignment;
+  match_options.sub_splits = config_.sub_splits;
+
+  ErPipelineResult result;
+  Stopwatch total_watch;
+
+  if (config_.strategy == lb::StrategyKind::kBasic) {
+    // Single job, no BDM (Section III's straightforward approach).
+    ERLB_ASSIGN_OR_RETURN(
+        lb::MatchJobOutput out,
+        lb::RunBasicSingleJob(partitions, blocking, matcher, match_options,
+                              runner, partition_sources));
+    result.matches = std::move(out.matches);
+    result.match_metrics = std::move(out.metrics);
+    result.comparisons = out.comparisons;
+    result.match_seconds = total_watch.ElapsedSeconds();
+    result.total_seconds = result.match_seconds;
+    return result;
+  }
+
+  // ---- Job 1: BDM -------------------------------------------------------
+  Stopwatch bdm_watch;
+  bdm::BdmJobOptions bdm_options;
+  bdm_options.num_reduce_tasks = config_.num_reduce_tasks;
+  bdm_options.use_combiner = config_.use_combiner;
+  bdm_options.missing_key_policy = config_.missing_key_policy;
+  if (partition_sources != nullptr) {
+    bdm_options.partition_sources = *partition_sources;
+  }
+  ERLB_ASSIGN_OR_RETURN(
+      bdm::BdmJobOutput bdm_out,
+      bdm::RunBdmJob(partitions, blocking, bdm_options, runner));
+  result.bdm = std::move(bdm_out.bdm);
+  result.bdm_metrics = std::move(bdm_out.metrics);
+  result.skipped_entities = bdm_out.skipped_entities;
+  result.bdm_seconds = bdm_watch.ElapsedSeconds();
+
+  // ---- Job 2: load-balanced matching ------------------------------------
+  Stopwatch match_watch;
+  auto strategy = lb::MakeStrategy(config_.strategy);
+  ERLB_ASSIGN_OR_RETURN(
+      lb::MatchJobOutput out,
+      strategy->RunMatchJob(*bdm_out.annotated, result.bdm, matcher,
+                            match_options, runner));
+  result.matches = std::move(out.matches);
+  result.match_metrics = std::move(out.metrics);
+  result.comparisons = out.comparisons;
+  result.match_seconds = match_watch.ElapsedSeconds();
+  result.total_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+namespace {
+
+/// Splits `entities` into (with-key, without-key) under `blocking`.
+void SplitByKeyValidity(const std::vector<er::Entity>& entities,
+                        const er::BlockingFunction& blocking,
+                        std::vector<er::Entity>* with_key,
+                        std::vector<er::Entity>* without_key) {
+  for (const auto& e : entities) {
+    if (blocking.Key(e).empty()) {
+      without_key->push_back(e);
+    } else {
+      with_key->push_back(e);
+    }
+  }
+}
+
+}  // namespace
+
+Result<er::MatchResult> DeduplicateWithMissingKeys(
+    const ErPipeline& pipeline, const std::vector<er::Entity>& entities,
+    const er::BlockingFunction& blocking, const er::Matcher& matcher) {
+  std::vector<er::Entity> keyed, unkeyed;
+  SplitByKeyValidity(entities, blocking, &keyed, &unkeyed);
+
+  er::MatchResult all;
+  er::ConstantBlocking bottom;
+  if (!keyed.empty()) {
+    ERLB_ASSIGN_OR_RETURN(ErPipelineResult res,
+                          pipeline.Deduplicate(keyed, blocking, matcher));
+    all.Merge(res.matches);
+  }
+  if (!unkeyed.empty() && !keyed.empty()) {
+    // match_⊥(R−R∅, R∅): Cartesian product via the constant key.
+    ERLB_ASSIGN_OR_RETURN(ErPipelineResult res,
+                          pipeline.Link(keyed, unkeyed, bottom, matcher));
+    all.Merge(res.matches);
+  }
+  if (unkeyed.size() >= 2) {
+    // match_⊥(R∅): all pairs among the unkeyed entities.
+    ERLB_ASSIGN_OR_RETURN(ErPipelineResult res,
+                          pipeline.Deduplicate(unkeyed, bottom, matcher));
+    all.Merge(res.matches);
+  }
+  all.Canonicalize();
+  return all;
+}
+
+Result<er::MatchResult> LinkWithMissingKeys(
+    const ErPipeline& pipeline, const std::vector<er::Entity>& r_entities,
+    const std::vector<er::Entity>& s_entities,
+    const er::BlockingFunction& blocking, const er::Matcher& matcher) {
+  std::vector<er::Entity> r_keyed, r_unkeyed, s_keyed, s_unkeyed;
+  SplitByKeyValidity(r_entities, blocking, &r_keyed, &r_unkeyed);
+  SplitByKeyValidity(s_entities, blocking, &s_keyed, &s_unkeyed);
+
+  er::MatchResult all;
+  er::ConstantBlocking bottom;
+  // match_B(R−R∅, S−S∅)
+  if (!r_keyed.empty() && !s_keyed.empty()) {
+    ERLB_ASSIGN_OR_RETURN(
+        ErPipelineResult res,
+        pipeline.Link(r_keyed, s_keyed, blocking, matcher));
+    all.Merge(res.matches);
+  }
+  // match_⊥(R, S∅)
+  if (!r_entities.empty() && !s_unkeyed.empty()) {
+    ERLB_ASSIGN_OR_RETURN(
+        ErPipelineResult res,
+        pipeline.Link(r_entities, s_unkeyed, bottom, matcher));
+    all.Merge(res.matches);
+  }
+  // match_⊥(R∅, S−S∅)
+  if (!r_unkeyed.empty() && !s_keyed.empty()) {
+    ERLB_ASSIGN_OR_RETURN(
+        ErPipelineResult res,
+        pipeline.Link(r_unkeyed, s_keyed, bottom, matcher));
+    all.Merge(res.matches);
+  }
+  all.Canonicalize();
+  return all;
+}
+
+}  // namespace core
+}  // namespace erlb

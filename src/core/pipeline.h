@@ -1,0 +1,121 @@
+// End-to-end ER pipeline (Figure 2): Job 1 computes the BDM and annotates
+// entities; Job 2 redistributes them with the chosen load balancing
+// strategy and matches. Basic runs as a single job without preprocessing.
+// Also provides the missing-blocking-key decompositions of Section III and
+// Appendix I.
+#ifndef ERLB_CORE_PIPELINE_H_
+#define ERLB_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bdm/bdm.h"
+#include "bdm/bdm_job.h"
+#include "common/result.h"
+#include "er/blocking.h"
+#include "er/entity.h"
+#include "er/match_result.h"
+#include "er/matcher.h"
+#include "lb/strategy.h"
+#include "mr/metrics.h"
+
+namespace erlb {
+namespace core {
+
+/// Pipeline configuration.
+struct ErPipelineConfig {
+  lb::StrategyKind strategy = lb::StrategyKind::kBlockSplit;
+  /// m — number of map tasks = input partitions.
+  uint32_t num_map_tasks = 4;
+  /// r — number of reduce tasks of the matching job.
+  uint32_t num_reduce_tasks = 8;
+  /// Worker threads emulating cluster process slots (0 = hardware
+  /// concurrency).
+  uint32_t num_workers = 0;
+  /// BlockSplit match-task assignment.
+  lb::TaskAssignment assignment = lb::TaskAssignment::kGreedyLpt;
+  /// BlockSplit sub-split factor (1 = the paper's algorithm).
+  uint32_t sub_splits = 1;
+  bdm::MissingKeyPolicy missing_key_policy = bdm::MissingKeyPolicy::kError;
+  bool use_combiner = true;
+
+  uint32_t EffectiveWorkers() const {
+    if (num_workers > 0) return num_workers;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 4 : hw;
+  }
+};
+
+/// Everything a pipeline run produces.
+struct ErPipelineResult {
+  er::MatchResult matches;
+  /// The BDM (empty for Basic, which runs without preprocessing).
+  bdm::Bdm bdm;
+  mr::JobMetrics bdm_metrics;
+  mr::JobMetrics match_metrics;
+  /// Pair comparisons evaluated in the reduce phase.
+  int64_t comparisons = 0;
+  double bdm_seconds = 0;
+  double match_seconds = 0;
+  double total_seconds = 0;
+  uint64_t skipped_entities = 0;
+};
+
+/// Runs the two-job ER workflow.
+class ErPipeline {
+ public:
+  explicit ErPipeline(ErPipelineConfig config) : config_(config) {}
+
+  const ErPipelineConfig& config() const { return config_; }
+
+  /// One-source deduplication of `entities`.
+  Result<ErPipelineResult> Deduplicate(
+      const std::vector<er::Entity>& entities,
+      const er::BlockingFunction& blocking,
+      const er::Matcher& matcher) const;
+
+  /// Same, over pre-partitioned input (entities already wrapped and split
+  /// into m partitions; config.num_map_tasks is ignored).
+  Result<ErPipelineResult> DeduplicatePartitioned(
+      const er::Partitions& partitions,
+      const er::BlockingFunction& blocking,
+      const er::Matcher& matcher) const;
+
+  /// Two-source linkage R×S (Appendix I). Sources are tagged internally;
+  /// map tasks are divided between the sources proportionally to size
+  /// (each partition holds one source only, the MultipleInputs layout).
+  Result<ErPipelineResult> Link(const std::vector<er::Entity>& r_entities,
+                                const std::vector<er::Entity>& s_entities,
+                                const er::BlockingFunction& blocking,
+                                const er::Matcher& matcher) const;
+
+ private:
+  Result<ErPipelineResult> RunPartitioned(
+      const er::Partitions& partitions,
+      const std::vector<er::Source>* partition_sources,
+      const er::BlockingFunction& blocking,
+      const er::Matcher& matcher) const;
+
+  ErPipelineConfig config_;
+};
+
+/// Section III: deduplication when some entities lack a blocking key.
+/// match_B(R) = match_B(R−R∅) ∪ match_⊥(R−R∅, R∅) ∪ match_⊥(R∅):
+/// entities without key are compared against everything.
+Result<er::MatchResult> DeduplicateWithMissingKeys(
+    const ErPipeline& pipeline, const std::vector<er::Entity>& entities,
+    const er::BlockingFunction& blocking, const er::Matcher& matcher);
+
+/// Appendix I: linkage with missing keys,
+/// match_B(R,S) = match_B(R−R∅, S−S∅) ∪ match_⊥(R, S∅)
+///                ∪ match_⊥(R∅, S−S∅).
+Result<er::MatchResult> LinkWithMissingKeys(
+    const ErPipeline& pipeline, const std::vector<er::Entity>& r_entities,
+    const std::vector<er::Entity>& s_entities,
+    const er::BlockingFunction& blocking, const er::Matcher& matcher);
+
+}  // namespace core
+}  // namespace erlb
+
+#endif  // ERLB_CORE_PIPELINE_H_

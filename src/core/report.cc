@@ -1,0 +1,86 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "lb/strategy.h"
+#include "mr/counters.h"
+
+namespace erlb {
+namespace core {
+
+namespace {
+
+void AppendTaskStats(std::ostringstream* out, const char* label,
+                     const std::vector<mr::TaskMetrics>& tasks) {
+  if (tasks.empty()) return;
+  int64_t total_in = 0, total_out = 0;
+  int64_t max_dur = 0, sum_dur = 0;
+  for (const auto& t : tasks) {
+    total_in += t.input_records;
+    total_out += t.output_records;
+    max_dur = std::max(max_dur, t.duration_nanos);
+    sum_dur += t.duration_nanos;
+  }
+  double avg_ms = sum_dur / 1e6 / tasks.size();
+  *out << "  " << label << ": " << tasks.size() << " tasks, "
+       << FormatWithCommas(total_in) << " records in, "
+       << FormatWithCommas(total_out) << " out, avg "
+       << FormatDouble(avg_ms, 2) << " ms/task, max "
+       << FormatDouble(max_dur / 1e6, 2) << " ms"
+       << " (straggler ratio "
+       << FormatDouble(avg_ms > 0 ? max_dur / 1e6 / avg_ms : 1.0, 2)
+       << "x)\n";
+}
+
+}  // namespace
+
+std::string FormatRunReport(const ErPipelineResult& result,
+                            const ErPipelineConfig& config) {
+  std::ostringstream out;
+  out << "=== ER pipeline run: " << lb::StrategyName(config.strategy)
+      << " (m=" << config.num_map_tasks << ", r=" << config.num_reduce_tasks
+      << ", workers=" << config.EffectiveWorkers() << ") ===\n";
+
+  if (config.strategy != lb::StrategyKind::kBasic) {
+    out << "Job 1 (BDM): " << FormatDouble(result.bdm_seconds * 1000, 1)
+        << " ms, " << result.bdm.num_blocks() << " blocks, "
+        << FormatWithCommas(result.bdm.TotalPairs())
+        << " candidate pairs\n";
+    AppendTaskStats(&out, "map", result.bdm_metrics.map_tasks);
+    AppendTaskStats(&out, "reduce", result.bdm_metrics.reduce_tasks);
+  }
+
+  out << "Job 2 (matching): "
+      << FormatDouble(result.match_seconds * 1000, 1) << " ms\n";
+  AppendTaskStats(&out, "map", result.match_metrics.map_tasks);
+  AppendTaskStats(&out, "reduce", result.match_metrics.reduce_tasks);
+
+  out << "Comparisons: " << FormatWithCommas(result.comparisons)
+      << ", matches: " << FormatWithCommas(result.matches.size()) << "\n";
+  if (result.skipped_entities > 0) {
+    out << "Skipped entities (no blocking key): "
+        << FormatWithCommas(result.skipped_entities) << "\n";
+  }
+  int64_t kv =
+      result.match_metrics.counters.Get(mr::kCounterMapOutputPairs);
+  out << "Map output pairs (matching job): " << FormatWithCommas(kv)
+      << "\n";
+  out << "Total: " << FormatDouble(result.total_seconds * 1000, 1)
+      << " ms\n";
+  return out.str();
+}
+
+std::string FormatRunSummary(const ErPipelineResult& result,
+                             const ErPipelineConfig& config) {
+  std::ostringstream out;
+  out << lb::StrategyName(config.strategy) << ": "
+      << FormatWithCommas(result.comparisons) << " comparisons -> "
+      << FormatWithCommas(result.matches.size()) << " matches in "
+      << FormatDouble(result.total_seconds, 3) << " s";
+  return out.str();
+}
+
+}  // namespace core
+}  // namespace erlb

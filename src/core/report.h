@@ -1,0 +1,25 @@
+// Human-readable run reports: summarizes an ErPipelineResult (jobs,
+// phases, workload distribution, counters) the way one would read a
+// Hadoop job history page.
+#ifndef ERLB_CORE_REPORT_H_
+#define ERLB_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace erlb {
+namespace core {
+
+/// Formats a multi-line report of one pipeline run.
+std::string FormatRunReport(const ErPipelineResult& result,
+                            const ErPipelineConfig& config);
+
+/// One-line summary (strategy, comparisons, matches, seconds).
+std::string FormatRunSummary(const ErPipelineResult& result,
+                             const ErPipelineConfig& config);
+
+}  // namespace core
+}  // namespace erlb
+
+#endif  // ERLB_CORE_REPORT_H_

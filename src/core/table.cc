@@ -1,0 +1,73 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace erlb {
+namespace core {
+
+namespace {
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(c >= '0' && c <= '9') && c != '.' && c != '-' && c != '+' &&
+        c != 'e' && c != ',' && c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<size_t> width(cols, 0);
+  auto measure = [&](const std::vector<std::string>& r) {
+    for (size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  std::string out;
+  auto render = [&](const std::vector<std::string>& r, bool is_header) {
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string cell = c < r.size() ? r[c] : "";
+      bool right = !is_header && LooksNumeric(cell);
+      if (c) out += "  ";
+      if (right) {
+        out.append(width[c] - cell.size(), ' ');
+        out += cell;
+      } else {
+        out += cell;
+        out.append(width[c] - cell.size(), ' ');
+      }
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  if (!header_.empty()) {
+    render(header_, true);
+    size_t total = 0;
+    for (size_t c = 0; c < cols; ++c) total += width[c] + (c ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) render(r, false);
+  return out;
+}
+
+void TextTable::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+}  // namespace core
+}  // namespace erlb

@@ -1,0 +1,38 @@
+// Plain-text table formatting for the benchmark harness output (the
+// rows/series the paper's figures plot).
+#ifndef ERLB_CORE_TABLE_H_
+#define ERLB_CORE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace erlb {
+namespace core {
+
+/// Accumulates rows of string cells and renders an aligned text table.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row (cell count may differ from the header; short
+  /// rows are padded).
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column alignment; numeric-looking cells right-aligned.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace core
+}  // namespace erlb
+
+#endif  // ERLB_CORE_TABLE_H_

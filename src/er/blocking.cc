@@ -1,0 +1,48 @@
+#include "er/blocking.h"
+
+#include "common/string_util.h"
+
+namespace erlb {
+namespace er {
+
+PrefixBlocking::PrefixBlocking(size_t field, size_t length)
+    : field_(field), length_(length) {}
+
+std::string PrefixBlocking::Key(const Entity& e) const {
+  if (field_ >= e.fields.size()) return std::string();
+  return PrefixKey(TrimAscii(e.fields[field_]), length_);
+}
+
+std::string PrefixBlocking::Describe() const {
+  return "prefix(field=" + std::to_string(field_) +
+         ", len=" + std::to_string(length_) + ")";
+}
+
+AttributeBlocking::AttributeBlocking(size_t field) : field_(field) {}
+
+std::string AttributeBlocking::Key(const Entity& e) const {
+  if (field_ >= e.fields.size()) return std::string();
+  return ToLowerAscii(TrimAscii(e.fields[field_]));
+}
+
+std::string AttributeBlocking::Describe() const {
+  return "attribute(field=" + std::to_string(field_) + ")";
+}
+
+std::string ConstantBlocking::Key(const Entity& e) const {
+  (void)e;
+  return kBottomKey;
+}
+
+std::string ConstantBlocking::Describe() const { return "constant(⊥)"; }
+
+LambdaBlocking::LambdaBlocking(std::function<std::string(const Entity&)> fn,
+                               std::string description)
+    : fn_(std::move(fn)), description_(std::move(description)) {}
+
+std::string LambdaBlocking::Key(const Entity& e) const { return fn_(e); }
+
+std::string LambdaBlocking::Describe() const { return description_; }
+
+}  // namespace er
+}  // namespace erlb

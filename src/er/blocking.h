@@ -1,0 +1,82 @@
+// Blocking functions: map an entity to its blocking key. Entities sharing a
+// key form a block; matching is restricted to entities of the same block.
+#ifndef ERLB_ER_BLOCKING_H_
+#define ERLB_ER_BLOCKING_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "er/entity.h"
+
+namespace erlb {
+namespace er {
+
+/// The constant blocking key "⊥" used to evaluate a Cartesian product
+/// (matching entities without a valid key, Section III / Appendix I).
+inline constexpr char kBottomKey[] = "\x01<bottom>";
+
+/// Computes a blocking key from an entity. Implementations must be pure
+/// (same entity -> same key) and thread-safe.
+class BlockingFunction {
+ public:
+  virtual ~BlockingFunction() = default;
+  /// The blocking key of `e`. May return an empty string to signal "no
+  /// valid blocking key" (handled by the missing-key decomposition).
+  virtual std::string Key(const Entity& e) const = 0;
+  /// Human-readable description for reports.
+  virtual std::string Describe() const = 0;
+};
+
+/// The paper's default: first `n` (lowercased) characters of a field —
+/// "the first three letters of the product or publication title".
+class PrefixBlocking : public BlockingFunction {
+ public:
+  /// \param field  index of the attribute to block on
+  /// \param length prefix length (3 in the paper)
+  explicit PrefixBlocking(size_t field = 0, size_t length = 3);
+  std::string Key(const Entity& e) const override;
+  std::string Describe() const override;
+
+ private:
+  size_t field_;
+  size_t length_;
+};
+
+/// Blocks on the full (lowercased, trimmed) value of one attribute, e.g.
+/// "products partitioned by manufacturer".
+class AttributeBlocking : public BlockingFunction {
+ public:
+  explicit AttributeBlocking(size_t field);
+  std::string Key(const Entity& e) const override;
+  std::string Describe() const override;
+
+ private:
+  size_t field_;
+};
+
+/// Assigns every entity the constant key ⊥ (full Cartesian product).
+class ConstantBlocking : public BlockingFunction {
+ public:
+  ConstantBlocking() = default;
+  std::string Key(const Entity& e) const override;
+  std::string Describe() const override;
+};
+
+/// Adapts an arbitrary function.
+class LambdaBlocking : public BlockingFunction {
+ public:
+  LambdaBlocking(std::function<std::string(const Entity&)> fn,
+                 std::string description);
+  std::string Key(const Entity& e) const override;
+  std::string Describe() const override;
+
+ private:
+  std::function<std::string(const Entity&)> fn_;
+  std::string description_;
+};
+
+}  // namespace er
+}  // namespace erlb
+
+#endif  // ERLB_ER_BLOCKING_H_

@@ -1,0 +1,84 @@
+#include "er/clustering.h"
+
+#include <algorithm>
+#include <map>
+
+namespace erlb {
+namespace er {
+
+void UnionFind::Add(uint64_t id) {
+  if (parent_.emplace(id, id).second) {
+    size_[id] = 1;
+  }
+}
+
+uint64_t UnionFind::Find(uint64_t id) {
+  Add(id);
+  uint64_t root = id;
+  while (parent_[root] != root) {
+    // Path halving.
+    parent_[root] = parent_[parent_[root]];
+    root = parent_[root];
+  }
+  return root;
+}
+
+void UnionFind::Union(uint64_t a, uint64_t b) {
+  uint64_t ra = Find(a), rb = Find(b);
+  if (ra == rb) return;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+}
+
+bool UnionFind::Connected(uint64_t a, uint64_t b) {
+  if (!parent_.count(a) || !parent_.count(b)) return false;
+  return Find(a) == Find(b);
+}
+
+Clusters ClusterMatches(const MatchResult& matches) {
+  UnionFind uf;
+  for (const auto& p : matches.pairs()) {
+    uf.Union(p.first, p.second);
+  }
+  std::map<uint64_t, std::vector<uint64_t>> by_root;
+  for (const auto& p : matches.pairs()) {
+    by_root[uf.Find(p.first)].push_back(p.first);
+    by_root[uf.Find(p.second)].push_back(p.second);
+  }
+  Clusters clusters;
+  clusters.reserve(by_root.size());
+  for (auto& [root, members] : by_root) {
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()),
+                  members.end());
+    if (members.size() >= 2) clusters.push_back(std::move(members));
+  }
+  std::sort(clusters.begin(), clusters.end(),
+            [](const auto& a, const auto& b) { return a[0] < b[0]; });
+  return clusters;
+}
+
+MatchResult ClustersToPairs(const Clusters& clusters) {
+  MatchResult out;
+  for (const auto& cluster : clusters) {
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      for (size_t j = i + 1; j < cluster.size(); ++j) {
+        out.Add(cluster[i], cluster[j]);
+      }
+    }
+  }
+  out.Canonicalize();
+  return out;
+}
+
+uint64_t ClusterPairCount(const Clusters& clusters) {
+  uint64_t pairs = 0;
+  for (const auto& c : clusters) {
+    pairs += c.size() * (c.size() - 1) / 2;
+  }
+  return pairs;
+}
+
+}  // namespace er
+}  // namespace erlb

@@ -1,0 +1,121 @@
+#include "er/entity_io.h"
+
+#include <charconv>
+
+#include "common/csv.h"
+
+namespace erlb {
+namespace er {
+
+namespace {
+
+Result<uint64_t> ParseId(const std::string& cell, size_t row) {
+  uint64_t id = 0;
+  auto [ptr, ec] =
+      std::from_chars(cell.data(), cell.data() + cell.size(), id);
+  if (ec != std::errc() || ptr != cell.data() + cell.size()) {
+    return Status::InvalidArgument("row " + std::to_string(row) +
+                                   ": unparsable id '" + cell + "'");
+  }
+  return id;
+}
+
+}  // namespace
+
+Result<std::vector<Entity>> LoadEntitiesFromCsv(const std::string& path,
+                                                const CsvSchema& schema) {
+  ERLB_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
+  std::vector<Entity> entities;
+  entities.reserve(rows.size());
+  size_t start = schema.has_header && !rows.empty() ? 1 : 0;
+  uint64_t next_id = 1;
+  for (size_t i = start; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() == 1 && row[0].empty()) continue;  // blank line
+    Entity e;
+    if (schema.id_column >= 0) {
+      if (static_cast<size_t>(schema.id_column) >= row.size()) {
+        return Status::InvalidArgument("row " + std::to_string(i) +
+                                       ": missing id column");
+      }
+      ERLB_ASSIGN_OR_RETURN(e.id, ParseId(row[schema.id_column], i));
+    } else {
+      e.id = next_id++;
+    }
+    if (schema.field_columns.empty()) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (static_cast<int>(c) == schema.id_column) continue;
+        e.fields.push_back(row[c]);
+      }
+    } else {
+      for (int c : schema.field_columns) {
+        if (c < 0 || static_cast<size_t>(c) >= row.size()) {
+          return Status::InvalidArgument(
+              "row " + std::to_string(i) + ": missing field column " +
+              std::to_string(c));
+        }
+        e.fields.push_back(row[c]);
+      }
+    }
+    if (e.fields.empty()) {
+      return Status::InvalidArgument("row " + std::to_string(i) +
+                                     ": no fields");
+    }
+    entities.push_back(std::move(e));
+  }
+  return entities;
+}
+
+Status SaveEntitiesToCsv(const std::string& path,
+                         const std::vector<Entity>& entities) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(entities.size() + 1);
+  size_t max_fields = 0;
+  for (const auto& e : entities) {
+    max_fields = std::max(max_fields, e.fields.size());
+  }
+  std::vector<std::string> header{"id"};
+  for (size_t f = 0; f < max_fields; ++f) {
+    header.push_back("field" + std::to_string(f));
+  }
+  rows.push_back(std::move(header));
+  for (const auto& e : entities) {
+    std::vector<std::string> row{std::to_string(e.id)};
+    for (const auto& f : e.fields) row.push_back(f);
+    rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, rows);
+}
+
+Status SaveMatchesToCsv(const std::string& path,
+                        const MatchResult& matches) {
+  MatchResult canon = matches;
+  canon.Canonicalize();
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(canon.size() + 1);
+  rows.push_back({"id1", "id2"});
+  for (const auto& p : canon.pairs()) {
+    rows.push_back({std::to_string(p.first), std::to_string(p.second)});
+  }
+  return WriteCsvFile(path, rows);
+}
+
+Result<MatchResult> LoadMatchesFromCsv(const std::string& path) {
+  ERLB_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
+  MatchResult result;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() == 1 && row[0].empty()) continue;
+    if (row.size() < 2) {
+      return Status::InvalidArgument("row " + std::to_string(i) +
+                                     ": expected id1,id2");
+    }
+    ERLB_ASSIGN_OR_RETURN(uint64_t a, ParseId(row[0], i));
+    ERLB_ASSIGN_OR_RETURN(uint64_t b, ParseId(row[1], i));
+    result.Add(a, b);
+  }
+  return result;
+}
+
+}  // namespace er
+}  // namespace erlb

@@ -1,0 +1,49 @@
+// Loading and saving entities and match results as CSV, so the pipeline
+// can run over real datasets (e.g. the CiteSeerX-style dumps the paper
+// evaluates on).
+#ifndef ERLB_ER_ENTITY_IO_H_
+#define ERLB_ER_ENTITY_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "er/entity.h"
+#include "er/match_result.h"
+
+namespace erlb {
+namespace er {
+
+/// How CSV columns map onto Entity fields.
+struct CsvSchema {
+  /// Column holding a numeric entity id, or -1 to assign sequential ids
+  /// (1-based, in file order).
+  int id_column = -1;
+  /// Columns copied into Entity::fields, in order. fields[0] becomes the
+  /// primary matching attribute. Empty = all columns except id_column.
+  std::vector<int> field_columns;
+  /// Skip the first row.
+  bool has_header = true;
+};
+
+/// Loads entities from a CSV file. Rows with too few columns yield
+/// InvalidArgument; an unparsable id yields InvalidArgument.
+Result<std::vector<Entity>> LoadEntitiesFromCsv(const std::string& path,
+                                                const CsvSchema& schema);
+
+/// Writes entities as CSV: id, then each field. Includes a header row.
+Status SaveEntitiesToCsv(const std::string& path,
+                         const std::vector<Entity>& entities);
+
+/// Writes a match result as CSV with columns id1,id2 (canonical order).
+Status SaveMatchesToCsv(const std::string& path,
+                        const MatchResult& matches);
+
+/// Reads a match result written by SaveMatchesToCsv.
+Result<MatchResult> LoadMatchesFromCsv(const std::string& path);
+
+}  // namespace er
+}  // namespace erlb
+
+#endif  // ERLB_ER_ENTITY_IO_H_

@@ -1,0 +1,46 @@
+#include "er/evaluation.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace erlb {
+namespace er {
+
+QualityMetrics EvaluateMatches(const std::vector<Entity>& entities,
+                               const MatchResult& result) {
+  // Build ground-truth pair set from cluster ids.
+  std::map<uint64_t, std::vector<uint64_t>> clusters;
+  for (const auto& e : entities) {
+    if (e.cluster_id != 0) clusters[e.cluster_id].push_back(e.id);
+  }
+  std::set<MatchPair> truth;
+  for (auto& [cid, ids] : clusters) {
+    std::sort(ids.begin(), ids.end());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      for (size_t j = i + 1; j < ids.size(); ++j) {
+        truth.insert(MatchPair(ids[i], ids[j]));
+      }
+    }
+  }
+
+  MatchResult canon = result;
+  canon.Canonicalize();
+
+  QualityMetrics q;
+  std::set<MatchPair> found(canon.pairs().begin(), canon.pairs().end());
+  for (const auto& p : found) {
+    if (truth.count(p)) {
+      ++q.true_positives;
+    } else {
+      ++q.false_positives;
+    }
+  }
+  for (const auto& p : truth) {
+    if (!found.count(p)) ++q.false_negatives;
+  }
+  return q;
+}
+
+}  // namespace er
+}  // namespace erlb

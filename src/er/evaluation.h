@@ -1,0 +1,44 @@
+// Match-quality evaluation against generator ground truth (cluster ids).
+#ifndef ERLB_ER_EVALUATION_H_
+#define ERLB_ER_EVALUATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "er/entity.h"
+#include "er/match_result.h"
+
+namespace erlb {
+namespace er {
+
+/// Precision/recall/F1 of a match result w.r.t. ground-truth clusters.
+struct QualityMetrics {
+  uint64_t true_positives = 0;
+  uint64_t false_positives = 0;
+  uint64_t false_negatives = 0;
+
+  double Precision() const {
+    uint64_t denom = true_positives + false_positives;
+    return denom == 0 ? 1.0 : static_cast<double>(true_positives) / denom;
+  }
+  double Recall() const {
+    uint64_t denom = true_positives + false_negatives;
+    return denom == 0 ? 1.0 : static_cast<double>(true_positives) / denom;
+  }
+  double F1() const {
+    double p = Precision(), r = Recall();
+    return (p + r) == 0 ? 0.0 : 2 * p * r / (p + r);
+  }
+};
+
+/// Computes quality metrics of `result` for entities carrying ground-truth
+/// cluster ids (cluster_id != 0; entities with cluster_id 0 are singletons).
+/// The ground-truth pair set is all unordered pairs of distinct entities
+/// sharing a non-zero cluster id.
+QualityMetrics EvaluateMatches(const std::vector<Entity>& entities,
+                               const MatchResult& result);
+
+}  // namespace er
+}  // namespace erlb
+
+#endif  // ERLB_ER_EVALUATION_H_

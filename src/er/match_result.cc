@@ -1,0 +1,22 @@
+#include "er/match_result.h"
+
+#include <algorithm>
+
+namespace erlb {
+namespace er {
+
+void MatchResult::Canonicalize() {
+  std::sort(pairs_.begin(), pairs_.end());
+  pairs_.erase(std::unique(pairs_.begin(), pairs_.end()), pairs_.end());
+}
+
+bool MatchResult::SameAs(const MatchResult& other) const {
+  MatchResult a = *this;
+  MatchResult b = other;
+  a.Canonicalize();
+  b.Canonicalize();
+  return a.pairs_ == b.pairs_;
+}
+
+}  // namespace er
+}  // namespace erlb

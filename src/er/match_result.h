@@ -1,0 +1,61 @@
+// Match result: the set of entity-id pairs judged to be the same object.
+#ifndef ERLB_ER_MATCH_RESULT_H_
+#define ERLB_ER_MATCH_RESULT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace erlb {
+namespace er {
+
+/// One matched pair, stored with low id first so results are canonical and
+/// comparable across strategies.
+struct MatchPair {
+  uint64_t first = 0;
+  uint64_t second = 0;
+
+  MatchPair() = default;
+  /// Canonicalizes the order (a,b) -> (min,max).
+  MatchPair(uint64_t a, uint64_t b)
+      : first(a < b ? a : b), second(a < b ? b : a) {}
+
+  friend bool operator==(const MatchPair&, const MatchPair&) = default;
+  friend auto operator<=>(const MatchPair&, const MatchPair&) = default;
+};
+
+/// A match result with convenience canonicalization.
+class MatchResult {
+ public:
+  MatchResult() = default;
+  explicit MatchResult(std::vector<MatchPair> pairs)
+      : pairs_(std::move(pairs)) {}
+
+  /// Appends one pair (order-insensitive).
+  void Add(uint64_t a, uint64_t b) { pairs_.emplace_back(a, b); }
+
+  /// Appends all pairs of `other`.
+  void Merge(const MatchResult& other) {
+    pairs_.insert(pairs_.end(), other.pairs_.begin(), other.pairs_.end());
+  }
+
+  /// Sorts and removes duplicate pairs.
+  void Canonicalize();
+
+  /// True iff both results contain the same pair set (canonicalizes
+  /// copies; inputs unmodified).
+  bool SameAs(const MatchResult& other) const;
+
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+  const std::vector<MatchPair>& pairs() const { return pairs_; }
+
+ private:
+  std::vector<MatchPair> pairs_;
+};
+
+}  // namespace er
+}  // namespace erlb
+
+#endif  // ERLB_ER_MATCH_RESULT_H_

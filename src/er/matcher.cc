@@ -1,0 +1,104 @@
+#include "er/matcher.h"
+
+#include "common/string_util.h"
+#include "er/similarity.h"
+
+namespace erlb {
+namespace er {
+
+namespace {
+const std::string& FieldOrEmpty(const Entity& e, size_t field) {
+  static const std::string kEmpty;
+  return field < e.fields.size() ? e.fields[field] : kEmpty;
+}
+}  // namespace
+
+EditDistanceMatcher::EditDistanceMatcher(double threshold, size_t field)
+    : threshold_(threshold), field_(field) {}
+
+bool EditDistanceMatcher::Match(const Entity& a, const Entity& b) const {
+  return EditSimilarityAtLeast(FieldOrEmpty(a, field_),
+                               FieldOrEmpty(b, field_), threshold_);
+}
+
+double EditDistanceMatcher::Similarity(const Entity& a,
+                                       const Entity& b) const {
+  return EditSimilarity(FieldOrEmpty(a, field_), FieldOrEmpty(b, field_));
+}
+
+std::string EditDistanceMatcher::Describe() const {
+  return "edit-distance(threshold=" + FormatDouble(threshold_, 2) +
+         ", field=" + std::to_string(field_) + ")";
+}
+
+JaccardMatcher::JaccardMatcher(double threshold, size_t field)
+    : threshold_(threshold), field_(field) {}
+
+bool JaccardMatcher::Match(const Entity& a, const Entity& b) const {
+  return Similarity(a, b) >= threshold_;
+}
+
+double JaccardMatcher::Similarity(const Entity& a, const Entity& b) const {
+  return JaccardTokenSimilarity(FieldOrEmpty(a, field_),
+                                FieldOrEmpty(b, field_));
+}
+
+std::string JaccardMatcher::Describe() const {
+  return "jaccard(threshold=" + FormatDouble(threshold_, 2) +
+         ", field=" + std::to_string(field_) + ")";
+}
+
+NgramMatcher::NgramMatcher(double threshold, size_t n, size_t field)
+    : threshold_(threshold), n_(n), field_(field) {}
+
+bool NgramMatcher::Match(const Entity& a, const Entity& b) const {
+  return Similarity(a, b) >= threshold_;
+}
+
+double NgramMatcher::Similarity(const Entity& a, const Entity& b) const {
+  return NgramSimilarity(FieldOrEmpty(a, field_), FieldOrEmpty(b, field_),
+                         n_);
+}
+
+std::string NgramMatcher::Describe() const {
+  return "ngram(threshold=" + FormatDouble(threshold_, 2) +
+         ", n=" + std::to_string(n_) + ", field=" + std::to_string(field_) +
+         ")";
+}
+
+JaroWinklerMatcher::JaroWinklerMatcher(double threshold, size_t field,
+                                       double prefix_scale)
+    : threshold_(threshold), field_(field), prefix_scale_(prefix_scale) {}
+
+bool JaroWinklerMatcher::Match(const Entity& a, const Entity& b) const {
+  return Similarity(a, b) >= threshold_;
+}
+
+double JaroWinklerMatcher::Similarity(const Entity& a,
+                                      const Entity& b) const {
+  return JaroWinklerSimilarity(FieldOrEmpty(a, field_),
+                               FieldOrEmpty(b, field_), prefix_scale_);
+}
+
+std::string JaroWinklerMatcher::Describe() const {
+  return "jaro-winkler(threshold=" + FormatDouble(threshold_, 2) +
+         ", field=" + std::to_string(field_) + ")";
+}
+
+LambdaMatcher::LambdaMatcher(
+    std::function<bool(const Entity&, const Entity&)> fn,
+    std::string description)
+    : fn_(std::move(fn)), description_(std::move(description)) {}
+
+bool LambdaMatcher::Match(const Entity& a, const Entity& b) const {
+  return fn_(a, b);
+}
+
+double LambdaMatcher::Similarity(const Entity& a, const Entity& b) const {
+  return fn_(a, b) ? 1.0 : 0.0;
+}
+
+std::string LambdaMatcher::Describe() const { return description_; }
+
+}  // namespace er
+}  // namespace erlb

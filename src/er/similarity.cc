@@ -1,0 +1,207 @@
+#include "er/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace erlb {
+namespace er {
+
+namespace {
+// Reused DP row buffers: the matchers call these kernels millions of
+// times from parallel reduce tasks, and per-call heap allocation
+// serializes on the allocator.
+std::vector<size_t>& TlsRow() {
+  thread_local std::vector<size_t> row;
+  return row;
+}
+}  // namespace
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  const size_t n = b.size();
+  if (n == 0) return a.size();
+
+  std::vector<size_t>& row = TlsRow();
+  row.assign(n + 1, 0);
+  for (size_t j = 0; j <= n; ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t prev_diag = row[0];  // D[i-1][0]
+    row[0] = i;
+    for (size_t j = 1; j <= n; ++j) {
+      size_t cur = row[j];  // D[i-1][j]
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j] + 1,        // deletion
+                         row[j - 1] + 1,    // insertion
+                         prev_diag + cost}  // substitution
+      );
+      prev_diag = cur;
+    }
+  }
+  return row[n];
+}
+
+size_t EditDistanceBounded(std::string_view a, std::string_view b,
+                           size_t bound) {
+  if (a.size() < b.size()) std::swap(a, b);
+  const size_t la = a.size(), lb = b.size();
+  if (la - lb > bound) return bound + 1;
+  if (lb == 0) return la;
+
+  // Ukkonen band: only cells with |i - j| <= bound can hold values <= bound.
+  const size_t kInf = bound + 1;
+  std::vector<size_t>& row = TlsRow();
+  row.assign(lb + 1, kInf);
+  for (size_t j = 0; j <= std::min(lb, bound); ++j) row[j] = j;
+
+  for (size_t i = 1; i <= la; ++i) {
+    size_t jlo = (i > bound) ? i - bound : 1;
+    size_t jhi = std::min(lb, i + bound);
+    if (jlo > jhi) return bound + 1;
+    size_t prev_diag = (jlo == 1) ? ((i - 1 <= bound) ? i - 1 : kInf)
+                                  : row[jlo - 1];
+    size_t left = (jlo == 1 && i <= bound) ? i : kInf;  // D[i][jlo-1]
+    size_t row_min = kInf;
+    for (size_t j = jlo; j <= jhi; ++j) {
+      size_t up = row[j];  // D[i-1][j]
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      size_t val = std::min({up == kInf ? kInf : up + 1,
+                             left == kInf ? kInf : left + 1,
+                             prev_diag == kInf ? kInf : prev_diag + cost});
+      val = std::min(val, kInf);
+      prev_diag = up;
+      row[j] = val;
+      left = val;
+      row_min = std::min(row_min, val);
+    }
+    if (jlo > 1) row[jlo - 1] = kInf;  // cell left of band is dead now
+    if (row_min > bound) return bound + 1;
+  }
+  return row[lb];
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  size_t d = EditDistance(a, b);
+  return 1.0 - static_cast<double>(d) / static_cast<double>(max_len);
+}
+
+bool EditSimilarityAtLeast(std::string_view a, std::string_view b,
+                           double threshold) {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return threshold <= 1.0;
+  if (threshold <= 0.0) return true;
+  // sim >= t  <=>  dist <= (1 - t) * max_len
+  double allowed = (1.0 - threshold) * static_cast<double>(max_len);
+  size_t bound = static_cast<size_t>(std::floor(allowed + 1e-9));
+  return EditDistanceBounded(a, b, bound) <= bound;
+}
+
+std::vector<std::string> TokenizeWords(std::string_view s) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : s) {
+    bool alnum = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9');
+    if (alnum) {
+      cur.push_back((c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a')
+                                           : c);
+    } else if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+namespace {
+double JaccardOfSets(const std::set<std::string>& sa,
+                     const std::set<std::string>& sb) {
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t inter = 0;
+  for (const auto& t : sa) inter += sb.count(t);
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+}  // namespace
+
+double JaccardTokenSimilarity(std::string_view a, std::string_view b) {
+  auto ta = TokenizeWords(a);
+  auto tb = TokenizeWords(b);
+  return JaccardOfSets({ta.begin(), ta.end()}, {tb.begin(), tb.end()});
+}
+
+std::vector<std::string> CharNgrams(std::string_view s, size_t n) {
+  std::string lower = ToLowerAscii(s);
+  std::vector<std::string> grams;
+  if (lower.empty() || n == 0) return grams;
+  if (lower.size() <= n) {
+    grams.push_back(lower);
+    return grams;
+  }
+  for (size_t i = 0; i + n <= lower.size(); ++i) {
+    grams.push_back(lower.substr(i, n));
+  }
+  return grams;
+}
+
+double NgramSimilarity(std::string_view a, std::string_view b, size_t n) {
+  auto ga = CharNgrams(a, n);
+  auto gb = CharNgrams(b, n);
+  return JaccardOfSets({ga.begin(), ga.end()}, {gb.begin(), gb.end()});
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  const size_t la = a.size(), lb = b.size();
+  const size_t window =
+      std::max<size_t>(la, lb) / 2 == 0 ? 0 : std::max(la, lb) / 2 - 1;
+
+  std::vector<bool> a_matched(la, false), b_matched(lb, false);
+  size_t matches = 0;
+  for (size_t i = 0; i < la; ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(lb, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Transpositions: matched characters out of order, halved.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < la; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / la + m / lb + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  for (size_t i = 0; i < std::min({a.size(), b.size(), size_t{4}}); ++i) {
+    if (a[i] != b[i]) break;
+    ++prefix;
+  }
+  double jw = jaro + prefix * prefix_scale * (1.0 - jaro);
+  return std::min(jw, 1.0);
+}
+
+}  // namespace er
+}  // namespace erlb

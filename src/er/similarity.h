@@ -1,0 +1,63 @@
+// String similarity measures. The paper matches entities by normalized
+// edit distance on titles with threshold 0.8; Jaccard and n-gram measures
+// are provided for library completeness (they are standard ER measures).
+#ifndef ERLB_ER_SIMILARITY_H_
+#define ERLB_ER_SIMILARITY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace erlb {
+namespace er {
+
+/// Levenshtein edit distance (insert/delete/substitute, unit costs).
+/// O(|a|·|b|) time, O(min(|a|,|b|)) space.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Banded Levenshtein: returns the exact distance if it is <= `bound`,
+/// otherwise any value > `bound`. O(bound · min(|a|,|b|)) time; this is the
+/// kernel the threshold matcher uses (a similarity threshold t implies the
+/// band bound = floor((1-t) · max_len)).
+size_t EditDistanceBounded(std::string_view a, std::string_view b,
+                           size_t bound);
+
+/// Normalized edit similarity in [0,1]: 1 - dist/max(|a|,|b|).
+/// Two empty strings have similarity 1.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+/// True iff EditSimilarity(a,b) >= threshold; computed with the banded
+/// kernel, so much faster than computing the full similarity for
+/// non-matches.
+bool EditSimilarityAtLeast(std::string_view a, std::string_view b,
+                           double threshold);
+
+/// Whitespace tokenization (lowercased tokens, punctuation stripped).
+std::vector<std::string> TokenizeWords(std::string_view s);
+
+/// Jaccard similarity of the token sets of `a` and `b`.
+double JaccardTokenSimilarity(std::string_view a, std::string_view b);
+
+/// Character n-grams of `s` (lowercased); n >= 1. Strings shorter than n
+/// yield a single gram equal to the whole string (if non-empty).
+std::vector<std::string> CharNgrams(std::string_view s, size_t n);
+
+/// Jaccard similarity over character n-gram sets (trigram similarity for
+/// n = 3).
+double NgramSimilarity(std::string_view a, std::string_view b, size_t n);
+
+/// Jaro similarity in [0,1]: the classic record-linkage measure based on
+/// matching characters within a window and transpositions.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler: Jaro boosted by a common-prefix bonus
+/// (`prefix_scale` per shared leading character, up to 4; standard value
+/// 0.1). Result stays in [0,1].
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+}  // namespace er
+}  // namespace erlb
+
+#endif  // ERLB_ER_SIMILARITY_H_

@@ -1,0 +1,44 @@
+// Dataset statistics under a blocking function — the numbers of the
+// paper's Figure 8 table (entities, blocks, largest block share, pairs).
+#ifndef ERLB_GEN_DATASET_STATS_H_
+#define ERLB_GEN_DATASET_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bdm/bdm.h"
+#include "common/result.h"
+#include "er/blocking.h"
+#include "er/entity.h"
+
+namespace erlb {
+namespace gen {
+
+/// Figure 8-style dataset statistics.
+struct DatasetStats {
+  uint64_t num_entities = 0;
+  uint32_t num_blocks = 0;
+  uint64_t largest_block_size = 0;
+  /// Largest block's share of entities, in [0,1].
+  double largest_block_entity_share = 0;
+  uint64_t total_pairs = 0;
+  uint64_t largest_block_pairs = 0;
+  /// Largest block's share of pairs, in [0,1].
+  double largest_block_pair_share = 0;
+  /// Average pairs per entity (total_pairs / num_entities).
+  double pairs_per_entity = 0;
+};
+
+/// Computes stats by building a (single-partition) BDM over `entities`.
+Result<DatasetStats> ComputeDatasetStats(
+    const std::vector<er::Entity>& entities,
+    const er::BlockingFunction& blocking);
+
+/// Computes stats from an existing BDM.
+DatasetStats ComputeDatasetStats(const bdm::Bdm& bdm);
+
+}  // namespace gen
+}  // namespace erlb
+
+#endif  // ERLB_GEN_DATASET_STATS_H_

@@ -1,0 +1,53 @@
+#include "gen/perturb.h"
+
+namespace erlb {
+namespace gen {
+
+namespace {
+char RandomLowercase(Pcg32* rng) {
+  return static_cast<char>('a' + rng->NextBounded(26));
+}
+}  // namespace
+
+std::string ApplyRandomEdit(std::string_view s, size_t protect_prefix,
+                            Pcg32* rng) {
+  std::string out(s);
+  if (out.size() <= protect_prefix + 1) return out;
+  const size_t lo = protect_prefix;
+  const size_t span = out.size() - lo;
+  EditKind kind = static_cast<EditKind>(rng->NextBounded(4));
+  size_t pos = lo + rng->NextBounded(static_cast<uint32_t>(span));
+  switch (kind) {
+    case EditKind::kSubstitute:
+      out[pos] = RandomLowercase(rng);
+      break;
+    case EditKind::kDelete:
+      out.erase(pos, 1);
+      break;
+    case EditKind::kInsert:
+      out.insert(out.begin() + pos, RandomLowercase(rng));
+      break;
+    case EditKind::kSwap:
+      if (pos + 1 < out.size()) {
+        std::swap(out[pos], out[pos + 1]);
+      } else {
+        out[pos] = RandomLowercase(rng);
+      }
+      break;
+  }
+  return out;
+}
+
+std::string Perturb(std::string_view s, size_t max_edits,
+                    size_t protect_prefix, Pcg32* rng) {
+  std::string out(s);
+  size_t edits = 1 + rng->NextBounded(static_cast<uint32_t>(
+                         max_edits == 0 ? 1 : max_edits));
+  for (size_t i = 0; i < edits; ++i) {
+    out = ApplyRandomEdit(out, protect_prefix, rng);
+  }
+  return out;
+}
+
+}  // namespace gen
+}  // namespace erlb

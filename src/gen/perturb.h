@@ -1,0 +1,32 @@
+// Typo perturbation for duplicate injection: produces near-duplicates of a
+// string within a chosen edit distance budget, so generated datasets carry
+// ground-truth match clusters.
+#ifndef ERLB_GEN_PERTURB_H_
+#define ERLB_GEN_PERTURB_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+
+namespace erlb {
+namespace gen {
+
+/// Kinds of single-character edits.
+enum class EditKind { kSubstitute, kDelete, kInsert, kSwap };
+
+/// Applies one random single-character edit to `s` (never the first
+/// `protect_prefix` characters, so the blocking key survives — matching
+/// duplicates must stay in the same block, as the paper's blocking
+/// assumes). Returns `s` unchanged if it is too short to edit.
+std::string ApplyRandomEdit(std::string_view s, size_t protect_prefix,
+                            Pcg32* rng);
+
+/// Applies up to `max_edits` random edits (at least one attempted).
+std::string Perturb(std::string_view s, size_t max_edits,
+                    size_t protect_prefix, Pcg32* rng);
+
+}  // namespace gen
+}  // namespace erlb
+
+#endif  // ERLB_GEN_PERTURB_H_

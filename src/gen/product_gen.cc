@@ -1,0 +1,130 @@
+#include "gen/product_gen.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "gen/perturb.h"
+
+namespace erlb {
+namespace gen {
+
+namespace {
+
+constexpr const char* kCategories[] = {
+    "digital camera", "smartphone",  "mp3 player",   "usb charger",
+    "power adapter",  "lcd screen",  "zoom lens",    "wifi router",
+    "bluetooth speaker", "hard drive", "memory card", "notebook",
+    "tablet",         "headphones",  "keyboard",     "monitor",
+};
+constexpr size_t kNumCategories = sizeof(kCategories) / sizeof(char*);
+
+constexpr const char* kQualifiers[] = {
+    "black",  "white",  "silver", "16gb",    "32gb",    "64gb",
+    "wifi",   "4g lte", "refurb", "bundle",  "2nd gen", "3rd gen",
+    "slim",   "mini",   "max",    "edition", "eu plug", "us plug",
+};
+constexpr size_t kNumQualifiers = sizeof(kQualifiers) / sizeof(char*);
+
+std::string ModelCode(Pcg32* rng) {
+  std::string code;
+  for (int i = 0; i < 3; ++i) {
+    code += static_cast<char>('a' + rng->NextBounded(26));
+  }
+  code += '-';
+  code += std::to_string(100 + rng->NextBounded(9900));
+  return code;
+}
+
+}  // namespace
+
+std::vector<std::string> ProductBrandVocabulary(uint32_t num_brands) {
+  // Brands assembled from consonant-vowel-consonant prefixes; the prefix
+  // triple is unique per brand, so 3-letter prefix blocking separates
+  // brands exactly.
+  static const char kC1[] = "bcdfghjklmnpqrstvwxz";  // 20
+  static const char kV[] = "aeiouy";                 // 6
+  static const char kC2[] = "bcdfghklmnprstvz";      // 16 -> 1920 combos
+  static const char* kSuffix[] = {"on", "ix", "ar", "ea", "ulo", "ant"};
+  std::vector<std::string> brands;
+  brands.reserve(num_brands);
+  uint32_t idx = 0;
+  for (size_t a = 0; a < sizeof(kC1) - 1 && brands.size() < num_brands;
+       ++a) {
+    for (size_t b = 0; b < sizeof(kV) - 1 && brands.size() < num_brands;
+         ++b) {
+      for (size_t c = 0; c < sizeof(kC2) - 1 && brands.size() < num_brands;
+           ++c) {
+        std::string brand;
+        brand += kC1[a];
+        brand += kV[b];
+        brand += kC2[c];
+        brand += kSuffix[idx % 6];
+        ++idx;
+        brands.push_back(std::move(brand));
+      }
+    }
+  }
+  ERLB_CHECK(brands.size() == num_brands)
+      << "brand vocabulary exhausted: max 1920";
+  return brands;
+}
+
+Result<std::vector<er::Entity>> GenerateProducts(const ProductConfig& cfg) {
+  if (cfg.num_entities == 0) {
+    return Status::InvalidArgument("num_entities must be > 0");
+  }
+  if (cfg.num_brands == 0 || cfg.num_brands > 1920) {
+    return Status::InvalidArgument("num_brands must be in [1, 1920]");
+  }
+  if (cfg.duplicate_fraction < 0 || cfg.duplicate_fraction >= 1) {
+    return Status::InvalidArgument("duplicate_fraction must be in [0,1)");
+  }
+
+  Pcg32 rng(cfg.seed, 0x9a0d);
+  const auto brands = ProductBrandVocabulary(cfg.num_brands);
+  ZipfSampler zipf(cfg.num_brands, cfg.zipf_exponent);
+
+  std::vector<er::Entity> entities;
+  entities.reserve(cfg.num_entities);
+  // Per-brand member indexes for duplicate base selection.
+  std::vector<std::vector<size_t>> brand_members(cfg.num_brands);
+  uint64_t next_cluster = 1;
+
+  for (uint64_t i = 0; i < cfg.num_entities; ++i) {
+    uint32_t brand = zipf.Sample(&rng);
+    er::Entity e;
+    e.id = i + 1;
+    bool duplicate = !brand_members[brand].empty() &&
+                     rng.NextDouble() < cfg.duplicate_fraction;
+    if (duplicate) {
+      size_t base_idx = brand_members[brand][rng.NextBounded(
+          static_cast<uint32_t>(brand_members[brand].size()))];
+      er::Entity& base = entities[base_idx];
+      if (base.cluster_id == 0) base.cluster_id = next_cluster++;
+      e.cluster_id = base.cluster_id;
+      // Protect the 3-letter blocking prefix so duplicates stay in-block.
+      e.fields = {Perturb(base.fields[0], 2, 3, &rng)};
+    } else {
+      std::string title = brands[brand];
+      title += ' ';
+      title += kCategories[rng.NextBounded(kNumCategories)];
+      title += ' ';
+      title += ModelCode(&rng);
+      title += ' ';
+      title += kQualifiers[rng.NextBounded(kNumQualifiers)];
+      e.fields = {std::move(title)};
+    }
+    brand_members[brand].push_back(entities.size());
+    entities.push_back(std::move(e));
+  }
+
+  if (cfg.shuffle) {
+    Pcg32 shuffle_rng(cfg.seed ^ 0xabcdef1234567890ULL, 0x52);
+    Shuffle(&entities, &shuffle_rng);
+  }
+  return entities;
+}
+
+}  // namespace gen
+}  // namespace erlb

@@ -1,0 +1,142 @@
+#include "gen/publication_gen.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "gen/perturb.h"
+
+namespace erlb {
+namespace gen {
+
+namespace {
+
+// Leading words, roughly ordered by how often paper titles start with
+// them; the Zipf sampler makes the head words dominant.
+constexpr const char* kLeadWords[] = {
+    "the",        "a",          "an",          "on",         "towards",
+    "efficient",  "parallel",   "distributed", "adaptive",   "learning",
+    "data",       "query",      "scalable",    "dynamic",    "optimal",
+    "fast",       "robust",     "automatic",   "modeling",   "analysis",
+    "design",     "evaluation", "improving",   "mining",     "clustering",
+    "indexing",   "processing", "managing",    "exploring",  "detecting",
+    "integrating", "optimizing", "estimating", "measuring",  "predicting",
+    "semantic",   "statistical", "probabilistic", "incremental", "online",
+    "approximate", "secure",    "private",     "federated",  "streaming",
+    "relational", "temporal",   "spatial",     "graph",      "neural",
+    "hybrid",     "unified",    "generalized", "hierarchical", "modular",
+    "concurrent", "transactional", "declarative", "reactive", "resilient",
+    "practical",  "formal",     "empirical",   "comparative", "visual",
+    "interactive", "knowledge", "information", "database",   "network",
+    "system",     "workload",   "resource",    "storage",    "memory",
+    "cache",      "index",      "join",        "partition",  "schema",
+    "stream",     "batch",      "transaction", "replica",    "shard",
+    "vector",     "matrix",     "tensor",      "kernel",     "deep",
+    "bayesian",   "stochastic", "heuristic",   "greedy",     "exact",
+    "hardware",   "software",   "energy",      "latency",    "throughput",
+    "privacy",    "security",   "provenance",  "lineage",    "metadata",
+    "crowdsourcing", "benchmarking", "profiling", "monitoring", "sampling",
+    "compression", "encryption", "deduplication", "normalization",
+    "verification", "validation", "synthesis",  "translation", "migration",
+    "elastic",    "serverless", "virtualized", "containerized", "embedded",
+    "columnar",   "versioned",  "immutable",   "persistent", "ephemeral",
+    "multimodal", "crossmodal", "multilingual", "zero",      "self",
+    "quantum",    "geospatial", "biomedical",  "financial",  "industrial",
+};
+constexpr size_t kNumLeadWords = sizeof(kLeadWords) / sizeof(char*);
+
+constexpr const char* kBodyWords[] = {
+    "algorithms",  "systems",     "databases",  "networks",  "models",
+    "framework",   "approach",    "method",     "techniques", "queries",
+    "joins",       "indexes",     "transactions", "streams",  "views",
+    "schemas",     "workloads",   "benchmarks", "clusters",  "caches",
+    "storage",     "memory",      "disk",       "web",       "cloud",
+    "services",    "applications", "performance", "scalability",
+    "consistency", "availability", "replication", "partitioning",
+    "optimization", "estimation",  "selection",  "evaluation", "discovery",
+    "integration", "resolution",  "matching",   "similarity", "search",
+    "retrieval",   "classification", "regression", "inference", "sampling",
+};
+constexpr size_t kNumBodyWords = sizeof(kBodyWords) / sizeof(char*);
+
+constexpr const char* kConnectors[] = {"for", "of", "in", "with", "using",
+                                       "over", "via", "under"};
+constexpr size_t kNumConnectors = sizeof(kConnectors) / sizeof(char*);
+
+constexpr const char* kVenues[] = {
+    "vldb", "sigmod", "icde", "edbt", "cidr", "kdd", "icml", "www",
+    "cikm", "sigir",
+};
+
+std::string MakeTitle(uint32_t lead, Pcg32* rng) {
+  std::string t = kLeadWords[lead];
+  const uint32_t extra = 3 + rng->NextBounded(5);  // 4-8 words total
+  for (uint32_t w = 0; w < extra; ++w) {
+    t += ' ';
+    if (w % 2 == 1 && rng->NextDouble() < 0.4) {
+      t += kConnectors[rng->NextBounded(kNumConnectors)];
+      t += ' ';
+    }
+    t += kBodyWords[rng->NextBounded(kNumBodyWords)];
+  }
+  return t;
+}
+
+}  // namespace
+
+Result<std::vector<er::Entity>> GeneratePublications(
+    const PublicationConfig& cfg) {
+  if (cfg.num_entities == 0) {
+    return Status::InvalidArgument("num_entities must be > 0");
+  }
+  if (cfg.duplicate_fraction < 0 || cfg.duplicate_fraction >= 1) {
+    return Status::InvalidArgument("duplicate_fraction must be in [0,1)");
+  }
+
+  Pcg32 rng(cfg.seed, 0x9b1d);
+  ZipfSampler zipf(static_cast<uint32_t>(kNumLeadWords),
+                   cfg.zipf_exponent);
+
+  std::vector<er::Entity> entities;
+  entities.reserve(cfg.num_entities);
+  // Duplicate bases grouped by blocking prefix (first 3 letters) so
+  // duplicates stay within their block.
+  std::unordered_map<std::string, std::vector<size_t>> prefix_members;
+  uint64_t next_cluster = 1;
+
+  for (uint64_t i = 0; i < cfg.num_entities; ++i) {
+    uint32_t lead = zipf.Sample(&rng);
+    std::string prefix = PrefixKey(kLeadWords[lead], 3);
+    auto& members = prefix_members[prefix];
+    er::Entity e;
+    e.id = i + 1;
+    bool duplicate =
+        !members.empty() && rng.NextDouble() < cfg.duplicate_fraction;
+    if (duplicate) {
+      size_t base_idx =
+          members[rng.NextBounded(static_cast<uint32_t>(members.size()))];
+      er::Entity& base = entities[base_idx];
+      if (base.cluster_id == 0) base.cluster_id = next_cluster++;
+      e.cluster_id = base.cluster_id;
+      e.fields = {Perturb(base.fields[0], 2, 3, &rng), base.fields[1],
+                  base.fields[2]};
+    } else {
+      e.fields = {MakeTitle(lead, &rng),
+                  kVenues[rng.NextBounded(10)],
+                  std::to_string(1985 + rng.NextBounded(27))};
+    }
+    members.push_back(entities.size());
+    entities.push_back(std::move(e));
+  }
+
+  if (cfg.shuffle) {
+    Pcg32 shuffle_rng(cfg.seed ^ 0x123456789abcdef0ULL, 0x53);
+    Shuffle(&entities, &shuffle_rng);
+  }
+  return entities;
+}
+
+}  // namespace gen
+}  // namespace erlb

@@ -1,0 +1,146 @@
+#include "gen/skew_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "gen/perturb.h"
+
+namespace erlb {
+namespace gen {
+
+std::string SkewBlockLabel(uint32_t k) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "B%03u", k);
+  return buf;
+}
+
+double ExpectedBlockSize(const SkewConfig& config, uint32_t k) {
+  double z = 0;
+  for (uint32_t i = 0; i < config.num_blocks; ++i) {
+    z += std::exp(-config.skew * i);
+  }
+  return config.num_entities * std::exp(-config.skew * k) / z;
+}
+
+namespace {
+
+/// Largest-remainder apportionment of `total` into weights e^(−s·k).
+std::vector<uint64_t> ApportionSizes(const SkewConfig& config) {
+  const uint32_t b = config.num_blocks;
+  std::vector<double> weight(b);
+  double z = 0;
+  for (uint32_t k = 0; k < b; ++k) {
+    weight[k] = std::exp(-config.skew * k);
+    z += weight[k];
+  }
+  std::vector<uint64_t> size(b);
+  std::vector<std::pair<double, uint32_t>> rema(b);
+  uint64_t assigned = 0;
+  for (uint32_t k = 0; k < b; ++k) {
+    double exact = config.num_entities * weight[k] / z;
+    size[k] = static_cast<uint64_t>(std::floor(exact));
+    rema[k] = {exact - std::floor(exact), k};
+    assigned += size[k];
+  }
+  std::sort(rema.begin(), rema.end(),
+            [](const auto& a, const auto& c) { return a.first > c.first; });
+  uint64_t leftover = config.num_entities - assigned;
+  for (uint64_t i = 0; i < leftover; ++i) {
+    size[rema[i % rema.size()].second] += 1;
+  }
+  return size;
+}
+
+std::string RandomTitle(Pcg32* rng) {
+  static const char* kNouns[] = {"camera", "phone",  "player", "charger",
+                                 "adapter", "screen", "lens",   "router",
+                                 "speaker", "drive"};
+  static const char* kAdjs[] = {"digital", "wireless", "portable",
+                                "compact", "premium",  "classic",
+                                "advanced", "standard", "ultra", "pro"};
+  std::string t = kAdjs[rng->NextBounded(10)];
+  t += ' ';
+  t += kNouns[rng->NextBounded(10)];
+  t += ' ';
+  for (int i = 0; i < 6; ++i) {
+    t += static_cast<char>('a' + rng->NextBounded(26));
+  }
+  t += '-';
+  t += std::to_string(rng->NextBounded(10000));
+  return t;
+}
+
+}  // namespace
+
+Result<std::vector<er::Entity>> GenerateSkewed(const SkewConfig& config) {
+  if (config.num_entities == 0) {
+    return Status::InvalidArgument("num_entities must be > 0");
+  }
+  if (config.num_blocks == 0) {
+    return Status::InvalidArgument("num_blocks must be > 0");
+  }
+  if (config.num_entities < config.num_blocks) {
+    return Status::InvalidArgument(
+        "need at least one entity per block (num_entities >= num_blocks)");
+  }
+  if (config.duplicate_fraction < 0 || config.duplicate_fraction >= 1) {
+    return Status::InvalidArgument("duplicate_fraction must be in [0,1)");
+  }
+  if (config.skew < 0) {
+    return Status::InvalidArgument("skew must be >= 0");
+  }
+
+  Pcg32 rng(config.seed, /*stream=*/0x5eed);
+  auto sizes = ApportionSizes(config);
+  // Guarantee non-empty blocks by stealing from the largest.
+  for (uint32_t k = 0; k < config.num_blocks; ++k) {
+    if (sizes[k] == 0) {
+      uint32_t donor = static_cast<uint32_t>(
+          std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+      if (sizes[donor] <= 1) break;
+      --sizes[donor];
+      ++sizes[k];
+    }
+  }
+
+  std::vector<er::Entity> entities;
+  entities.reserve(config.num_entities);
+  uint64_t next_id = 1;
+  uint64_t next_cluster = 1;
+  for (uint32_t k = 0; k < config.num_blocks; ++k) {
+    const std::string label = SkewBlockLabel(k);
+    // Indexes (into `entities`) of this block's members, for duplicate
+    // base selection and ground-truth cluster linking.
+    std::vector<size_t> members;
+    for (uint64_t i = 0; i < sizes[k]; ++i) {
+      er::Entity e;
+      e.id = next_id++;
+      bool duplicate = !members.empty() &&
+                       rng.NextDouble() < config.duplicate_fraction;
+      if (duplicate) {
+        size_t base_idx = members[rng.NextBounded(
+            static_cast<uint32_t>(members.size()))];
+        er::Entity& base = entities[base_idx];
+        if (base.cluster_id == 0) base.cluster_id = next_cluster++;
+        e.cluster_id = base.cluster_id;
+        e.fields = {Perturb(base.fields[0], 2, 0, &rng), label};
+      } else {
+        e.fields = {RandomTitle(&rng), label};
+      }
+      members.push_back(entities.size());
+      entities.push_back(std::move(e));
+    }
+  }
+
+  if (config.shuffle) {
+    Pcg32 shuffle_rng(config.seed ^ 0x9e3779b97f4a7c15ULL, 0x51);
+    Shuffle(&entities, &shuffle_rng);
+  }
+  return entities;
+}
+
+}  // namespace gen
+}  // namespace erlb

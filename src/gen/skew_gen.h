@@ -1,0 +1,54 @@
+// The robustness experiment's workload (Section VI-A): b blocks whose
+// sizes follow an exponential distribution, |Φk| ∝ e^(−s·k), with skew
+// factor s >= 0 (s = 0 is uniform). The blocking key is an explicit block
+// label attribute, mirroring the paper's "modified blocking function".
+#ifndef ERLB_GEN_SKEW_GEN_H_
+#define ERLB_GEN_SKEW_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "er/entity.h"
+
+namespace erlb {
+namespace gen {
+
+/// Configuration of the exponential-skew generator.
+struct SkewConfig {
+  /// Total number of entities (> 0).
+  uint64_t num_entities = 10000;
+  /// b, the number of blocks (100 in the paper).
+  uint32_t num_blocks = 100;
+  /// s: |Φk| ∝ e^(−s·k). 0 = uniform.
+  double skew = 0.0;
+  /// Fraction of entities that are injected duplicates of another entity
+  /// in the same block (ground-truth clusters for quality evaluation).
+  double duplicate_fraction = 0.1;
+  uint64_t seed = 42;
+  /// Shuffle entities so block members spread across input partitions
+  /// (arbitrary input order, the paper's default assumption).
+  bool shuffle = true;
+};
+
+/// Field layout of generated entities: fields[0] = title (matching
+/// attribute), fields[1] = block label (blocking attribute).
+inline constexpr size_t kSkewTitleField = 0;
+inline constexpr size_t kSkewBlockField = 1;
+
+/// Block label of block `k` ("B000", "B001", ...).
+std::string SkewBlockLabel(uint32_t k);
+
+/// Expected size of block `k` under `config` (before rounding).
+double ExpectedBlockSize(const SkewConfig& config, uint32_t k);
+
+/// Generates the dataset. Every block receives at least one entity; the
+/// realized sizes follow round-robin largest-remainder apportionment of
+/// e^(−s·k) weights, so Σ sizes == num_entities exactly.
+Result<std::vector<er::Entity>> GenerateSkewed(const SkewConfig& config);
+
+}  // namespace gen
+}  // namespace erlb
+
+#endif  // ERLB_GEN_SKEW_GEN_H_

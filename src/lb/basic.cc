@@ -1,0 +1,192 @@
+#include "lb/basic.h"
+
+#include <memory>
+
+#include "common/string_util.h"
+#include "lb/match_kv.h"
+#include "lb/reduce_helpers.h"
+
+namespace erlb {
+namespace lb {
+
+namespace {
+
+/// Map over the annotated store: keys are precomputed.
+class BasicAnnotatedMapper
+    : public mr::Mapper<std::string, er::EntityRef, BasicKey, MatchValue> {
+ public:
+  void Map(const std::string& block_key, const er::EntityRef& entity,
+           mr::MapContext<BasicKey, MatchValue>* ctx) override {
+    ctx->Emit(BasicKey{block_key, entity->source},
+              MatchValue{entity, 0, 0});
+  }
+};
+
+/// Map over raw entities: computes the blocking key (single-job Basic).
+class BasicRawMapper
+    : public mr::Mapper<uint32_t, er::EntityRef, BasicKey, MatchValue> {
+ public:
+  explicit BasicRawMapper(const er::BlockingFunction* blocking)
+      : blocking_(blocking) {}
+
+  void Map(const uint32_t& /*key*/, const er::EntityRef& entity,
+           mr::MapContext<BasicKey, MatchValue>* ctx) override {
+    ctx->Emit(BasicKey{blocking_->Key(*entity), entity->source},
+              MatchValue{entity, 0, 0});
+  }
+
+ private:
+  const er::BlockingFunction* blocking_;
+};
+
+/// Reduce: full self-join of the block (one source) or R×S cross product
+/// (two sources; R entities sort first). The entire buffer side of a block
+/// must be held in memory — exactly the memory problem Section III
+/// describes for large blocks.
+class BasicReducer
+    : public mr::Reducer<BasicKey, MatchValue, MatchOutK, MatchOutV> {
+ public:
+  BasicReducer(const er::Matcher* matcher, bool two_source)
+      : matcher_(matcher), two_source_(two_source) {}
+
+  void Reduce(std::span<const std::pair<BasicKey, MatchValue>> group,
+              MatchReduceContext* ctx) override {
+    buffer_.clear();
+    if (!two_source_) {
+      for (const auto& [k, v] : group) {
+        for (const auto& e1 : buffer_) {
+          CompareAndEmit(*matcher_, *e1, *v.entity, ctx, &stats_);
+        }
+        buffer_.push_back(v.entity);
+        stats_.NoteBuffer(buffer_.size());
+      }
+    } else {
+      // R entities arrive first (key sorts by source after block key).
+      for (const auto& [k, v] : group) {
+        if (v.entity->source == er::Source::kR) {
+          buffer_.push_back(v.entity);
+          stats_.NoteBuffer(buffer_.size());
+        } else {
+          for (const auto& e1 : buffer_) {
+            CompareAndEmit(*matcher_, *e1, *v.entity, ctx, &stats_);
+          }
+        }
+      }
+    }
+  }
+
+  void Close(MatchReduceContext* ctx) override {
+    stats_.FlushTo(ctx->counters());
+  }
+
+ private:
+  const er::Matcher* matcher_;
+  bool two_source_;
+  std::vector<er::EntityRef> buffer_;
+  CompareStats stats_;
+};
+
+uint32_t BasicPartition(const BasicKey& k, uint32_t r) {
+  return static_cast<uint32_t>(Fnv1a64(k.block_key) % r);
+}
+
+template <typename InK>
+mr::JobSpec<InK, er::EntityRef, BasicKey, MatchValue, MatchOutK, MatchOutV>
+MakeBasicSpecCommon(const er::Matcher& matcher, uint32_t r,
+                    bool two_source) {
+  mr::JobSpec<InK, er::EntityRef, BasicKey, MatchValue, MatchOutK,
+              MatchOutV>
+      spec;
+  spec.num_reduce_tasks = r;
+  spec.partitioner = BasicPartition;
+  spec.key_less = BasicKeyLess;
+  spec.group_equal = BasicKeyGroupEqual;
+  spec.reducer_factory = [&matcher, two_source](const mr::TaskContext&) {
+    return std::make_unique<BasicReducer>(&matcher, two_source);
+  };
+  return spec;
+}
+
+MatchJobOutput CollectOutput(
+    mr::JobResult<MatchOutK, MatchOutV>&& job_result) {
+  MatchJobOutput out;
+  for (auto& [pair, unused] : job_result.MergedOutput()) {
+    out.matches.Add(pair.first, pair.second);
+  }
+  out.comparisons =
+      job_result.metrics.counters.Get(mr::kCounterComparisons);
+  out.metrics = std::move(job_result.metrics);
+  return out;
+}
+
+}  // namespace
+
+Result<MatchJobOutput> BasicStrategy::RunMatchJob(
+    const bdm::AnnotatedStore& input, const bdm::Bdm& bdm,
+    const er::Matcher& matcher, const MatchJobOptions& options,
+    const mr::JobRunner& runner) const {
+  if (options.num_reduce_tasks == 0) {
+    return Status::InvalidArgument("r must be >= 1");
+  }
+  auto spec = MakeBasicSpecCommon<std::string>(
+      matcher, options.num_reduce_tasks, bdm.two_source());
+  spec.mapper_factory = [](const mr::TaskContext&) {
+    return std::make_unique<BasicAnnotatedMapper>();
+  };
+  return CollectOutput(runner.Run(spec, input.files()));
+}
+
+Result<MatchJobOutput> RunBasicSingleJob(
+    const er::Partitions& input, const er::BlockingFunction& blocking,
+    const er::Matcher& matcher, const MatchJobOptions& options,
+    const mr::JobRunner& runner,
+    const std::vector<er::Source>* partition_sources) {
+  if (options.num_reduce_tasks == 0) {
+    return Status::InvalidArgument("r must be >= 1");
+  }
+  if (input.empty()) {
+    return Status::InvalidArgument("input must have >= 1 partition");
+  }
+  bool two_source = partition_sources != nullptr;
+  auto spec = MakeBasicSpecCommon<uint32_t>(
+      matcher, options.num_reduce_tasks, two_source);
+  spec.mapper_factory = [&blocking](const mr::TaskContext&) {
+    return std::make_unique<BasicRawMapper>(&blocking);
+  };
+  std::vector<std::vector<std::pair<uint32_t, er::EntityRef>>> job_input(
+      input.size());
+  for (size_t p = 0; p < input.size(); ++p) {
+    job_input[p].reserve(input[p].size());
+    for (const auto& e : input[p]) job_input[p].emplace_back(0u, e);
+  }
+  return CollectOutput(runner.Run(spec, job_input));
+}
+
+Result<PlanStats> BasicStrategy::Plan(const bdm::Bdm& bdm,
+                                      const MatchJobOptions& options)
+    const {
+  if (options.num_reduce_tasks == 0) {
+    return Status::InvalidArgument("r must be >= 1");
+  }
+  const uint32_t r = options.num_reduce_tasks;
+  PlanStats stats;
+  stats.strategy = StrategyKind::kBasic;
+  stats.num_reduce_tasks = r;
+  stats.comparisons_per_reduce_task.assign(r, 0);
+  stats.map_output_pairs_per_task.assign(bdm.num_partitions(), 0);
+  stats.input_records_per_reduce_task.assign(r, 0);
+  for (uint32_t k = 0; k < bdm.num_blocks(); ++k) {
+    uint32_t t = static_cast<uint32_t>(Fnv1a64(bdm.BlockKey(k)) % r);
+    stats.comparisons_per_reduce_task[t] += bdm.PairsInBlock(k);
+    stats.total_comparisons += bdm.PairsInBlock(k);
+    stats.input_records_per_reduce_task[t] += bdm.Size(k);
+    // Basic replicates nothing: one KV pair per entity.
+    for (uint32_t p = 0; p < bdm.num_partitions(); ++p) {
+      stats.map_output_pairs_per_task[p] += bdm.Size(k, p);
+    }
+  }
+  return stats;
+}
+
+}  // namespace lb
+}  // namespace erlb

@@ -1,0 +1,42 @@
+// The Basic strategy (Section III): hash-partition blocks to reduce tasks
+// by blocking key; each block is matched entirely within one reduce task.
+// No skew handling — the baseline every evaluation figure compares
+// against. Unlike BlockSplit/PairRange it needs no BDM, so it can also run
+// as a single MR job directly over the raw input (RunBasicSingleJob).
+#ifndef ERLB_LB_BASIC_H_
+#define ERLB_LB_BASIC_H_
+
+#include "er/blocking.h"
+#include "lb/strategy.h"
+
+namespace erlb {
+namespace lb {
+
+class BasicStrategy : public Strategy {
+ public:
+  StrategyKind kind() const override { return StrategyKind::kBasic; }
+
+  Result<MatchJobOutput> RunMatchJob(const bdm::AnnotatedStore& input,
+                                     const bdm::Bdm& bdm,
+                                     const er::Matcher& matcher,
+                                     const MatchJobOptions& options,
+                                     const mr::JobRunner& runner)
+      const override;
+
+  Result<PlanStats> Plan(const bdm::Bdm& bdm,
+                         const MatchJobOptions& options) const override;
+};
+
+/// Paper-faithful Basic execution: one MR job whose map computes the
+/// blocking key from the raw entity — no preprocessing job, no BDM.
+/// `partition_sources` (optional) enables the two-source baseline.
+Result<MatchJobOutput> RunBasicSingleJob(
+    const er::Partitions& input, const er::BlockingFunction& blocking,
+    const er::Matcher& matcher, const MatchJobOptions& options,
+    const mr::JobRunner& runner,
+    const std::vector<er::Source>* partition_sources = nullptr);
+
+}  // namespace lb
+}  // namespace erlb
+
+#endif  // ERLB_LB_BASIC_H_

@@ -1,0 +1,32 @@
+// The BlockSplit strategy (Section IV, Algorithm 1; Appendix I-A for two
+// sources): splits oversized blocks along the m input partitions into
+// sub-blocks, generates match tasks (sub-block self-joins and pairwise
+// cross products), and assigns match tasks to reduce tasks greedily in
+// descending comparison order.
+#ifndef ERLB_LB_BLOCK_SPLIT_H_
+#define ERLB_LB_BLOCK_SPLIT_H_
+
+#include "lb/strategy.h"
+
+namespace erlb {
+namespace lb {
+
+class BlockSplitStrategy : public Strategy {
+ public:
+  StrategyKind kind() const override { return StrategyKind::kBlockSplit; }
+
+  Result<MatchJobOutput> RunMatchJob(const bdm::AnnotatedStore& input,
+                                     const bdm::Bdm& bdm,
+                                     const er::Matcher& matcher,
+                                     const MatchJobOptions& options,
+                                     const mr::JobRunner& runner)
+      const override;
+
+  Result<PlanStats> Plan(const bdm::Bdm& bdm,
+                         const MatchJobOptions& options) const override;
+};
+
+}  // namespace lb
+}  // namespace erlb
+
+#endif  // ERLB_LB_BLOCK_SPLIT_H_

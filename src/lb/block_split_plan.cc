@@ -1,0 +1,175 @@
+#include "lb/block_split_plan.h"
+
+#include <algorithm>
+#include <queue>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace erlb {
+namespace lb {
+
+uint64_t BlockSplitPlan::VirtualPartitionSize(const bdm::Bdm& bdm,
+                                              uint32_t block, uint32_t v,
+                                              uint32_t sub_splits) {
+  const uint32_t p = v / sub_splits;
+  const uint32_t c = v % sub_splits;
+  const uint64_t n = bdm.Size(block, p);
+  return n * (c + 1) / sub_splits - n * c / sub_splits;
+}
+
+Result<BlockSplitPlan> BlockSplitPlan::Build(const bdm::Bdm& bdm,
+                                             uint32_t r,
+                                             TaskAssignment assignment,
+                                             uint32_t sub_splits) {
+  if (r == 0) return Status::InvalidArgument("r must be >= 1");
+  if (sub_splits == 0) {
+    return Status::InvalidArgument("sub_splits must be >= 1");
+  }
+  if (static_cast<uint64_t>(bdm.num_partitions()) * sub_splits > 0xffff) {
+    return Status::InvalidArgument(
+        "num_partitions * sub_splits exceeds 65535");
+  }
+  const uint32_t b = bdm.num_blocks();
+  const uint32_t m = bdm.num_partitions();
+  const uint32_t mv = m * sub_splits;  // virtual partitions
+  const bool dual = bdm.two_source();
+
+  BlockSplitPlan plan;
+  plan.split_.assign(b, false);
+  plan.block_comparisons_.assign(b, 0);
+  plan.num_partitions_ = m;
+  plan.sub_splits_ = sub_splits;
+  plan.comparisons_per_reduce_task_.assign(r, 0);
+  const uint64_t total = bdm.TotalPairs();
+  plan.avg_ = total / r;
+
+  auto vsize = [&bdm, sub_splits](uint32_t k, uint32_t v) {
+    return VirtualPartitionSize(bdm, k, v, sub_splits);
+  };
+
+  // ---- Match task creation (Algorithm 1, map_configure) ----------------
+  for (uint32_t k = 0; k < b; ++k) {
+    const uint64_t comps = bdm.PairsInBlock(k);
+    plan.block_comparisons_[k] = comps;
+    if (comps <= plan.avg_) {
+      // Whole block in a single match task k.* — except zero-comparison
+      // blocks, which map drops entirely ("if comps > 0").
+      if (comps > 0) {
+        plan.tasks_.push_back(MatchTask{k, 0, 0, comps, 0});
+      }
+      continue;
+    }
+    plan.split_[k] = true;
+    if (!dual) {
+      // m·S sub-blocks along the (chunked) input partitions; self tasks
+      // k.i and cross tasks k.i×j for non-empty sub-blocks ("our
+      // implementation ignores unnecessary partitions").
+      for (uint32_t i = 0; i < mv; ++i) {
+        const uint64_t ni = vsize(k, i);
+        if (ni == 0) continue;
+        for (uint32_t j = 0; j <= i; ++j) {
+          const uint64_t nj = vsize(k, j);
+          if (nj == 0) continue;
+          uint64_t c =
+              (i == j) ? ni * (ni - 1) / 2 : ni * nj;
+          plan.tasks_.push_back(MatchTask{k, i, j, c, 0});
+        }
+      }
+    } else {
+      // Two sources (Appendix I-A): only cross tasks k.i×j with
+      // Πi ∈ R and Πj ∈ S.
+      for (uint32_t i = 0; i < mv; ++i) {
+        if (bdm.PartitionSource(i / sub_splits) != er::Source::kR) {
+          continue;
+        }
+        const uint64_t ni = vsize(k, i);
+        if (ni == 0) continue;
+        for (uint32_t j = 0; j < mv; ++j) {
+          if (bdm.PartitionSource(j / sub_splits) != er::Source::kS) {
+            continue;
+          }
+          const uint64_t nj = vsize(k, j);
+          if (nj == 0) continue;
+          plan.tasks_.push_back(MatchTask{k, i, j, ni * nj, 0});
+        }
+      }
+    }
+  }
+
+  // ---- Reduce task assignment ------------------------------------------
+  switch (assignment) {
+    case TaskAssignment::kGreedyLpt: {
+      // Descending by comparisons; deterministic tie-break on (k, pi, pj).
+      std::sort(plan.tasks_.begin(), plan.tasks_.end(),
+                [](const MatchTask& a, const MatchTask& c) {
+                  if (a.comparisons != c.comparisons) {
+                    return a.comparisons > c.comparisons;
+                  }
+                  return std::tie(a.block, a.pi, a.pj) <
+                         std::tie(c.block, c.pi, c.pj);
+                });
+      // Least-loaded reduce task first; ties resolved by lowest index.
+      using Slot = std::pair<uint64_t, uint32_t>;  // (load, reduce index)
+      std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> heap;
+      for (uint32_t t = 0; t < r; ++t) heap.emplace(0, t);
+      for (auto& task : plan.tasks_) {
+        auto [load, idx] = heap.top();
+        heap.pop();
+        task.reduce_task = idx;
+        heap.emplace(load + task.comparisons, idx);
+      }
+      break;
+    }
+    case TaskAssignment::kRoundRobin: {
+      uint32_t next = 0;
+      for (auto& task : plan.tasks_) {
+        task.reduce_task = next;
+        next = (next + 1) % r;
+      }
+      break;
+    }
+  }
+
+  for (const auto& task : plan.tasks_) {
+    plan.comparisons_per_reduce_task_[task.reduce_task] += task.comparisons;
+    plan.task_to_reduce_.emplace(Key3(task.block, task.pi, task.pj),
+                                 task.reduce_task);
+    if (plan.split_[task.block]) {
+      plan.emissions_[(static_cast<uint64_t>(task.block) << 32) | task.pi] +=
+          1;
+      if (task.pi != task.pj || dual) {
+        plan.emissions_[(static_cast<uint64_t>(task.block) << 32) |
+                        task.pj] += 1;
+      }
+    }
+  }
+  return plan;
+}
+
+bool BlockSplitPlan::IsSplit(uint32_t block) const {
+  ERLB_CHECK(block < split_.size());
+  return split_[block];
+}
+
+std::optional<uint32_t> BlockSplitPlan::ReduceTaskFor(uint32_t block,
+                                                      uint32_t pi,
+                                                      uint32_t pj) const {
+  auto it = task_to_reduce_.find(Key3(block, pi, pj));
+  if (it == task_to_reduce_.end()) return std::nullopt;
+  return it->second;
+}
+
+uint64_t BlockSplitPlan::EmissionsPerEntity(uint32_t block,
+                                            uint32_t partition) const {
+  ERLB_CHECK(block < split_.size());
+  if (!split_[block]) {
+    return block_comparisons_[block] > 0 ? 1 : 0;
+  }
+  auto it =
+      emissions_.find((static_cast<uint64_t>(block) << 32) | partition);
+  return it == emissions_.end() ? 0 : it->second;
+}
+
+}  // namespace lb
+}  // namespace erlb

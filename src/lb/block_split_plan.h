@@ -1,0 +1,126 @@
+// BlockSplit's match-task plan (Section IV): which blocks are split, the
+// match tasks k.*, k.i and k.i×j with their comparison counts, and the
+// greedy (LPT) assignment of match tasks to reduce tasks. Every map task
+// computes this plan deterministically from the BDM during initialization;
+// the planner and the simulator reuse the same code.
+#ifndef ERLB_LB_BLOCK_SPLIT_PLAN_H_
+#define ERLB_LB_BLOCK_SPLIT_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bdm/bdm.h"
+#include "common/result.h"
+
+namespace erlb {
+namespace lb {
+
+/// How match tasks are assigned to reduce tasks. The paper uses greedy
+/// LPT; round-robin is an ablation knob (bench_abl_assignment).
+enum class TaskAssignment {
+  /// Sort descending by comparisons, assign each to the currently
+  /// least-loaded reduce task (the paper's heuristic).
+  kGreedyLpt,
+  /// Round-robin in block order (no sorting) — what a naive implementation
+  /// would do.
+  kRoundRobin,
+};
+
+/// One match task: an unsplit block k.* (pi == pj == 0, block unsplit), a
+/// sub-block self-join k.i (pi == pj == i), or a sub-block cross product
+/// k.i×j (pi > pj one-source; pi = R partition, pj = S partition
+/// two-source).
+struct MatchTask {
+  uint32_t block = 0;
+  uint32_t pi = 0;
+  uint32_t pj = 0;
+  uint64_t comparisons = 0;
+  uint32_t reduce_task = 0;
+};
+
+/// The full BlockSplit plan for a given BDM and r.
+///
+/// `sub_splits` (S) is an extension beyond the paper: each per-partition
+/// sub-block is further divided into S near-equal chunks, giving m·S
+/// "virtual partitions". S = 1 is the paper's algorithm. Finer chunks
+/// repair BlockSplit's weakness on inputs sorted by blocking key (Figure
+/// 11), where a dominant block collapses into few physical partitions.
+/// All pi/pj values in MatchTask and ReduceTaskFor are virtual partition
+/// ids (v = partition · S + chunk).
+class BlockSplitPlan {
+ public:
+  /// Builds the plan. `r` >= 1, `sub_splits` >= 1; m · sub_splits must
+  /// fit in 16 bits. Handles both one- and two-source BDMs.
+  static Result<BlockSplitPlan> Build(const bdm::Bdm& bdm, uint32_t r,
+                                      TaskAssignment assignment =
+                                          TaskAssignment::kGreedyLpt,
+                                      uint32_t sub_splits = 1);
+
+  /// Entities in chunk `v % S` of block `k`, partition `v / S`: chunk c
+  /// of an n-entity sub-block spans local indexes
+  /// [⌊n·c/S⌋, ⌊n·(c+1)/S⌋).
+  static uint64_t VirtualPartitionSize(const bdm::Bdm& bdm, uint32_t block,
+                                       uint32_t v, uint32_t sub_splits);
+
+  uint32_t sub_splits() const { return sub_splits_; }
+
+  /// True iff block `k`'s comparisons exceed the average reduce workload
+  /// P/r, i.e. the block is split into sub-blocks.
+  bool IsSplit(uint32_t block) const;
+
+  /// Reduce task responsible for match task (block, pi, pj), or nullopt if
+  /// that match task does not exist (e.g. empty sub-block).
+  std::optional<uint32_t> ReduceTaskFor(uint32_t block, uint32_t pi,
+                                        uint32_t pj) const;
+
+  /// All match tasks, in descending comparison order (assignment order).
+  const std::vector<MatchTask>& tasks() const { return tasks_; }
+
+  /// Comparisons assigned to each reduce task; size r.
+  const std::vector<uint64_t>& comparisons_per_reduce_task() const {
+    return comparisons_per_reduce_task_;
+  }
+
+  /// P/r, the split threshold ("average reduce task workload").
+  uint64_t comparisons_per_reduce_task_avg() const { return avg_; }
+
+  uint32_t num_reduce_tasks() const {
+    return static_cast<uint32_t>(comparisons_per_reduce_task_.size());
+  }
+
+  /// Number of key-value pairs map emits for one entity of block `k`
+  /// located in *virtual* partition `v`: 1 for unsplit blocks with >= 1
+  /// comparison, 0 for unsplit zero-comparison blocks, and the number of
+  /// existing match tasks involving `v` for split blocks (entities of
+  /// split blocks are replicated). Used by the plan-only path to
+  /// reproduce Figure 12 without running the job.
+  uint64_t EmissionsPerEntity(uint32_t block, uint32_t v) const;
+
+ private:
+  BlockSplitPlan() = default;
+
+  static uint64_t Key3(uint32_t block, uint32_t pi, uint32_t pj) {
+    // block < 2^32; pi,pj < 2^16 in any realistic m — validated in Build.
+    return (static_cast<uint64_t>(block) << 32) |
+           (static_cast<uint64_t>(pi) << 16) | pj;
+  }
+
+  std::vector<MatchTask> tasks_;
+  std::unordered_map<uint64_t, uint32_t> task_to_reduce_;  // Key3 -> index
+  std::vector<bool> split_;
+  std::vector<uint64_t> block_comparisons_;  // C(|Φk|,2) / |Φk,R|·|Φk,S|
+  std::vector<uint64_t> comparisons_per_reduce_task_;
+  // (block << 32 | partition) -> key-value pairs emitted per entity of
+  // that split block/partition.
+  std::unordered_map<uint64_t, uint64_t> emissions_;
+  uint64_t avg_ = 0;
+  uint32_t num_partitions_ = 0;
+  uint32_t sub_splits_ = 1;
+};
+
+}  // namespace lb
+}  // namespace erlb
+
+#endif  // ERLB_LB_BLOCK_SPLIT_PLAN_H_

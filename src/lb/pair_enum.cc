@@ -1,0 +1,165 @@
+#include "lb/pair_enum.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace erlb {
+namespace lb {
+
+uint64_t CellIndex(uint64_t x, uint64_t y, uint64_t N) {
+  ERLB_DCHECK(x < y);
+  ERLB_DCHECK(y < N);
+  // x/2·(2N−x−3) + y − 1, computed without fractions: x(2N−x−3) is always
+  // even (x and 2N−x−3 have opposite parity).
+  return x * (2 * N - x - 3) / 2 + y - 1;
+}
+
+void CellToPair(uint64_t cell, uint64_t N, uint64_t* x, uint64_t* y) {
+  ERLB_CHECK(N >= 2);
+  ERLB_CHECK(cell < PairsOfBlock(N));
+  // Find the largest x with CellIndex(x, x+1, N) <= cell; the first cell of
+  // column x is c(x, x+1, N) and columns are enumerated in x order.
+  uint64_t lo = 0, hi = N - 2;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo + 1) / 2;
+    if (CellIndex(mid, mid + 1, N) <= cell) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  *x = lo;
+  *y = lo + 1 + (cell - CellIndex(lo, lo + 1, N));
+  ERLB_DCHECK(*y < N);
+}
+
+uint64_t PairsOfBlock(uint64_t N) { return N < 2 ? 0 : N * (N - 1) / 2; }
+
+uint64_t PairsPerRange(uint64_t total_pairs, uint32_t num_ranges) {
+  ERLB_CHECK(num_ranges >= 1);
+  if (total_pairs == 0) return 0;
+  return (total_pairs + num_ranges - 1) / num_ranges;
+}
+
+uint32_t RangeOfPair(uint64_t p, uint64_t total_pairs, uint32_t num_ranges) {
+  ERLB_DCHECK(p < total_pairs);
+  uint64_t q = PairsPerRange(total_pairs, num_ranges);
+  uint64_t k = p / q;
+  // q·r >= P always holds, so k < r; keep a clamp for safety.
+  return static_cast<uint32_t>(std::min<uint64_t>(k, num_ranges - 1));
+}
+
+uint64_t RangeBegin(uint32_t k, uint64_t total_pairs, uint32_t num_ranges) {
+  uint64_t q = PairsPerRange(total_pairs, num_ranges);
+  return std::min<uint64_t>(static_cast<uint64_t>(k) * q, total_pairs);
+}
+
+uint64_t RangeSize(uint32_t k, uint64_t total_pairs, uint32_t num_ranges) {
+  uint64_t b = RangeBegin(k, total_pairs, num_ranges);
+  uint64_t e = RangeBegin(k + 1, total_pairs, num_ranges);
+  return e - b;
+}
+
+namespace {
+
+inline void PushUnique(std::vector<uint32_t>* out, uint32_t k) {
+  if (out->empty() || out->back() != k) out->push_back(k);
+}
+
+}  // namespace
+
+void RelevantRangesOneSource(uint64_t x, uint64_t N, uint64_t block_offset,
+                             uint64_t total_pairs, uint32_t num_ranges,
+                             std::vector<uint32_t>* out) {
+  if (N < 2) return;  // singleton block: no pairs, entity not needed
+  const uint64_t q = PairsPerRange(total_pairs, num_ranges);
+  ERLB_DCHECK(q > 0);
+
+  // Row pairs (j, x) for j = 0..x-1: indices increase in j with shrinking
+  // gaps; hop from range boundary to range boundary via binary search.
+  uint64_t j = 0;
+  while (j < x) {
+    uint64_t p = block_offset + CellIndex(j, x, N);
+    uint32_t rho = RangeOfPair(p, total_pairs, num_ranges);
+    PushUnique(out, rho);
+    uint64_t target = static_cast<uint64_t>(rho + 1) * q;  // next range
+    // smallest j2 in (j, x) with block_offset + c(j2,x,N) >= target
+    uint64_t lo = j + 1, hi = x;
+    while (lo < hi) {
+      uint64_t mid = lo + (hi - lo) / 2;
+      if (block_offset + CellIndex(mid, x, N) >= target) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    j = lo;
+  }
+
+  // Column pairs (x, y) for y = x+1..N-1: contiguous index interval.
+  if (x + 1 < N) {
+    uint64_t p_first = block_offset + CellIndex(x, x + 1, N);
+    uint64_t p_last = block_offset + CellIndex(x, N - 1, N);
+    uint32_t lo = RangeOfPair(p_first, total_pairs, num_ranges);
+    uint32_t hi = RangeOfPair(p_last, total_pairs, num_ranges);
+    for (uint32_t k = lo; k <= hi; ++k) PushUnique(out, k);
+  }
+}
+
+uint64_t CellIndexDual(uint64_t x, uint64_t y, uint64_t ns) {
+  ERLB_DCHECK(y < ns);
+  return x * ns + y;
+}
+
+void RelevantRangesDualR(uint64_t x, uint64_t nr, uint64_t ns,
+                         uint64_t block_offset, uint64_t total_pairs,
+                         uint32_t num_ranges, std::vector<uint32_t>* out) {
+  if (nr == 0 || ns == 0) return;
+  ERLB_DCHECK(x < nr);
+  uint64_t p_first = block_offset + CellIndexDual(x, 0, ns);
+  uint64_t p_last = block_offset + CellIndexDual(x, ns - 1, ns);
+  uint32_t lo = RangeOfPair(p_first, total_pairs, num_ranges);
+  uint32_t hi = RangeOfPair(p_last, total_pairs, num_ranges);
+  for (uint32_t k = lo; k <= hi; ++k) PushUnique(out, k);
+}
+
+void RelevantRangesDualS(uint64_t y, uint64_t nr, uint64_t ns,
+                         uint64_t block_offset, uint64_t total_pairs,
+                         uint32_t num_ranges, std::vector<uint32_t>* out) {
+  if (nr == 0 || ns == 0) return;
+  ERLB_DCHECK(y < ns);
+  const uint64_t q = PairsPerRange(total_pairs, num_ranges);
+  uint64_t xx = 0;
+  while (xx < nr) {
+    uint64_t p = block_offset + CellIndexDual(xx, y, ns);
+    uint32_t rho = RangeOfPair(p, total_pairs, num_ranges);
+    PushUnique(out, rho);
+    uint64_t target = static_cast<uint64_t>(rho + 1) * q;
+    if (target <= p) break;  // numeric safety; cannot happen
+    // smallest x2 with block_offset + x2·ns + y >= target
+    uint64_t need = target - block_offset;
+    uint64_t x2 = (need > y) ? (need - y + ns - 1) / ns : xx + 1;
+    xx = std::max(xx + 1, x2);
+  }
+}
+
+void RelevantRangesOneSourceBrute(uint64_t x, uint64_t N,
+                                  uint64_t block_offset,
+                                  uint64_t total_pairs, uint32_t num_ranges,
+                                  std::vector<uint32_t>* out) {
+  if (N < 2) return;
+  for (uint64_t j = 0; j < x; ++j) {
+    PushUnique(out, RangeOfPair(block_offset + CellIndex(j, x, N),
+                                total_pairs, num_ranges));
+  }
+  for (uint64_t y = x + 1; y < N; ++y) {
+    PushUnique(out, RangeOfPair(block_offset + CellIndex(x, y, N),
+                                total_pairs, num_ranges));
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+}  // namespace lb
+}  // namespace erlb

@@ -1,0 +1,78 @@
+// PairRange's global pair enumeration (Section V, Appendix I-B).
+//
+// One source: entities of each block are enumerated 0..N-1; pair (x,y),
+// x < y, has cell index c(x,y,N) = x/2·(2N−x−3) + y − 1 (column-wise
+// enumeration of the strict upper triangle) plus the block's pair offset
+// o(i). Two sources: all cells of the |Φi,R| × |Φi,S| matrix are
+// enumerated, c(x,y,N_S) = x·N_S + y.
+//
+// The pair index space [0, P) is divided into r ranges of ⌈P/r⌉ pairs
+// (Algorithm 2's rangeIndex); range k is processed by reduce task k.
+#ifndef ERLB_LB_PAIR_ENUM_H_
+#define ERLB_LB_PAIR_ENUM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace erlb {
+namespace lb {
+
+/// c(x,y,N): index of pair (x,y), x < y < N, in the column-wise
+/// enumeration of the strict upper triangle of an N×N matrix.
+uint64_t CellIndex(uint64_t x, uint64_t y, uint64_t N);
+
+/// Inverse of CellIndex: recovers (x,y) from a cell index < N(N-1)/2.
+/// O(log N). Exposed for tests and the plan inspector.
+void CellToPair(uint64_t cell, uint64_t N, uint64_t* x, uint64_t* y);
+
+/// Number of pairs in one block of N entities: N(N-1)/2.
+uint64_t PairsOfBlock(uint64_t N);
+
+/// ⌈P/r⌉, the pairs per reduce task. P may be 0 (result 0).
+uint64_t PairsPerRange(uint64_t total_pairs, uint32_t num_ranges);
+
+/// Range (= reduce task) of global pair index `p` (Algorithm 2:
+/// ⌊p / ⌈P/r⌉⌋, clamped to r-1 for the remainder tail).
+uint32_t RangeOfPair(uint64_t p, uint64_t total_pairs, uint32_t num_ranges);
+
+/// First global pair index of range `k` (clamped to P).
+uint64_t RangeBegin(uint32_t k, uint64_t total_pairs, uint32_t num_ranges);
+
+/// Number of pairs in range `k`.
+uint64_t RangeSize(uint32_t k, uint64_t total_pairs, uint32_t num_ranges);
+
+/// Appends (sorted, unique) every range that contains at least one pair of
+/// entity `x` in a one-source block of `N` entities whose pairs start at
+/// global offset `block_offset`. Cost O(#ranges · log N), not O(N): row
+/// pairs are skipped range-by-range with binary search, column pairs form
+/// one contiguous index interval.
+void RelevantRangesOneSource(uint64_t x, uint64_t N, uint64_t block_offset,
+                             uint64_t total_pairs, uint32_t num_ranges,
+                             std::vector<uint32_t>* out);
+
+/// Two-source cell index: c(x,y,Ns) = x·Ns + y for x < Nr, y < Ns.
+uint64_t CellIndexDual(uint64_t x, uint64_t y, uint64_t ns);
+
+/// Relevant ranges of R-entity `x` in a two-source block with |Φ,R|=nr,
+/// |Φ,S|=ns: its pairs are the contiguous interval [x·ns, (x+1)·ns).
+void RelevantRangesDualR(uint64_t x, uint64_t nr, uint64_t ns,
+                         uint64_t block_offset, uint64_t total_pairs,
+                         uint32_t num_ranges, std::vector<uint32_t>* out);
+
+/// Relevant ranges of S-entity `y`: pairs {x·ns + y | x < nr}, an
+/// arithmetic progression with stride ns, skipped range-by-range.
+void RelevantRangesDualS(uint64_t y, uint64_t nr, uint64_t ns,
+                         uint64_t block_offset, uint64_t total_pairs,
+                         uint32_t num_ranges, std::vector<uint32_t>* out);
+
+/// Brute-force reference for the RelevantRanges* functions (O(N) per
+/// entity); used by property tests.
+void RelevantRangesOneSourceBrute(uint64_t x, uint64_t N,
+                                  uint64_t block_offset,
+                                  uint64_t total_pairs, uint32_t num_ranges,
+                                  std::vector<uint32_t>* out);
+
+}  // namespace lb
+}  // namespace erlb
+
+#endif  // ERLB_LB_PAIR_ENUM_H_

@@ -1,0 +1,250 @@
+#include "lb/pair_range.h"
+
+#include <memory>
+
+#include "lb/match_kv.h"
+#include "lb/pair_enum.h"
+#include "lb/reduce_helpers.h"
+
+namespace erlb {
+namespace lb {
+
+namespace {
+
+/// Algorithm 2, map: tracks per-block entity indexes (seeded with the
+/// BDM-derived offset of this partition), computes each entity's relevant
+/// ranges, and emits one annotated copy per range.
+class PairRangeMapper
+    : public mr::Mapper<std::string, er::EntityRef, PairRangeKey,
+                        MatchValue> {
+ public:
+  PairRangeMapper(const bdm::Bdm* bdm,
+                  const std::vector<std::vector<uint64_t>>* offsets,
+                  uint32_t partition, uint32_t num_ranges)
+      : bdm_(bdm),
+        partition_(partition),
+        num_ranges_(num_ranges),
+        total_pairs_(bdm->TotalPairs()) {
+    next_index_.resize(bdm->num_blocks());
+    for (uint32_t k = 0; k < bdm->num_blocks(); ++k) {
+      next_index_[k] = (*offsets)[k][partition];
+    }
+  }
+
+  void Map(const std::string& block_key, const er::EntityRef& entity,
+           mr::MapContext<PairRangeKey, MatchValue>* ctx) override {
+    auto k_res = bdm_->BlockIndex(block_key);
+    ERLB_CHECK(k_res.ok()) << "block key absent from BDM: " << block_key;
+    const uint32_t k = *k_res;
+    const uint64_t x = next_index_[k]++;
+    const uint64_t off = bdm_->PairOffset(k);
+
+    ranges_.clear();
+    if (!bdm_->two_source()) {
+      RelevantRangesOneSource(x, bdm_->Size(k), off, total_pairs_,
+                              num_ranges_, &ranges_);
+    } else {
+      const uint64_t nr = bdm_->SizeOfSource(k, er::Source::kR);
+      const uint64_t ns = bdm_->SizeOfSource(k, er::Source::kS);
+      if (entity->source == er::Source::kR) {
+        RelevantRangesDualR(x, nr, ns, off, total_pairs_, num_ranges_,
+                            &ranges_);
+      } else {
+        RelevantRangesDualS(x, nr, ns, off, total_pairs_, num_ranges_,
+                            &ranges_);
+      }
+    }
+    for (uint32_t rho : ranges_) {
+      ctx->Emit(PairRangeKey{rho, k, entity->source, x},
+                MatchValue{entity, partition_, x});
+    }
+  }
+
+ private:
+  const bdm::Bdm* bdm_;
+  uint32_t partition_;
+  uint32_t num_ranges_;
+  uint64_t total_pairs_;
+  std::vector<uint64_t> next_index_;  // next entity index per block
+  std::vector<uint32_t> ranges_;      // scratch
+};
+
+/// Algorithm 2, reduce: values arrive sorted by entity index (one source)
+/// or by (source, index) (two sources). Streams through the group,
+/// evaluating exactly the pairs whose index falls into this task's range;
+/// pairs of later ranges terminate the scan early (indexes only grow).
+class PairRangeReducer
+    : public mr::Reducer<PairRangeKey, MatchValue, MatchOutK, MatchOutV> {
+ public:
+  PairRangeReducer(const er::Matcher* matcher, const bdm::Bdm* bdm,
+                   uint32_t num_ranges)
+      : matcher_(matcher),
+        bdm_(bdm),
+        num_ranges_(num_ranges),
+        total_pairs_(bdm->TotalPairs()) {}
+
+  void Reduce(std::span<const std::pair<PairRangeKey, MatchValue>> group,
+              MatchReduceContext* ctx) override {
+    const PairRangeKey& key = group.front().first;
+    const uint32_t range = key.range;
+    const uint32_t k = key.block;
+    const uint64_t off = bdm_->PairOffset(k);
+    buffer_.clear();
+
+    if (!bdm_->two_source()) {
+      const uint64_t n = bdm_->Size(k);
+      for (const auto& [kk, v] : group) {
+        const uint64_t x2 = v.entity_index;
+        for (const auto& [e1, x1] : buffer_) {
+          uint32_t rho = RangeOfPair(off + CellIndex(x1, x2, n),
+                                     total_pairs_, num_ranges_);
+          if (rho == range) {
+            CompareAndEmit(*matcher_, *e1, *v.entity, ctx, &stats_);
+          } else if (rho > range) {
+            // For fixed x2 the pair index grows with x1, so the rest of
+            // the buffer is past this range too. (Algorithm 2 writes
+            // `return` here, but only the inner scan is monotone — a
+            // whole-group return would drop in-range pairs of later
+            // stream entities; see DESIGN.md.)
+            break;
+          }
+        }
+        buffer_.emplace_back(v.entity, x2);
+        stats_.NoteBuffer(buffer_.size());
+      }
+    } else {
+      const uint64_t ns = bdm_->SizeOfSource(k, er::Source::kS);
+      // R entities (sorted by index) first, then S entities.
+      for (const auto& [kk, v] : group) {
+        if (v.entity->source == er::Source::kR) {
+          buffer_.emplace_back(v.entity, v.entity_index);
+          stats_.NoteBuffer(buffer_.size());
+          continue;
+        }
+        const uint64_t y = v.entity_index;
+        for (const auto& [e1, x1] : buffer_) {
+          uint32_t rho = RangeOfPair(off + CellIndexDual(x1, y, ns),
+                                     total_pairs_, num_ranges_);
+          if (rho == range) {
+            CompareAndEmit(*matcher_, *e1, *v.entity, ctx, &stats_);
+          } else if (rho > range) {
+            break;  // larger x1 only increases the pair index
+          }
+        }
+      }
+    }
+  }
+
+  void Close(MatchReduceContext* ctx) override {
+    stats_.FlushTo(ctx->counters());
+  }
+
+ private:
+  const er::Matcher* matcher_;
+  const bdm::Bdm* bdm_;
+  uint32_t num_ranges_;
+  uint64_t total_pairs_;
+  std::vector<std::pair<er::EntityRef, uint64_t>> buffer_;
+  CompareStats stats_;
+};
+
+}  // namespace
+
+Result<MatchJobOutput> PairRangeStrategy::RunMatchJob(
+    const bdm::AnnotatedStore& input, const bdm::Bdm& bdm,
+    const er::Matcher& matcher, const MatchJobOptions& options,
+    const mr::JobRunner& runner) const {
+  if (options.num_reduce_tasks == 0) {
+    return Status::InvalidArgument("r must be >= 1");
+  }
+  if (input.num_tasks() != bdm.num_partitions()) {
+    return Status::InvalidArgument(
+        "annotated store partition count disagrees with BDM");
+  }
+  const uint32_t r = options.num_reduce_tasks;
+  const auto offsets = bdm.BuildEntityIndexOffsets();
+
+  mr::JobSpec<std::string, er::EntityRef, PairRangeKey, MatchValue,
+              MatchOutK, MatchOutV>
+      spec;
+  spec.num_reduce_tasks = r;
+  spec.partitioner = PairRangePartition;
+  spec.key_less = PairRangeKeyLess;
+  spec.group_equal = PairRangeGroupEqual;
+  spec.mapper_factory = [&bdm, &offsets, r](const mr::TaskContext& ctx) {
+    return std::make_unique<PairRangeMapper>(&bdm, &offsets,
+                                             ctx.task_index, r);
+  };
+  spec.reducer_factory = [&matcher, &bdm, r](const mr::TaskContext&) {
+    return std::make_unique<PairRangeReducer>(&matcher, &bdm, r);
+  };
+
+  auto job_result = runner.Run(spec, input.files());
+  MatchJobOutput out;
+  for (auto& [pair, unused] : job_result.MergedOutput()) {
+    out.matches.Add(pair.first, pair.second);
+  }
+  out.comparisons =
+      job_result.metrics.counters.Get(mr::kCounterComparisons);
+  out.metrics = std::move(job_result.metrics);
+  return out;
+}
+
+Result<PlanStats> PairRangeStrategy::Plan(
+    const bdm::Bdm& bdm, const MatchJobOptions& options) const {
+  if (options.num_reduce_tasks == 0) {
+    return Status::InvalidArgument("r must be >= 1");
+  }
+  const uint32_t r = options.num_reduce_tasks;
+  const uint64_t total = bdm.TotalPairs();
+
+  PlanStats stats;
+  stats.strategy = StrategyKind::kPairRange;
+  stats.num_reduce_tasks = r;
+  stats.total_comparisons = total;
+  stats.comparisons_per_reduce_task.resize(r);
+  for (uint32_t t = 0; t < r; ++t) {
+    stats.comparisons_per_reduce_task[t] = RangeSize(t, total, r);
+  }
+
+  // Exact per-map-task emission counts: walk every (block, partition)
+  // cell and accumulate |relevant ranges| over its entity index interval.
+  // Each emission is also one shuffle record into its range's reduce task.
+  stats.map_output_pairs_per_task.assign(bdm.num_partitions(), 0);
+  stats.input_records_per_reduce_task.assign(r, 0);
+  const auto offsets = bdm.BuildEntityIndexOffsets();
+  std::vector<uint32_t> scratch;
+  for (uint32_t k = 0; k < bdm.num_blocks(); ++k) {
+    const uint64_t off = bdm.PairOffset(k);
+    const uint64_t n = bdm.Size(k);
+    const uint64_t nr = bdm.two_source()
+                            ? bdm.SizeOfSource(k, er::Source::kR)
+                            : 0;
+    const uint64_t ns = bdm.two_source()
+                            ? bdm.SizeOfSource(k, er::Source::kS)
+                            : 0;
+    for (uint32_t p = 0; p < bdm.num_partitions(); ++p) {
+      const uint64_t count = bdm.Size(k, p);
+      if (count == 0) continue;
+      const uint64_t first = offsets[k][p];
+      for (uint64_t x = first; x < first + count; ++x) {
+        scratch.clear();
+        if (!bdm.two_source()) {
+          RelevantRangesOneSource(x, n, off, total, r, &scratch);
+        } else if (bdm.PartitionSource(p) == er::Source::kR) {
+          RelevantRangesDualR(x, nr, ns, off, total, r, &scratch);
+        } else {
+          RelevantRangesDualS(x, nr, ns, off, total, r, &scratch);
+        }
+        stats.map_output_pairs_per_task[p] += scratch.size();
+        for (uint32_t rho : scratch) {
+          stats.input_records_per_reduce_task[rho] += 1;
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace lb
+}  // namespace erlb

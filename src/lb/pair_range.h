@@ -1,0 +1,32 @@
+// The PairRange strategy (Section V, Algorithm 2; Appendix I-B for two
+// sources): enumerates all pairs globally via the BDM, splits the pair
+// index space into r near-equal ranges, sends each entity exactly to the
+// ranges containing at least one of its pairs, and lets reduce task k
+// evaluate exactly the pairs of range k.
+#ifndef ERLB_LB_PAIR_RANGE_H_
+#define ERLB_LB_PAIR_RANGE_H_
+
+#include "lb/strategy.h"
+
+namespace erlb {
+namespace lb {
+
+class PairRangeStrategy : public Strategy {
+ public:
+  StrategyKind kind() const override { return StrategyKind::kPairRange; }
+
+  Result<MatchJobOutput> RunMatchJob(const bdm::AnnotatedStore& input,
+                                     const bdm::Bdm& bdm,
+                                     const er::Matcher& matcher,
+                                     const MatchJobOptions& options,
+                                     const mr::JobRunner& runner)
+      const override;
+
+  Result<PlanStats> Plan(const bdm::Bdm& bdm,
+                         const MatchJobOptions& options) const override;
+};
+
+}  // namespace lb
+}  // namespace erlb
+
+#endif  // ERLB_LB_PAIR_RANGE_H_

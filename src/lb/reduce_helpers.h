@@ -1,0 +1,64 @@
+// Shared reduce-side matching helpers.
+#ifndef ERLB_LB_REDUCE_HELPERS_H_
+#define ERLB_LB_REDUCE_HELPERS_H_
+
+#include "er/entity.h"
+#include "er/match_result.h"
+#include "er/matcher.h"
+#include "mr/counters.h"
+#include "mr/job.h"
+
+namespace erlb {
+namespace lb {
+
+/// Output record of every matching job: a matched id pair. The value is a
+/// placeholder (Hadoop would write NullWritable).
+using MatchOutK = er::MatchPair;
+using MatchOutV = char;
+using MatchReduceContext = mr::ReduceContext<MatchOutK, MatchOutV>;
+
+/// Name of the reduce-side buffer high-water-mark counter: the largest
+/// number of entities any reduce call had to hold in memory at once.
+/// Reproduces the paper's memory argument — Basic buffers whole blocks
+/// ("a reduce task must store all entities passed to a reduce call in
+/// main memory"), the balanced strategies only sub-blocks.
+inline constexpr char kCounterBufferPeak[] = "reduce.buffer_peak";
+
+/// Plain per-task tallies, flushed into the named counters once per task
+/// (named-counter map lookups per comparison would dominate the hot
+/// loop and contend under parallel reduce tasks).
+struct CompareStats {
+  int64_t comparisons = 0;
+  int64_t matches = 0;
+  int64_t buffer_peak = 0;
+
+  void NoteBuffer(size_t buffered) {
+    buffer_peak = std::max(buffer_peak, static_cast<int64_t>(buffered));
+  }
+
+  void FlushTo(mr::Counters* counters) const {
+    counters->Increment(mr::kCounterComparisons, comparisons);
+    counters->Increment(mr::kCounterMatches, matches);
+    // Read the peak from per-task metrics (job-level merging sums
+    // counters, which is meaningless for a max; the per-task value is
+    // exact).
+    counters->Increment(kCounterBufferPeak, buffer_peak);
+  }
+};
+
+/// Evaluates one candidate pair: tallies the comparison, invokes the
+/// matcher, and emits the pair on a match.
+inline void CompareAndEmit(const er::Matcher& matcher, const er::Entity& a,
+                           const er::Entity& b, MatchReduceContext* ctx,
+                           CompareStats* stats) {
+  ++stats->comparisons;
+  if (matcher.Match(a, b)) {
+    ++stats->matches;
+    ctx->Emit(er::MatchPair(a.id, b.id), 1);
+  }
+}
+
+}  // namespace lb
+}  // namespace erlb
+
+#endif  // ERLB_LB_REDUCE_HELPERS_H_

@@ -1,0 +1,42 @@
+#include "lb/strategy.h"
+
+#include "common/logging.h"
+#include "lb/basic.h"
+#include "lb/block_split.h"
+#include "lb/pair_range.h"
+
+namespace erlb {
+namespace lb {
+
+const char* StrategyName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kBasic:
+      return "Basic";
+    case StrategyKind::kBlockSplit:
+      return "BlockSplit";
+    case StrategyKind::kPairRange:
+      return "PairRange";
+  }
+  return "?";
+}
+
+std::unique_ptr<Strategy> MakeStrategy(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kBasic:
+      return std::make_unique<BasicStrategy>();
+    case StrategyKind::kBlockSplit:
+      return std::make_unique<BlockSplitStrategy>();
+    case StrategyKind::kPairRange:
+      return std::make_unique<PairRangeStrategy>();
+  }
+  ERLB_CHECK(false) << "unknown strategy";
+  return nullptr;
+}
+
+std::vector<StrategyKind> AllStrategies() {
+  return {StrategyKind::kBasic, StrategyKind::kBlockSplit,
+          StrategyKind::kPairRange};
+}
+
+}  // namespace lb
+}  // namespace erlb

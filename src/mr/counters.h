@@ -1,0 +1,47 @@
+// Named counters, mirroring Hadoop's job counters. Each task owns a local
+// Counters instance; the runtime merges them into job-level totals.
+#ifndef ERLB_MR_COUNTERS_H_
+#define ERLB_MR_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace erlb {
+namespace mr {
+
+/// A map from counter name to a 64-bit value. Not thread-safe; tasks own
+/// private instances that are merged after the task finishes.
+class Counters {
+ public:
+  /// Adds `delta` to counter `name` (creating it at 0 if absent).
+  void Increment(const std::string& name, int64_t delta = 1) {
+    values_[name] += delta;
+  }
+
+  /// Current value of `name`, or 0 if never incremented.
+  int64_t Get(const std::string& name) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  /// Adds every counter of `other` into this instance.
+  void Merge(const Counters& other) {
+    for (const auto& [k, v] : other.values_) values_[k] += v;
+  }
+
+  const std::map<std::string, int64_t>& values() const { return values_; }
+
+ private:
+  std::map<std::string, int64_t> values_;
+};
+
+/// Counter names used by the ER jobs.
+inline constexpr char kCounterComparisons[] = "reduce.comparisons";
+inline constexpr char kCounterMatches[] = "reduce.matches";
+inline constexpr char kCounterMapOutputPairs[] = "map.output_pairs";
+
+}  // namespace mr
+}  // namespace erlb
+
+#endif  // ERLB_MR_COUNTERS_H_

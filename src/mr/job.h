@@ -1,0 +1,386 @@
+// In-memory MapReduce runtime with Hadoop-fidelity semantics.
+//
+// The paper's algorithms rely on four user-pluggable functions beyond
+// map/reduce (Section II):
+//   part  — assigns a map output key to one of r reduce tasks,
+//   comp  — total order used to sort each reduce task's input,
+//   group — equivalence deciding which consecutive sorted keys share one
+//           reduce() invocation,
+// plus composite keys and map-side "additional output" files. This runtime
+// reproduces those semantics exactly:
+//
+//  * One map task per input partition (m = #partitions), as assumed by the
+//    paper's BDM ("the same number of map tasks and the same partitioning
+//    of the input data" across both jobs).
+//  * The shuffle concatenates each map task's output runs in map-task order
+//    and stable-sorts, so key-value pairs with equal keys stay contiguous
+//    per origin map task — the property Hadoop's merge of per-map sorted
+//    runs provides and Algorithm 1's streaming reduce for k.i×j match
+//    tasks depends on.
+//  * Optional combiner per map task (the BDM job's counting optimization).
+//  * Tasks run on a fixed-size worker pool in FIFO order, emulating a
+//    cluster with a fixed number of processes.
+#ifndef ERLB_MR_JOB_H_
+#define ERLB_MR_JOB_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "mr/counters.h"
+#include "mr/metrics.h"
+
+namespace erlb {
+namespace mr {
+
+/// Identity of a running task, passed to mapper/reducer factories so user
+/// code can read the configuration (the paper's `map_configure(m, r,
+/// partitionIndex)`).
+struct TaskContext {
+  uint32_t num_map_tasks = 0;
+  uint32_t num_reduce_tasks = 0;
+  /// Map: the input partition index. Reduce: the reduce task index.
+  uint32_t task_index = 0;
+};
+
+/// Emission interface handed to Mapper::Map.
+template <typename K, typename V>
+class MapContext {
+ public:
+  virtual ~MapContext() = default;
+  /// Emits one intermediate key-value pair.
+  virtual void Emit(K key, V value) = 0;
+  /// Task-local counters, merged into job counters after the task.
+  virtual Counters* counters() = 0;
+};
+
+/// Emission interface handed to Reducer::Reduce.
+template <typename K, typename V>
+class ReduceContext {
+ public:
+  virtual ~ReduceContext() = default;
+  /// Emits one output key-value pair.
+  virtual void Emit(K key, V value) = 0;
+  virtual Counters* counters() = 0;
+};
+
+/// User map function. A fresh instance is created per map task (so
+/// instances may hold per-task state, e.g. the BDM or entity-index
+/// counters).
+template <typename InK, typename InV, typename MidK, typename MidV>
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  /// Called once per input record.
+  virtual void Map(const InK& key, const InV& value,
+                   MapContext<MidK, MidV>* ctx) = 0;
+  /// Called after the last record of the task.
+  virtual void Close(MapContext<MidK, MidV>* ctx) { (void)ctx; }
+};
+
+/// User reduce function; fresh instance per reduce task.
+///
+/// Reduce() receives the whole group as (key, value) pairs in sort order —
+/// this mirrors Hadoop, where the key object advances alongside the value
+/// iterator under a coarser grouping comparator (secondary sort).
+template <typename MidK, typename MidV, typename OutK, typename OutV>
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void Reduce(std::span<const std::pair<MidK, MidV>> group,
+                      ReduceContext<OutK, OutV>* ctx) = 0;
+  virtual void Close(ReduceContext<OutK, OutV>* ctx) { (void)ctx; }
+};
+
+/// Full specification of an MR job.
+template <typename InK, typename InV, typename MidK, typename MidV,
+          typename OutK, typename OutV>
+struct JobSpec {
+  using MapperT = Mapper<InK, InV, MidK, MidV>;
+  using ReducerT = Reducer<MidK, MidV, OutK, OutV>;
+
+  /// Creates the mapper for one map task.
+  std::function<std::unique_ptr<MapperT>(const TaskContext&)> mapper_factory;
+  /// Creates the reducer for one reduce task.
+  std::function<std::unique_ptr<ReducerT>(const TaskContext&)>
+      reducer_factory;
+  /// part: key -> reduce task in [0, r).
+  std::function<uint32_t(const MidK&, uint32_t)> partitioner;
+  /// comp: strict weak order on intermediate keys.
+  std::function<bool(const MidK&, const MidK&)> key_less;
+  /// group: equivalence on intermediate keys; must be coarser than (or equal
+  /// to) the sort order's equivalence, as in Hadoop.
+  std::function<bool(const MidK&, const MidK&)> group_equal;
+  /// Optional combiner applied to each map task's sorted output run:
+  /// receives one group (equal keys by group_equal within the task) and
+  /// emits replacement pairs.
+  std::function<void(std::span<const std::pair<MidK, MidV>>,
+                     std::vector<std::pair<MidK, MidV>>*)>
+      combiner;
+
+  uint32_t num_reduce_tasks = 1;
+};
+
+/// Result of running a job: output pairs per reduce task plus metrics.
+template <typename OutK, typename OutV>
+struct JobResult {
+  std::vector<std::vector<std::pair<OutK, OutV>>> outputs_per_reduce_task;
+  JobMetrics metrics;
+
+  /// Concatenates all reduce task outputs (in reduce-task order).
+  std::vector<std::pair<OutK, OutV>> MergedOutput() const {
+    std::vector<std::pair<OutK, OutV>> all;
+    for (const auto& part : outputs_per_reduce_task) {
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    return all;
+  }
+};
+
+namespace internal {
+
+template <typename K, typename V>
+class VectorMapContext : public MapContext<K, V> {
+ public:
+  void Emit(K key, V value) override {
+    out_.emplace_back(std::move(key), std::move(value));
+  }
+  Counters* counters() override { return &counters_; }
+  std::vector<std::pair<K, V>>& out() { return out_; }
+  Counters& counters_ref() { return counters_; }
+
+ private:
+  std::vector<std::pair<K, V>> out_;
+  Counters counters_;
+};
+
+template <typename K, typename V>
+class VectorReduceContext : public ReduceContext<K, V> {
+ public:
+  void Emit(K key, V value) override {
+    out_.emplace_back(std::move(key), std::move(value));
+  }
+  Counters* counters() override { return &counters_; }
+  std::vector<std::pair<K, V>>& out() { return out_; }
+  Counters& counters_ref() { return counters_; }
+
+ private:
+  std::vector<std::pair<K, V>> out_;
+  Counters counters_;
+};
+
+}  // namespace internal
+
+/// Executes MR jobs on a worker pool.
+///
+/// `num_workers` emulates the number of process slots available in the
+/// cluster; tasks are queued in index order and executed FIFO, like
+/// Hadoop's scheduler assigning queued tasks to freed processes.
+class JobRunner {
+ public:
+  /// \param num_workers worker threads (process slots), >= 1.
+  explicit JobRunner(size_t num_workers) : num_workers_(num_workers) {
+    ERLB_CHECK(num_workers >= 1);
+  }
+
+  size_t num_workers() const { return num_workers_; }
+
+  /// Runs `spec` over `input_partitions` (one map task per partition).
+  template <typename InK, typename InV, typename MidK, typename MidV,
+            typename OutK, typename OutV>
+  JobResult<OutK, OutV> Run(
+      const JobSpec<InK, InV, MidK, MidV, OutK, OutV>& spec,
+      const std::vector<std::vector<std::pair<InK, InV>>>& input_partitions)
+      const {
+    ERLB_CHECK(spec.mapper_factory != nullptr);
+    ERLB_CHECK(spec.reducer_factory != nullptr);
+    ERLB_CHECK(spec.partitioner != nullptr);
+    ERLB_CHECK(spec.key_less != nullptr);
+    ERLB_CHECK(spec.group_equal != nullptr);
+    ERLB_CHECK(spec.num_reduce_tasks >= 1);
+
+    const uint32_t m = static_cast<uint32_t>(input_partitions.size());
+    const uint32_t r = spec.num_reduce_tasks;
+
+    JobResult<OutK, OutV> result;
+    result.metrics.map_tasks.resize(m);
+    result.metrics.reduce_tasks.resize(r);
+    result.outputs_per_reduce_task.resize(r);
+
+    Stopwatch job_watch;
+
+    // ---- Map phase ------------------------------------------------------
+    // buckets[map_task][reduce_task] -> run of intermediate pairs, sorted
+    // by comp within the run (as Hadoop sorts each spill).
+    std::vector<std::vector<std::vector<std::pair<MidK, MidV>>>> buckets(
+        m, std::vector<std::vector<std::pair<MidK, MidV>>>(r));
+
+    Stopwatch map_watch;
+    {
+      ThreadPool pool(num_workers_);
+      for (uint32_t t = 0; t < m; ++t) {
+        pool.Submit([&, t] {
+          RunMapTask(spec, input_partitions[t], m, r, t, &buckets[t],
+                     &result.metrics.map_tasks[t]);
+        });
+      }
+      pool.Wait();
+    }
+    result.metrics.map_phase_nanos = map_watch.ElapsedNanos();
+
+    // ---- Reduce phase ---------------------------------------------------
+    Stopwatch reduce_watch;
+    {
+      ThreadPool pool(num_workers_);
+      for (uint32_t t = 0; t < r; ++t) {
+        pool.Submit([&, t] {
+          RunReduceTask(spec, buckets, m, r, t,
+                        &result.outputs_per_reduce_task[t],
+                        &result.metrics.reduce_tasks[t]);
+        });
+      }
+      pool.Wait();
+    }
+    result.metrics.reduce_phase_nanos = reduce_watch.ElapsedNanos();
+    result.metrics.total_duration_nanos = job_watch.ElapsedNanos();
+
+    for (const auto& tm : result.metrics.map_tasks) {
+      result.metrics.counters.Merge(tm.counters);
+    }
+    for (const auto& tm : result.metrics.reduce_tasks) {
+      result.metrics.counters.Merge(tm.counters);
+    }
+    return result;
+  }
+
+ private:
+  template <typename InK, typename InV, typename MidK, typename MidV,
+            typename OutK, typename OutV>
+  static void RunMapTask(
+      const JobSpec<InK, InV, MidK, MidV, OutK, OutV>& spec,
+      const std::vector<std::pair<InK, InV>>& partition, uint32_t m,
+      uint32_t r, uint32_t task_index,
+      std::vector<std::vector<std::pair<MidK, MidV>>>* out_buckets,
+      TaskMetrics* metrics) {
+    Stopwatch watch;
+    TaskContext ctx{m, r, task_index};
+    auto mapper = spec.mapper_factory(ctx);
+    ERLB_CHECK(mapper != nullptr);
+
+    internal::VectorMapContext<MidK, MidV> map_ctx;
+    for (const auto& [k, v] : partition) {
+      mapper->Map(k, v, &map_ctx);
+    }
+    mapper->Close(&map_ctx);
+
+    metrics->task_index = task_index;
+    metrics->input_records = static_cast<int64_t>(partition.size());
+    metrics->output_records = static_cast<int64_t>(map_ctx.out().size());
+    metrics->counters = map_ctx.counters_ref();
+    metrics->counters.Increment(kCounterMapOutputPairs,
+                                static_cast<int64_t>(map_ctx.out().size()));
+
+    // Sort the task's output (one "spill") by comp, stably so that emission
+    // order breaks ties — then optionally combine, then scatter into the
+    // per-reduce-task runs.
+    auto& out = map_ctx.out();
+    std::stable_sort(out.begin(), out.end(),
+                     [&spec](const auto& a, const auto& b) {
+                       return spec.key_less(a.first, b.first);
+                     });
+
+    std::vector<std::pair<MidK, MidV>> combined;
+    const std::vector<std::pair<MidK, MidV>>* final_out = &out;
+    if (spec.combiner) {
+      size_t i = 0;
+      while (i < out.size()) {
+        size_t j = i + 1;
+        while (j < out.size() &&
+               spec.group_equal(out[i].first, out[j].first)) {
+          ++j;
+        }
+        spec.combiner(std::span<const std::pair<MidK, MidV>>(
+                          out.data() + i, j - i),
+                      &combined);
+        i = j;
+      }
+      final_out = &combined;
+    }
+
+    for (const auto& kv : *final_out) {
+      uint32_t p = spec.partitioner(kv.first, r);
+      ERLB_CHECK(p < r) << "partitioner returned " << p << " for r=" << r;
+      (*out_buckets)[p].push_back(kv);
+    }
+    metrics->duration_nanos = watch.ElapsedNanos();
+  }
+
+  template <typename InK, typename InV, typename MidK, typename MidV,
+            typename OutK, typename OutV>
+  static void RunReduceTask(
+      const JobSpec<InK, InV, MidK, MidV, OutK, OutV>& spec,
+      const std::vector<std::vector<std::vector<std::pair<MidK, MidV>>>>&
+          buckets,
+      uint32_t m, uint32_t r, uint32_t task_index,
+      std::vector<std::pair<OutK, OutV>>* output, TaskMetrics* metrics) {
+    Stopwatch watch;
+    TaskContext ctx{m, r, task_index};
+    auto reducer = spec.reducer_factory(ctx);
+    ERLB_CHECK(reducer != nullptr);
+
+    // Concatenate the per-map-task runs in map-task order, then stable
+    // sort: equal keys remain grouped by origin map task (Hadoop merge
+    // contiguity; see file comment).
+    std::vector<std::pair<MidK, MidV>> run;
+    size_t total = 0;
+    for (uint32_t mt = 0; mt < m; ++mt) total += buckets[mt][task_index].size();
+    run.reserve(total);
+    for (uint32_t mt = 0; mt < m; ++mt) {
+      const auto& b = buckets[mt][task_index];
+      run.insert(run.end(), b.begin(), b.end());
+    }
+    std::stable_sort(run.begin(), run.end(),
+                     [&spec](const auto& a, const auto& b) {
+                       return spec.key_less(a.first, b.first);
+                     });
+
+    internal::VectorReduceContext<OutK, OutV> red_ctx;
+    size_t i = 0;
+    int64_t groups = 0;
+    while (i < run.size()) {
+      size_t j = i + 1;
+      while (j < run.size() &&
+             spec.group_equal(run[i].first, run[j].first)) {
+        ++j;
+      }
+      reducer->Reduce(std::span<const std::pair<MidK, MidV>>(
+                          run.data() + i, j - i),
+                      &red_ctx);
+      ++groups;
+      i = j;
+    }
+    reducer->Close(&red_ctx);
+
+    metrics->task_index = task_index;
+    metrics->input_records = static_cast<int64_t>(run.size());
+    metrics->groups = groups;
+    metrics->output_records = static_cast<int64_t>(red_ctx.out().size());
+    metrics->counters = red_ctx.counters_ref();
+    metrics->duration_nanos = watch.ElapsedNanos();
+    *output = std::move(red_ctx.out());
+  }
+
+  size_t num_workers_;
+};
+
+}  // namespace mr
+}  // namespace erlb
+
+#endif  // ERLB_MR_JOB_H_

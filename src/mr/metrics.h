@@ -1,0 +1,57 @@
+// Per-task and per-job execution metrics collected by the runtime. The
+// cluster simulator consumes the per-task workload numbers; tests and
+// benches consume the aggregate ones.
+#ifndef ERLB_MR_METRICS_H_
+#define ERLB_MR_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mr/counters.h"
+
+namespace erlb {
+namespace mr {
+
+/// Workload and timing of a single map or reduce task.
+struct TaskMetrics {
+  uint32_t task_index = 0;
+  int64_t input_records = 0;
+  int64_t output_records = 0;
+  /// Reduce only: number of reduce() invocations (groups).
+  int64_t groups = 0;
+  /// Wall-clock nanoseconds spent executing the task body.
+  int64_t duration_nanos = 0;
+  /// Task-local user counters.
+  Counters counters;
+};
+
+/// Metrics for one executed MR job.
+struct JobMetrics {
+  std::vector<TaskMetrics> map_tasks;
+  std::vector<TaskMetrics> reduce_tasks;
+  /// Wall-clock nanoseconds for the whole job (map + shuffle + reduce).
+  int64_t total_duration_nanos = 0;
+  int64_t map_phase_nanos = 0;
+  int64_t reduce_phase_nanos = 0;
+  /// Job-level merged counters.
+  Counters counters;
+
+  /// Total KV pairs emitted by all map tasks (the paper's Figure 12 metric).
+  int64_t TotalMapOutputPairs() const {
+    int64_t n = 0;
+    for (const auto& t : map_tasks) n += t.output_records;
+    return n;
+  }
+
+  /// Total input records across map tasks.
+  int64_t TotalMapInputRecords() const {
+    int64_t n = 0;
+    for (const auto& t : map_tasks) n += t.input_records;
+    return n;
+  }
+};
+
+}  // namespace mr
+}  // namespace erlb
+
+#endif  // ERLB_MR_METRICS_H_

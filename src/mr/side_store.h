@@ -1,0 +1,65 @@
+// Simulated distributed file system for map-side "additional output".
+//
+// The BDM job (Algorithm 3) writes each entity annotated with its blocking
+// key to DFS as an extra per-map-task file Π'i; the second job consumes
+// those files as its input partitions with the same partitioning (input
+// splits are not re-split, so map task i of job 2 reads exactly the file
+// written by map task i of job 1). A SideStore holds those per-task files
+// in memory.
+#ifndef ERLB_MR_SIDE_STORE_H_
+#define ERLB_MR_SIDE_STORE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace erlb {
+namespace mr {
+
+/// Per-map-task side output files. Each map task writes only its own slot,
+/// so no synchronization is required while a job runs.
+template <typename K, typename V>
+class SideStore {
+ public:
+  /// Prepares `num_tasks` empty files.
+  explicit SideStore(uint32_t num_tasks) : files_(num_tasks) {}
+
+  /// Appends a record to task `task_index`'s file.
+  void Append(uint32_t task_index, K key, V value) {
+    ERLB_CHECK(task_index < files_.size());
+    files_[task_index].emplace_back(std::move(key), std::move(value));
+  }
+
+  /// The file written by map task `task_index`.
+  const std::vector<std::pair<K, V>>& File(uint32_t task_index) const {
+    ERLB_CHECK(task_index < files_.size());
+    return files_[task_index];
+  }
+
+  /// All files; usable directly as the next job's input partitions.
+  const std::vector<std::vector<std::pair<K, V>>>& files() const {
+    return files_;
+  }
+  std::vector<std::vector<std::pair<K, V>>>& mutable_files() {
+    return files_;
+  }
+
+  uint32_t num_tasks() const { return static_cast<uint32_t>(files_.size()); }
+
+  /// Total records across all files.
+  size_t TotalRecords() const {
+    size_t n = 0;
+    for (const auto& f : files_) n += f.size();
+    return n;
+  }
+
+ private:
+  std::vector<std::vector<std::pair<K, V>>> files_;
+};
+
+}  // namespace mr
+}  // namespace erlb
+
+#endif  // ERLB_MR_SIDE_STORE_H_

@@ -1,0 +1,69 @@
+#include "sim/calibrate.h"
+
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+
+namespace erlb {
+namespace sim {
+
+Result<Calibration> CalibrateCostModel(
+    const std::vector<er::Entity>& entities,
+    const er::BlockingFunction& blocking, const er::Matcher& matcher,
+    const CalibrationOptions& options) {
+  if (entities.size() < 2) {
+    return Status::InvalidArgument("need at least two entities");
+  }
+  if (options.sample_pairs == 0) {
+    return Status::InvalidArgument("sample_pairs must be > 0");
+  }
+
+  // Group a bounded prefix by blocking key (and measure key computation).
+  std::map<std::string, std::vector<const er::Entity*>> blocks;
+  const size_t scan = std::min<size_t>(entities.size(), 200000);
+  Stopwatch key_watch;
+  for (size_t i = 0; i < scan; ++i) {
+    std::string key = blocking.Key(entities[i]);
+    if (!key.empty()) blocks[key].push_back(&entities[i]);
+  }
+  double record_ns = key_watch.ElapsedNanos() / static_cast<double>(scan);
+
+  std::vector<const std::vector<const er::Entity*>*> usable;
+  for (const auto& [key, block] : blocks) {
+    if (block.size() >= 2) usable.push_back(&block);
+  }
+  if (usable.empty()) {
+    return Status::FailedPrecondition(
+        "no block with >= 2 entities to sample pairs from");
+  }
+
+  // Sample within-block pairs and time the matcher.
+  Pcg32 rng(options.seed);
+  volatile uint64_t sink = 0;  // keep the matcher call alive
+  Stopwatch pair_watch;
+  for (uint32_t i = 0; i < options.sample_pairs; ++i) {
+    const auto& block =
+        *usable[rng.NextBounded(static_cast<uint32_t>(usable.size()))];
+    uint32_t a = rng.NextBounded(static_cast<uint32_t>(block.size()));
+    uint32_t b = rng.NextBounded(static_cast<uint32_t>(block.size()));
+    if (a == b) b = (b + 1) % block.size();
+    sink += matcher.Match(*block[a], *block[b]) ? 1 : 0;
+  }
+  double pair_ns =
+      pair_watch.ElapsedNanos() / static_cast<double>(options.sample_pairs);
+  (void)sink;
+
+  Calibration cal;
+  cal.measured_pair_ns = pair_ns;
+  cal.measured_record_ns = record_ns;
+  cal.sampled_pairs = options.sample_pairs;
+  cal.model = options.base;
+  cal.model.pair_cost_us = pair_ns / 1000.0 * options.slot_slowdown;
+  cal.model.record_cost_us = record_ns / 1000.0 * options.slot_slowdown;
+  return cal;
+}
+
+}  // namespace sim
+}  // namespace erlb

@@ -1,0 +1,155 @@
+#include "sim/er_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace erlb {
+namespace sim {
+
+namespace {
+
+constexpr double kUs = 1e-6;
+constexpr double kMs = 1e-3;
+
+/// Entities per input partition (column sums of the BDM).
+std::vector<uint64_t> RecordsPerPartition(const bdm::Bdm& bdm) {
+  std::vector<uint64_t> recs(bdm.num_partitions(), 0);
+  for (uint32_t k = 0; k < bdm.num_blocks(); ++k) {
+    for (uint32_t p = 0; p < bdm.num_partitions(); ++p) {
+      recs[p] += bdm.Size(k, p);
+    }
+  }
+  return recs;
+}
+
+/// Non-zero BDM cells per partition — the combiner-reduced shuffle volume
+/// of the BDM job.
+std::vector<uint64_t> CellsPerPartition(const bdm::Bdm& bdm) {
+  std::vector<uint64_t> cells(bdm.num_partitions(), 0);
+  for (uint32_t k = 0; k < bdm.num_blocks(); ++k) {
+    for (uint32_t p = 0; p < bdm.num_partitions(); ++p) {
+      if (bdm.Size(k, p) > 0) cells[p] += 1;
+    }
+  }
+  return cells;
+}
+
+double SimulateBdmJob(const bdm::Bdm& bdm, const ClusterConfig& cluster,
+                      const CostModel& cost,
+                      const std::vector<double>* map_speed,
+                      const std::vector<double>* reduce_speed) {
+  const auto recs = RecordsPerPartition(bdm);
+  const auto cells = CellsPerPartition(bdm);
+  std::vector<double> map_costs(recs.size());
+  for (size_t p = 0; p < recs.size(); ++p) {
+    // read + key + side output write (one record each) + combined shuffle.
+    map_costs[p] = cost.task_overhead_ms * kMs +
+                   recs[p] * (cost.record_cost_us + cost.kv_cost_us) * kUs +
+                   cells[p] * cost.kv_cost_us * kUs;
+  }
+  auto map_sched =
+      ListSchedule(map_costs, cluster.TotalMapSlots(), map_speed);
+
+  // One reduce task per ~b/r cells; the BDM reduce is count-only, so its
+  // cost is the shuffle read plus overhead. Model it as r_bdm = reduce
+  // slots tasks sharing the cells evenly.
+  uint64_t total_cells = 0;
+  for (uint64_t c : cells) total_cells += c;
+  const uint32_t r_bdm = cluster.TotalReduceSlots();
+  std::vector<double> reduce_costs(
+      r_bdm, cost.task_overhead_ms * kMs +
+                 (total_cells / std::max<uint64_t>(r_bdm, 1)) *
+                     cost.kv_cost_us * kUs);
+  auto reduce_sched =
+      ListSchedule(reduce_costs, cluster.TotalReduceSlots(), reduce_speed);
+
+  return cost.job_overhead_s + map_sched.makespan_s +
+         reduce_sched.makespan_s;
+}
+
+}  // namespace
+
+void DrawSlotSpeeds(const ClusterConfig& cluster, const CostModel& cost,
+                    std::vector<double>* map_slot_speed,
+                    std::vector<double>* reduce_slot_speed) {
+  map_slot_speed->assign(cluster.TotalMapSlots(), 1.0);
+  reduce_slot_speed->assign(cluster.TotalReduceSlots(), 1.0);
+  if (cost.heterogeneity_sigma <= 0) return;
+  Pcg32 rng(cost.seed, 0x4e0de);
+  for (uint32_t node = 0; node < cluster.num_nodes; ++node) {
+    double speed =
+        std::exp(rng.NextGaussian(0.0, cost.heterogeneity_sigma));
+    for (uint32_t s = 0; s < cluster.map_slots_per_node; ++s) {
+      (*map_slot_speed)[node * cluster.map_slots_per_node + s] = speed;
+    }
+    for (uint32_t s = 0; s < cluster.reduce_slots_per_node; ++s) {
+      (*reduce_slot_speed)[node * cluster.reduce_slots_per_node + s] =
+          speed;
+    }
+  }
+}
+
+Result<ErSimResult> SimulateEr(lb::StrategyKind strategy,
+                               const bdm::Bdm& bdm, uint32_t r,
+                               const ClusterConfig& cluster,
+                               const CostModel& cost,
+                               lb::TaskAssignment assignment,
+                               uint32_t sub_splits) {
+  if (r == 0) return Status::InvalidArgument("r must be >= 1");
+  if (cluster.num_nodes == 0) {
+    return Status::InvalidArgument("cluster must have >= 1 node");
+  }
+
+  auto strat = lb::MakeStrategy(strategy);
+  lb::MatchJobOptions options;
+  options.num_reduce_tasks = r;
+  options.assignment = assignment;
+  options.sub_splits = sub_splits;
+  ERLB_ASSIGN_OR_RETURN(lb::PlanStats plan, strat->Plan(bdm, options));
+
+  std::vector<double> map_speed, reduce_speed;
+  DrawSlotSpeeds(cluster, cost, &map_speed, &reduce_speed);
+
+  ErSimResult res;
+  res.reduce_task_imbalance = plan.ReduceImbalance();
+
+  // ---- Job 1 (BDM) for the BDM-based strategies -----------------------
+  if (strategy != lb::StrategyKind::kBasic) {
+    res.bdm_job_s =
+        SimulateBdmJob(bdm, cluster, cost, &map_speed, &reduce_speed);
+  }
+
+  // ---- Matching job: map phase -----------------------------------------
+  const auto recs = RecordsPerPartition(bdm);
+  std::vector<double> map_costs(bdm.num_partitions());
+  for (uint32_t p = 0; p < bdm.num_partitions(); ++p) {
+    map_costs[p] = cost.task_overhead_ms * kMs +
+                   recs[p] * cost.record_cost_us * kUs +
+                   plan.map_output_pairs_per_task[p] * cost.kv_cost_us * kUs;
+  }
+  auto map_sched =
+      ListSchedule(map_costs, cluster.TotalMapSlots(), &map_speed);
+  res.match_map_phase_s = map_sched.makespan_s;
+
+  // ---- Matching job: reduce phase --------------------------------------
+  std::vector<double> reduce_costs(r);
+  for (uint32_t t = 0; t < r; ++t) {
+    reduce_costs[t] =
+        cost.task_overhead_ms * kMs +
+        plan.input_records_per_reduce_task[t] * cost.kv_cost_us * kUs +
+        plan.comparisons_per_reduce_task[t] * cost.pair_cost_us * kUs;
+  }
+  auto reduce_sched =
+      ListSchedule(reduce_costs, cluster.TotalReduceSlots(), &reduce_speed);
+  res.match_reduce_phase_s = reduce_sched.makespan_s;
+  res.reduce_slot_imbalance = reduce_sched.SlotImbalance();
+
+  res.total_s = res.bdm_job_s + cost.job_overhead_s +
+                res.match_map_phase_s + res.match_reduce_phase_s;
+  return res;
+}
+
+}  // namespace sim
+}  // namespace erlb

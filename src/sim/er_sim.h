@@ -1,0 +1,61 @@
+// End-to-end simulated execution of the ER workflow (BDM job + matching
+// job for BlockSplit/PairRange; single job for Basic) on a configurable
+// cluster. The per-task workloads come from an exact strategy Plan; the
+// cost model converts them to task durations; the FIFO scheduler turns
+// them into phase makespans. This is what regenerates the paper's
+// execution-time and speedup figures at 10–100 node scale.
+#ifndef ERLB_SIM_ER_SIM_H_
+#define ERLB_SIM_ER_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bdm/bdm.h"
+#include "common/result.h"
+#include "lb/strategy.h"
+#include "sim/cost_model.h"
+#include "sim/scheduler.h"
+
+namespace erlb {
+namespace sim {
+
+/// Simulated execution times of one ER run.
+struct ErSimResult {
+  /// Job 1 (BDM computation); 0 for Basic (no preprocessing).
+  double bdm_job_s = 0;
+  double match_map_phase_s = 0;
+  double match_reduce_phase_s = 0;
+  /// End-to-end: BDM job + matching job + per-job overheads.
+  double total_s = 0;
+  /// Max/mean busy time across reduce slots in the matching job.
+  double reduce_slot_imbalance = 1.0;
+  /// The plan's reduce-task comparison imbalance (max/mean).
+  double reduce_task_imbalance = 1.0;
+};
+
+/// Simulates a full run of `strategy` over the dataset described by `bdm`.
+///
+/// \param strategy   which redistribution scheme
+/// \param bdm        the dataset's block distribution (m = its partitions)
+/// \param r          number of reduce tasks of the matching job
+/// \param cluster    nodes and slots
+/// \param cost       cost model
+/// \param assignment BlockSplit match-task assignment (ablation knob)
+/// \param sub_splits BlockSplit sub-split factor (extension knob)
+Result<ErSimResult> SimulateEr(
+    lb::StrategyKind strategy, const bdm::Bdm& bdm, uint32_t r,
+    const ClusterConfig& cluster, const CostModel& cost,
+    lb::TaskAssignment assignment = lb::TaskAssignment::kGreedyLpt,
+    uint32_t sub_splits = 1);
+
+/// Draws per-slot speed factors for `cluster` under `cost` (LogNormal
+/// node speeds, both slots of a node share the speed). Returned vectors
+/// are sized TotalMapSlots() / TotalReduceSlots().
+void DrawSlotSpeeds(const ClusterConfig& cluster, const CostModel& cost,
+                    std::vector<double>* map_slot_speed,
+                    std::vector<double>* reduce_slot_speed);
+
+}  // namespace sim
+}  // namespace erlb
+
+#endif  // ERLB_SIM_ER_SIM_H_

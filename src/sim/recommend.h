@@ -1,0 +1,40 @@
+// Strategy recommendation: the paper's concluding guidance ("BlockSplit
+// is preferable for smaller (splittable) datasets under the assumption
+// that the dataset's data order is not dependent from the blocking key;
+// otherwise PairRange has a better performance"), made executable by
+// comparing the strategies' projected execution on a simulated cluster.
+#ifndef ERLB_SIM_RECOMMEND_H_
+#define ERLB_SIM_RECOMMEND_H_
+
+#include <string>
+
+#include "bdm/bdm.h"
+#include "common/result.h"
+#include "lb/strategy.h"
+#include "sim/cost_model.h"
+
+namespace erlb {
+namespace sim {
+
+/// A recommendation with the evidence behind it.
+struct Recommendation {
+  lb::StrategyKind strategy = lb::StrategyKind::kBlockSplit;
+  /// Projected end-to-end seconds per strategy (index = StrategyKind).
+  double projected_seconds[3] = {0, 0, 0};
+  /// Reduce-task comparison imbalance per strategy.
+  double imbalance[3] = {1, 1, 1};
+  /// Human-readable rationale.
+  std::string rationale;
+};
+
+/// Projects all three strategies on `cluster`/`cost` for the dataset
+/// described by `bdm` and returns the fastest, with rationale. `r` is the
+/// matching job's reduce task count.
+Result<Recommendation> RecommendStrategy(const bdm::Bdm& bdm, uint32_t r,
+                                         const ClusterConfig& cluster,
+                                         const CostModel& cost);
+
+}  // namespace sim
+}  // namespace erlb
+
+#endif  // ERLB_SIM_RECOMMEND_H_

@@ -1,0 +1,55 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace erlb {
+namespace sim {
+
+double ScheduleResult::SlotImbalance() const {
+  if (slot_busy_s.empty()) return 1.0;
+  double sum = 0, mx = 0;
+  for (double b : slot_busy_s) {
+    sum += b;
+    mx = std::max(mx, b);
+  }
+  double avg = sum / slot_busy_s.size();
+  return avg <= 0 ? 1.0 : mx / avg;
+}
+
+ScheduleResult ListSchedule(const std::vector<double>& task_costs_s,
+                            uint32_t num_slots,
+                            const std::vector<double>* slot_speed) {
+  ERLB_CHECK(num_slots >= 1);
+  if (slot_speed != nullptr) {
+    ERLB_CHECK(slot_speed->size() == num_slots);
+  }
+  ScheduleResult res;
+  res.slot_busy_s.assign(num_slots, 0);
+  res.task_start_s.resize(task_costs_s.size());
+  res.task_finish_s.resize(task_costs_s.size());
+
+  // (finish time, slot index) min-heap = the slot that frees up first.
+  using Slot = std::pair<double, uint32_t>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<Slot>> heap;
+  for (uint32_t s = 0; s < num_slots; ++s) heap.emplace(0.0, s);
+
+  for (size_t t = 0; t < task_costs_s.size(); ++t) {
+    auto [free_at, slot] = heap.top();
+    heap.pop();
+    double speed = slot_speed ? (*slot_speed)[slot] : 1.0;
+    ERLB_CHECK(speed > 0);
+    double dur = task_costs_s[t] / speed;
+    res.task_start_s[t] = free_at;
+    res.task_finish_s[t] = free_at + dur;
+    res.slot_busy_s[slot] += dur;
+    res.makespan_s = std::max(res.makespan_s, res.task_finish_s[t]);
+    heap.emplace(res.task_finish_s[t], slot);
+  }
+  return res;
+}
+
+}  // namespace sim
+}  // namespace erlb

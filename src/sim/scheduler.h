@@ -1,0 +1,39 @@
+// Task scheduling onto a fixed number of process slots — the mechanism
+// that turns per-task workloads into a phase makespan. Hadoop assigns
+// queued tasks FIFO to whichever process frees up first ("after a task has
+// finished, another task is automatically assigned to the released
+// process").
+#ifndef ERLB_SIM_SCHEDULER_H_
+#define ERLB_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace erlb {
+namespace sim {
+
+/// Outcome of scheduling one task wave.
+struct ScheduleResult {
+  double makespan_s = 0;
+  /// Busy time of each slot.
+  std::vector<double> slot_busy_s;
+  /// Start/finish time of each task (input order).
+  std::vector<double> task_start_s;
+  std::vector<double> task_finish_s;
+
+  /// Max slot busy time / mean slot busy time (1.0 = perfectly even).
+  double SlotImbalance() const;
+};
+
+/// FIFO list scheduling: tasks are taken in index order; each is assigned
+/// to the slot with the earliest current finish time (ties: lowest slot).
+/// `slot_speed`, if given (size = num_slots, values > 0), scales slot
+/// execution speed: a task of cost c on slot s takes c / slot_speed[s].
+ScheduleResult ListSchedule(const std::vector<double>& task_costs_s,
+                            uint32_t num_slots,
+                            const std::vector<double>* slot_speed = nullptr);
+
+}  // namespace sim
+}  // namespace erlb
+
+#endif  // ERLB_SIM_SCHEDULER_H_

@@ -1,0 +1,108 @@
+// The paper's running examples as test fixtures.
+//
+// One source (Figure 3): 14 entities A–O in two partitions with blocks
+// w(4), x(2), y(3), z(5); block z splits as Π0=2 / Π1=3; entity M is the
+// first z-entity of Π1 (global entity index 2). Total pairs P = 20.
+//
+// Two sources (Figure 15 structure): blocks with per-source sizes
+// w(R2,S2)=4 pairs, x(R1,S0)=0, y(R1,S2)=2, z(R2,S3)=6; R in partition
+// Π0, S in partitions Π1–Π2 (z: 2 S-entities in Π1, 1 in Π2). P = 12.
+// Entity C is the first R-entity of block z (index 0) and is relevant to
+// pair ranges 1 and 2 for r=3, as in Figure 17.
+#ifndef ERLB_TESTS_PAPER_EXAMPLE_H_
+#define ERLB_TESTS_PAPER_EXAMPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "er/blocking.h"
+#include "er/entity.h"
+
+namespace erlb {
+namespace testing_util {
+
+/// One entity with its blocking key stored in fields[1] and a
+/// single-letter name in fields[0].
+inline er::Entity MakeExampleEntity(uint64_t id, const std::string& name,
+                                    const std::string& block,
+                                    er::Source source = er::Source::kR) {
+  er::Entity e;
+  e.id = id;
+  e.fields = {name, block};
+  e.source = source;
+  return e;
+}
+
+/// Blocking on fields[1] (the explicit block letter).
+inline er::AttributeBlocking ExampleBlocking() {
+  return er::AttributeBlocking(1);
+}
+
+/// Figure 3's 14 entities as two partitions.
+/// Π0: A(w) B(w) C(x) D(y) E(y) F(z) G(z)
+/// Π1: H(w) I(w) J(x) K(y) M(z) N(z) O(z)
+inline er::Partitions PaperExamplePartitions() {
+  auto E = [](uint64_t id, const char* name, const char* block) {
+    return er::MakeEntityRef(MakeExampleEntity(id, name, block));
+  };
+  er::Partitions parts(2);
+  parts[0] = {E(1, "A", "w"), E(2, "B", "w"), E(3, "C", "x"),
+              E(4, "D", "y"), E(5, "E", "y"), E(6, "F", "z"),
+              E(7, "G", "z")};
+  parts[1] = {E(8, "H", "w"),  E(9, "I", "w"),  E(10, "J", "x"),
+              E(11, "K", "y"), E(12, "M", "z"), E(13, "N", "z"),
+              E(14, "O", "z")};
+  return parts;
+}
+
+/// Entity ids of the one-source example keyed by name.
+inline uint64_t ExampleId(char name) {
+  switch (name) {
+    case 'A': return 1;
+    case 'B': return 2;
+    case 'C': return 3;
+    case 'D': return 4;
+    case 'E': return 5;
+    case 'F': return 6;
+    case 'G': return 7;
+    case 'H': return 8;
+    case 'I': return 9;
+    case 'J': return 10;
+    case 'K': return 11;
+    case 'M': return 12;
+    case 'N': return 13;
+    case 'O': return 14;
+    default: return 0;
+  }
+}
+
+/// Figure 15-structured two-source example, three partitions.
+/// Π0 (R): A(w) B(w) C(z) D(z) E(y) F(x)
+/// Π1 (S): G(w) H(w) I(z) J(z)
+/// Π2 (S): K(z) L(y) M(y)
+inline er::Partitions PaperTwoSourcePartitions() {
+  auto R = [](uint64_t id, const char* name, const char* block) {
+    return er::MakeEntityRef(
+        MakeExampleEntity(id, name, block, er::Source::kR));
+  };
+  auto S = [](uint64_t id, const char* name, const char* block) {
+    return er::MakeEntityRef(
+        MakeExampleEntity(id, name, block, er::Source::kS));
+  };
+  er::Partitions parts(3);
+  parts[0] = {R(1, "A", "w"), R(2, "B", "w"), R(3, "C", "z"),
+              R(4, "D", "z"), R(5, "E", "y"), R(6, "F", "x")};
+  parts[1] = {S(101, "G", "w"), S(102, "H", "w"), S(103, "I", "z"),
+              S(104, "J", "z")};
+  parts[2] = {S(105, "K", "z"), S(106, "L", "y"), S(107, "M", "y")};
+  return parts;
+}
+
+inline std::vector<er::Source> PaperTwoSourceTags() {
+  return {er::Source::kR, er::Source::kS, er::Source::kS};
+}
+
+}  // namespace testing_util
+}  // namespace erlb
+
+#endif  // ERLB_TESTS_PAPER_EXAMPLE_H_

@@ -1,0 +1,77 @@
+// Shared helpers for strategy tests: run the full two-job workflow (or
+// single-job Basic) over given partitions and return the match result.
+#ifndef ERLB_TESTS_STRATEGY_TEST_UTIL_H_
+#define ERLB_TESTS_STRATEGY_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bdm/bdm_job.h"
+#include "er/match_result.h"
+#include "lb/basic.h"
+#include "lb/strategy.h"
+#include "mr/job.h"
+
+namespace erlb {
+namespace testing_util {
+
+struct StrategyRun {
+  er::MatchResult matches;
+  int64_t comparisons = 0;
+  int64_t map_output_pairs = 0;  // matching job only
+  bdm::Bdm bdm;
+};
+
+/// Runs `kind` end-to-end over `partitions` and returns matches plus
+/// workload counters. Asserts (via gtest) on infrastructure failures.
+inline StrategyRun RunStrategy(
+    lb::StrategyKind kind, const er::Partitions& partitions,
+    const er::BlockingFunction& blocking, const er::Matcher& matcher,
+    uint32_t r, uint32_t workers = 4,
+    const std::vector<er::Source>* partition_sources = nullptr,
+    lb::TaskAssignment assignment = lb::TaskAssignment::kGreedyLpt) {
+  StrategyRun run;
+  mr::JobRunner runner(workers);
+  lb::MatchJobOptions options;
+  options.num_reduce_tasks = r;
+  options.assignment = assignment;
+
+  if (kind == lb::StrategyKind::kBasic) {
+    auto out = lb::RunBasicSingleJob(partitions, blocking, matcher,
+                                     options, runner, partition_sources);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    if (!out.ok()) return run;
+    run.matches = std::move(out->matches);
+    run.comparisons = out->comparisons;
+    run.map_output_pairs = out->metrics.TotalMapOutputPairs();
+    run.matches.Canonicalize();
+    return run;
+  }
+
+  bdm::BdmJobOptions bdm_options;
+  bdm_options.num_reduce_tasks = r;
+  if (partition_sources != nullptr) {
+    bdm_options.partition_sources = *partition_sources;
+  }
+  auto bdm_out = bdm::RunBdmJob(partitions, blocking, bdm_options, runner);
+  EXPECT_TRUE(bdm_out.ok()) << bdm_out.status().ToString();
+  if (!bdm_out.ok()) return run;
+  run.bdm = bdm_out->bdm;
+
+  auto strategy = lb::MakeStrategy(kind);
+  auto out = strategy->RunMatchJob(*bdm_out->annotated, bdm_out->bdm,
+                                   matcher, options, runner);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  if (!out.ok()) return run;
+  run.matches = std::move(out->matches);
+  run.comparisons = out->comparisons;
+  run.map_output_pairs = out->metrics.TotalMapOutputPairs();
+  run.matches.Canonicalize();
+  return run;
+}
+
+}  // namespace testing_util
+}  // namespace erlb
+
+#endif  // ERLB_TESTS_STRATEGY_TEST_UTIL_H_

@@ -1,0 +1,176 @@
+#include "bdm/bdm_job.h"
+
+#include <gtest/gtest.h>
+
+#include "paper_example.h"
+
+namespace erlb {
+namespace bdm {
+namespace {
+
+using testing_util::ExampleBlocking;
+using testing_util::PaperExamplePartitions;
+using testing_util::PaperTwoSourcePartitions;
+using testing_util::PaperTwoSourceTags;
+
+TEST(BdmJobTest, PaperExampleMatrix) {
+  mr::JobRunner runner(2);
+  BdmJobOptions options;
+  options.num_reduce_tasks = 3;
+  auto blocking = ExampleBlocking();
+  auto out = RunBdmJob(PaperExamplePartitions(), blocking, options, runner);
+  ASSERT_TRUE(out.ok());
+  const Bdm& bdm = out->bdm;
+  EXPECT_EQ(bdm.num_blocks(), 4u);
+  EXPECT_EQ(bdm.num_partitions(), 2u);
+  EXPECT_EQ(bdm.Size(3, 0), 2u);
+  EXPECT_EQ(bdm.Size(3, 1), 3u);
+  EXPECT_EQ(bdm.TotalPairs(), 20u);
+}
+
+TEST(BdmJobTest, ResultIndependentOfReduceTasks) {
+  mr::JobRunner runner(3);
+  auto blocking = ExampleBlocking();
+  for (uint32_t r : {1u, 2u, 5u, 16u}) {
+    BdmJobOptions options;
+    options.num_reduce_tasks = r;
+    auto out =
+        RunBdmJob(PaperExamplePartitions(), blocking, options, runner);
+    ASSERT_TRUE(out.ok()) << "r=" << r;
+    EXPECT_EQ(out->bdm.TotalPairs(), 20u) << "r=" << r;
+    EXPECT_EQ(out->bdm.num_blocks(), 4u) << "r=" << r;
+  }
+}
+
+TEST(BdmJobTest, CombinerDoesNotChangeResult) {
+  mr::JobRunner runner(2);
+  auto blocking = ExampleBlocking();
+  BdmJobOptions with, without;
+  with.num_reduce_tasks = without.num_reduce_tasks = 2;
+  with.use_combiner = true;
+  without.use_combiner = false;
+  auto a = RunBdmJob(PaperExamplePartitions(), blocking, with, runner);
+  auto b = RunBdmJob(PaperExamplePartitions(), blocking, without, runner);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->bdm.ToTriples().size(), b->bdm.ToTriples().size());
+  for (uint32_t k = 0; k < a->bdm.num_blocks(); ++k) {
+    for (uint32_t p = 0; p < 2; ++p) {
+      EXPECT_EQ(a->bdm.Size(k, p), b->bdm.Size(k, p));
+    }
+  }
+  // The combiner shrinks the shuffle: one record per (block, partition).
+  int64_t with_recs = 0, without_recs = 0;
+  for (const auto& t : a->metrics.reduce_tasks) {
+    with_recs += t.input_records;
+  }
+  for (const auto& t : b->metrics.reduce_tasks) {
+    without_recs += t.input_records;
+  }
+  EXPECT_EQ(with_recs, 8);      // 8 non-zero BDM cells
+  EXPECT_EQ(without_recs, 14);  // one per entity
+}
+
+TEST(BdmJobTest, AnnotatedSideOutputMirrorsInput) {
+  mr::JobRunner runner(2);
+  auto blocking = ExampleBlocking();
+  BdmJobOptions options;
+  options.num_reduce_tasks = 2;
+  auto parts = PaperExamplePartitions();
+  auto out = RunBdmJob(parts, blocking, options, runner);
+  ASSERT_TRUE(out.ok());
+  // "map produces an additional output Π'i per partition that contains the
+  // original entities annotated with their blocking keys."
+  ASSERT_EQ(out->annotated->num_tasks(), 2u);
+  for (uint32_t p = 0; p < 2; ++p) {
+    const auto& file = out->annotated->File(p);
+    ASSERT_EQ(file.size(), parts[p].size());
+    for (size_t i = 0; i < file.size(); ++i) {
+      EXPECT_EQ(file[i].first, blocking.Key(*parts[p][i]));
+      EXPECT_EQ(file[i].second->id, parts[p][i]->id);
+    }
+  }
+}
+
+TEST(BdmJobTest, MissingKeyErrorPolicy) {
+  mr::JobRunner runner(2);
+  er::AttributeBlocking blocking(5);  // field 5 doesn't exist -> empty key
+  BdmJobOptions options;
+  options.num_reduce_tasks = 1;
+  auto out = RunBdmJob(PaperExamplePartitions(), blocking, options, runner);
+  EXPECT_TRUE(out.status().IsInvalidArgument());
+}
+
+TEST(BdmJobTest, MissingKeySkipPolicy) {
+  mr::JobRunner runner(2);
+  er::AttributeBlocking blocking(5);
+  BdmJobOptions options;
+  options.num_reduce_tasks = 1;
+  options.missing_key_policy = MissingKeyPolicy::kSkip;
+  auto out = RunBdmJob(PaperExamplePartitions(), blocking, options, runner);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->skipped_entities, 14u);
+  EXPECT_EQ(out->bdm.num_blocks(), 0u);
+}
+
+TEST(BdmJobTest, MissingKeyBottomPolicy) {
+  mr::JobRunner runner(2);
+  er::AttributeBlocking blocking(5);
+  BdmJobOptions options;
+  options.num_reduce_tasks = 1;
+  options.missing_key_policy = MissingKeyPolicy::kBottom;
+  auto out = RunBdmJob(PaperExamplePartitions(), blocking, options, runner);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->bdm.num_blocks(), 1u);
+  EXPECT_EQ(out->bdm.BlockKey(0), er::kBottomKey);
+  EXPECT_EQ(out->bdm.Size(0), 14u);  // full Cartesian product block
+}
+
+TEST(BdmJobTest, EmptyInputRejected) {
+  mr::JobRunner runner(1);
+  auto blocking = ExampleBlocking();
+  BdmJobOptions options;
+  EXPECT_TRUE(
+      RunBdmJob({}, blocking, options, runner).status().IsInvalidArgument());
+}
+
+TEST(BdmJobTest, TwoSourceTagsInTriples) {
+  mr::JobRunner runner(2);
+  auto blocking = ExampleBlocking();
+  BdmJobOptions options;
+  options.num_reduce_tasks = 2;
+  options.partition_sources = PaperTwoSourceTags();
+  auto out =
+      RunBdmJob(PaperTwoSourcePartitions(), blocking, options, runner);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->bdm.two_source());
+  EXPECT_EQ(out->bdm.TotalPairs(), 12u);
+  EXPECT_EQ(out->bdm.SizeOfSource(3, er::Source::kS), 3u);
+}
+
+TEST(BdmJobTest, TwoSourceTagSizeMismatchRejected) {
+  mr::JobRunner runner(2);
+  auto blocking = ExampleBlocking();
+  BdmJobOptions options;
+  options.partition_sources = {er::Source::kR};  // 1 tag, 3 partitions
+  EXPECT_TRUE(RunBdmJob(PaperTwoSourcePartitions(), blocking, options,
+                        runner)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BdmJobTest, MapOutputCountsMatchEntityCounts) {
+  mr::JobRunner runner(2);
+  auto blocking = ExampleBlocking();
+  BdmJobOptions options;
+  options.num_reduce_tasks = 2;
+  options.use_combiner = false;
+  auto out = RunBdmJob(PaperExamplePartitions(), blocking, options, runner);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->metrics.TotalMapOutputPairs(), 14);
+  EXPECT_EQ(out->metrics.TotalMapInputRecords(), 14);
+}
+
+}  // namespace
+}  // namespace bdm
+}  // namespace erlb

@@ -1,0 +1,259 @@
+#include "lb/block_split_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "bdm/bdm.h"
+#include "paper_example.h"
+
+namespace erlb {
+namespace lb {
+namespace {
+
+bdm::Bdm PaperBdm() {
+  auto bdm = bdm::Bdm::FromKeys({{"w", "w", "x", "y", "y", "z", "z"},
+                                 {"w", "w", "x", "y", "z", "z", "z"}});
+  EXPECT_TRUE(bdm.ok());
+  return *bdm;
+}
+
+TEST(BlockSplitPlanTest, PaperExampleOnlyZIsSplit) {
+  auto plan = BlockSplitPlan::Build(PaperBdm(), 3);
+  ASSERT_TRUE(plan.ok());
+  // avg workload = P/r = 20/3; only Φ3 (10 comparisons) exceeds it.
+  EXPECT_FALSE(plan->IsSplit(0));
+  EXPECT_FALSE(plan->IsSplit(1));
+  EXPECT_FALSE(plan->IsSplit(2));
+  EXPECT_TRUE(plan->IsSplit(3));
+}
+
+TEST(BlockSplitPlanTest, PaperExampleMatchTasks) {
+  auto plan = BlockSplitPlan::Build(PaperBdm(), 3);
+  ASSERT_TRUE(plan.ok());
+  // "the three match tasks 3.0, 3.0×1, and 3.1 that account for 1, 6, and
+  // 3 comparisons" plus the three unsplit tasks 0.*, 1.*, 2.*.
+  ASSERT_EQ(plan->tasks().size(), 6u);
+  // Sorted descending: 0.*(6), 3.0×1(6), 2.*(3), 3.1(3), 1.*(1), 3.0(1).
+  const auto& t = plan->tasks();
+  EXPECT_EQ(t[0].block, 0u);
+  EXPECT_EQ(t[0].comparisons, 6u);
+  EXPECT_EQ(t[1].block, 3u);
+  EXPECT_EQ(t[1].pi, 1u);
+  EXPECT_EQ(t[1].pj, 0u);
+  EXPECT_EQ(t[1].comparisons, 6u);
+  EXPECT_EQ(t[2].block, 2u);
+  EXPECT_EQ(t[2].comparisons, 3u);
+  EXPECT_EQ(t[3].block, 3u);
+  EXPECT_EQ(t[3].pi, 1u);
+  EXPECT_EQ(t[3].pj, 1u);
+  EXPECT_EQ(t[3].comparisons, 3u);
+  EXPECT_EQ(t[4].block, 1u);
+  EXPECT_EQ(t[4].comparisons, 1u);
+  EXPECT_EQ(t[5].block, 3u);
+  EXPECT_EQ(t[5].pi, 0u);
+  EXPECT_EQ(t[5].pj, 0u);
+  EXPECT_EQ(t[5].comparisons, 1u);
+}
+
+TEST(BlockSplitPlanTest, PaperExampleBalancedAssignment) {
+  auto plan = BlockSplitPlan::Build(PaperBdm(), 3);
+  ASSERT_TRUE(plan.ok());
+  // "Each reduce task has to process between six and seven comparisons."
+  const auto& loads = plan->comparisons_per_reduce_task();
+  ASSERT_EQ(loads.size(), 3u);
+  uint64_t total = 0;
+  for (uint64_t l : loads) {
+    EXPECT_GE(l, 6u);
+    EXPECT_LE(l, 7u);
+    total += l;
+  }
+  EXPECT_EQ(total, 20u);
+}
+
+TEST(BlockSplitPlanTest, MatchTasksCoverAllPairsExactlyOnce) {
+  // Σ task comparisons == P for arbitrary BDMs.
+  for (uint32_t r : {1u, 2u, 3u, 5u, 10u, 40u}) {
+    auto bdm = bdm::Bdm::FromKeys(
+        {{"a", "a", "a", "b", "c", "c", "d", "d", "d", "d"},
+         {"a", "a", "b", "c", "d", "d", "d", "e"},
+         {"a", "d", "d", "f", "f", "f"}});
+    ASSERT_TRUE(bdm.ok());
+    auto plan = BlockSplitPlan::Build(*bdm, r);
+    ASSERT_TRUE(plan.ok());
+    uint64_t covered = 0;
+    for (const auto& t : plan->tasks()) covered += t.comparisons;
+    EXPECT_EQ(covered, bdm->TotalPairs()) << "r=" << r;
+    uint64_t assigned = 0;
+    for (uint64_t l : plan->comparisons_per_reduce_task()) assigned += l;
+    EXPECT_EQ(assigned, bdm->TotalPairs()) << "r=" << r;
+  }
+}
+
+TEST(BlockSplitPlanTest, ReduceTaskLookupConsistent) {
+  auto plan = BlockSplitPlan::Build(PaperBdm(), 3);
+  ASSERT_TRUE(plan.ok());
+  for (const auto& t : plan->tasks()) {
+    auto rt = plan->ReduceTaskFor(t.block, t.pi, t.pj);
+    ASSERT_TRUE(rt.has_value());
+    EXPECT_EQ(*rt, t.reduce_task);
+  }
+  EXPECT_FALSE(plan->ReduceTaskFor(99, 0, 0).has_value());
+}
+
+TEST(BlockSplitPlanTest, PaperExampleEmissions) {
+  auto plan = BlockSplitPlan::Build(PaperBdm(), 3);
+  ASSERT_TRUE(plan.ok());
+  // "The replication of the five entities for the split block leads to 19
+  // key-value pairs for the 14 input entities": unsplit entities emit 1,
+  // split-block entities emit m=2.
+  EXPECT_EQ(plan->EmissionsPerEntity(0, 0), 1u);
+  EXPECT_EQ(plan->EmissionsPerEntity(1, 1), 1u);
+  EXPECT_EQ(plan->EmissionsPerEntity(3, 0), 2u);
+  EXPECT_EQ(plan->EmissionsPerEntity(3, 1), 2u);
+  auto bdm = PaperBdm();
+  uint64_t total = 0;
+  for (uint32_t k = 0; k < bdm.num_blocks(); ++k) {
+    for (uint32_t p = 0; p < bdm.num_partitions(); ++p) {
+      total += bdm.Size(k, p) * plan->EmissionsPerEntity(k, p);
+    }
+  }
+  EXPECT_EQ(total, 19u);
+}
+
+TEST(BlockSplitPlanTest, ZeroComparisonBlocksEmitNothing) {
+  auto bdm = bdm::Bdm::FromKeys({{"solo", "a", "a"}});
+  ASSERT_TRUE(bdm.ok());
+  auto plan = BlockSplitPlan::Build(*bdm, 2);
+  ASSERT_TRUE(plan.ok());
+  auto solo = bdm->BlockIndex("solo");
+  ASSERT_TRUE(solo.ok());
+  EXPECT_EQ(plan->EmissionsPerEntity(*solo, 0), 0u);
+  EXPECT_FALSE(plan->ReduceTaskFor(*solo, 0, 0).has_value());
+}
+
+TEST(BlockSplitPlanTest, SplitSkipsEmptyPartitions) {
+  // Block "z" only present in partitions 0 and 2 of 3; with r large
+  // enough to force a split, no task may reference partition 1.
+  auto bdm = bdm::Bdm::FromKeys({{"z", "z", "z"}, {"q"}, {"z", "z", "z"}});
+  ASSERT_TRUE(bdm.ok());
+  auto plan = BlockSplitPlan::Build(*bdm, 8);
+  ASSERT_TRUE(plan.ok());
+  auto z = bdm->BlockIndex("z");
+  ASSERT_TRUE(z.ok());
+  ASSERT_TRUE(plan->IsSplit(*z));
+  for (const auto& t : plan->tasks()) {
+    if (t.block != *z) continue;
+    EXPECT_NE(t.pi, 1u);
+    EXPECT_NE(t.pj, 1u);
+  }
+  EXPECT_EQ(plan->EmissionsPerEntity(*z, 1), 0u);
+}
+
+TEST(BlockSplitPlanTest, GreedyNeverWorseThanRoundRobinOnSkew) {
+  auto bdm = bdm::Bdm::FromKeys(
+      {{"a", "a", "a", "a", "a", "a", "b", "b", "c", "d", "e", "f"},
+       {"a", "a", "a", "b", "c", "c", "d", "e", "f", "g"}});
+  ASSERT_TRUE(bdm.ok());
+  for (uint32_t r : {2u, 3u, 4u}) {
+    auto greedy =
+        BlockSplitPlan::Build(*bdm, r, TaskAssignment::kGreedyLpt);
+    auto rr = BlockSplitPlan::Build(*bdm, r, TaskAssignment::kRoundRobin);
+    ASSERT_TRUE(greedy.ok());
+    ASSERT_TRUE(rr.ok());
+    auto max_load = [](const BlockSplitPlan& p) {
+      uint64_t mx = 0;
+      for (uint64_t l : p.comparisons_per_reduce_task()) {
+        mx = std::max(mx, l);
+      }
+      return mx;
+    };
+    EXPECT_LE(max_load(*greedy), max_load(*rr)) << "r=" << r;
+  }
+}
+
+TEST(BlockSplitPlanTest, SingleReduceTaskGetsEverything) {
+  auto plan = BlockSplitPlan::Build(PaperBdm(), 1);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->comparisons_per_reduce_task().size(), 1u);
+  EXPECT_EQ(plan->comparisons_per_reduce_task()[0], 20u);
+  // avg = 20, no block exceeds it -> nothing is split.
+  for (uint32_t k = 0; k < 4; ++k) EXPECT_FALSE(plan->IsSplit(k));
+}
+
+TEST(BlockSplitPlanTest, RejectsZeroReduceTasks) {
+  EXPECT_TRUE(
+      BlockSplitPlan::Build(PaperBdm(), 0).status().IsInvalidArgument());
+}
+
+// ---- two-source --------------------------------------------------------
+
+bdm::Bdm TwoSourceBdm() {
+  auto tags = testing_util::PaperTwoSourceTags();
+  auto bdm = bdm::Bdm::FromKeys({{"w", "w", "z", "z", "y", "x"},
+                                 {"w", "w", "z", "z"},
+                                 {"z", "y", "y"}},
+                                &tags);
+  EXPECT_TRUE(bdm.ok());
+  return *bdm;
+}
+
+TEST(BlockSplitPlanTwoSourceTest, PaperAppendixExample) {
+  // "The BDM indicates 12 overall pairs so that the average reduce
+  // workload equals 4 pairs. The largest block Φ3 is therefore subject to
+  // split because it has to process 6 pairs. The split results in the two
+  // match tasks 3.0×1 and 3.0×2."
+  auto plan = BlockSplitPlan::Build(TwoSourceBdm(), 3);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->comparisons_per_reduce_task_avg(), 4u);
+  EXPECT_TRUE(plan->IsSplit(3));
+  EXPECT_FALSE(plan->IsSplit(0));
+  EXPECT_FALSE(plan->IsSplit(2));
+
+  // Tasks ordered: 0.*(4), 3.0×1(4), 2.*(2), 3.0×2(2).
+  const auto& t = plan->tasks();
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0].block, 0u);
+  EXPECT_EQ(t[0].comparisons, 4u);
+  EXPECT_EQ(t[1].block, 3u);
+  EXPECT_EQ(t[1].pi, 0u);  // R partition Π0
+  EXPECT_EQ(t[1].pj, 1u);  // S partition Π1
+  EXPECT_EQ(t[1].comparisons, 4u);
+  EXPECT_EQ(t[2].block, 2u);
+  EXPECT_EQ(t[2].comparisons, 2u);
+  EXPECT_EQ(t[3].block, 3u);
+  EXPECT_EQ(t[3].pj, 2u);  // S partition Π2
+  EXPECT_EQ(t[3].comparisons, 2u);
+
+  // Assignment: r0 <- 0.*, r1 <- 3.0×1, r2 <- 2.*, r2 <- 3.0×2.
+  EXPECT_EQ(t[0].reduce_task, 0u);
+  EXPECT_EQ(t[1].reduce_task, 1u);
+  EXPECT_EQ(t[2].reduce_task, 2u);
+  EXPECT_EQ(t[3].reduce_task, 2u);
+}
+
+TEST(BlockSplitPlanTwoSourceTest, NoSelfTasksForSplitBlocks) {
+  auto plan = BlockSplitPlan::Build(TwoSourceBdm(), 12);
+  ASSERT_TRUE(plan.ok());
+  for (const auto& t : plan->tasks()) {
+    if (!plan->IsSplit(t.block)) continue;
+    // Every split task pairs an R partition (0) with an S partition (1,2).
+    EXPECT_EQ(t.pi, 0u);
+    EXPECT_TRUE(t.pj == 1u || t.pj == 2u);
+  }
+}
+
+TEST(BlockSplitPlanTwoSourceTest, CoversAllCrossPairs) {
+  for (uint32_t r : {1u, 2u, 3u, 6u, 20u}) {
+    auto plan = BlockSplitPlan::Build(TwoSourceBdm(), r);
+    ASSERT_TRUE(plan.ok());
+    uint64_t covered = 0;
+    for (const auto& t : plan->tasks()) covered += t.comparisons;
+    EXPECT_EQ(covered, 12u) << "r=" << r;
+  }
+}
+
+}  // namespace
+}  // namespace lb
+}  // namespace erlb

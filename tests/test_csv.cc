@@ -1,0 +1,72 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace erlb {
+namespace {
+
+TEST(CsvTest, ParseSimpleLine) {
+  auto f = ParseCsvLine("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(CsvTest, ParseQuotedDelimiter) {
+  auto f = ParseCsvLine("\"a,b\",c");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "c");
+}
+
+TEST(CsvTest, ParseDoubledQuotes) {
+  auto f = ParseCsvLine("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "say \"hi\"");
+}
+
+TEST(CsvTest, ParseEmptyFields) {
+  auto f = ParseCsvLine(",,");
+  ASSERT_EQ(f.size(), 3u);
+  for (const auto& s : f) EXPECT_EQ(s, "");
+}
+
+TEST(CsvTest, EscapePlainUnchanged) {
+  EXPECT_EQ(EscapeCsvField("abc"), "abc");
+}
+
+TEST(CsvTest, EscapeQuotesWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("a\"b"), "\"a\"\"b\"");
+}
+
+TEST(CsvTest, RowRoundTrip) {
+  std::vector<std::string> row{"plain", "with,comma", "with\"quote"};
+  auto parsed = ParseCsvLine(FormatCsvRow(row));
+  EXPECT_EQ(parsed, row);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "erlb_csv_test.csv")
+          .string();
+  std::vector<std::vector<std::string>> rows{
+      {"id", "title"}, {"1", "camera, digital"}, {"2", "phone"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileIsIOError) {
+  auto r = ReadCsvFile("/nonexistent/dir/file.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace erlb

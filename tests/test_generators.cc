@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "er/blocking.h"
+#include "er/similarity.h"
+#include "gen/dataset_stats.h"
+#include "gen/perturb.h"
+#include "gen/product_gen.h"
+#include "gen/publication_gen.h"
+#include "gen/skew_gen.h"
+
+namespace erlb {
+namespace gen {
+namespace {
+
+TEST(PerturbTest, ProtectsPrefix) {
+  Pcg32 rng(1);
+  for (int i = 0; i < 200; ++i) {
+    std::string out = Perturb("abcdefghij", 3, 3, &rng);
+    ASSERT_GE(out.size(), 3u);
+    EXPECT_EQ(out.substr(0, 3), "abc");
+  }
+}
+
+TEST(PerturbTest, StaysWithinEditBudget) {
+  Pcg32 rng(2);
+  const std::string base = "wireless speaker xk-4435";
+  for (int i = 0; i < 200; ++i) {
+    std::string out = Perturb(base, 2, 0, &rng);
+    // Each of <= 2 single-char edits moves edit distance by <= 2 (swap).
+    EXPECT_LE(er::EditDistance(base, out), 4u);
+  }
+}
+
+TEST(PerturbTest, TooShortStringUnchanged) {
+  Pcg32 rng(3);
+  EXPECT_EQ(ApplyRandomEdit("ab", 3, &rng), "ab");
+}
+
+TEST(SkewGenTest, ExactEntityCount) {
+  SkewConfig cfg;
+  cfg.num_entities = 1234;
+  cfg.num_blocks = 17;
+  cfg.skew = 0.7;
+  auto entities = GenerateSkewed(cfg);
+  ASSERT_TRUE(entities.ok());
+  EXPECT_EQ(entities->size(), 1234u);
+}
+
+TEST(SkewGenTest, UniformSkewYieldsEqualBlocks) {
+  SkewConfig cfg;
+  cfg.num_entities = 1000;
+  cfg.num_blocks = 10;
+  cfg.skew = 0.0;
+  auto entities = GenerateSkewed(cfg);
+  ASSERT_TRUE(entities.ok());
+  std::map<std::string, int> sizes;
+  for (const auto& e : *entities) sizes[e.fields[kSkewBlockField]]++;
+  ASSERT_EQ(sizes.size(), 10u);
+  for (const auto& [k, n] : sizes) EXPECT_EQ(n, 100);
+}
+
+TEST(SkewGenTest, ExponentialSizesFollowTheDistribution) {
+  SkewConfig cfg;
+  cfg.num_entities = 10000;
+  cfg.num_blocks = 20;
+  cfg.skew = 0.3;
+  auto entities = GenerateSkewed(cfg);
+  ASSERT_TRUE(entities.ok());
+  std::map<std::string, int> sizes;
+  for (const auto& e : *entities) sizes[e.fields[kSkewBlockField]]++;
+  for (uint32_t k = 0; k < 20; ++k) {
+    double expected = ExpectedBlockSize(cfg, k);
+    double actual = sizes[SkewBlockLabel(k)];
+    EXPECT_NEAR(actual, expected, expected * 0.02 + 2)
+        << "block " << k;
+  }
+  // Monotone non-increasing sizes.
+  for (uint32_t k = 1; k < 20; ++k) {
+    EXPECT_GE(sizes[SkewBlockLabel(k - 1)] + 1, sizes[SkewBlockLabel(k)]);
+  }
+}
+
+TEST(SkewGenTest, HighSkewConcentratesPairs) {
+  SkewConfig flat, steep;
+  flat.num_entities = steep.num_entities = 5000;
+  flat.num_blocks = steep.num_blocks = 100;
+  flat.skew = 0.0;
+  steep.skew = 1.0;
+  auto a = GenerateSkewed(flat);
+  auto b = GenerateSkewed(steep);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  er::AttributeBlocking blocking(kSkewBlockField);
+  auto sa = ComputeDatasetStats(*a, blocking);
+  auto sb = ComputeDatasetStats(*b, blocking);
+  ASSERT_TRUE(sa.ok());
+  ASSERT_TRUE(sb.ok());
+  // "the data skew ... determines the overall number of entity pairs."
+  EXPECT_GT(sb->total_pairs, sa->total_pairs * 5);
+  EXPECT_GT(sb->largest_block_pair_share, 0.5);
+  EXPECT_LT(sa->largest_block_pair_share, 0.05);
+}
+
+TEST(SkewGenTest, DuplicatesShareBlockAndCluster) {
+  SkewConfig cfg;
+  cfg.num_entities = 2000;
+  cfg.num_blocks = 10;
+  cfg.skew = 0.4;
+  cfg.duplicate_fraction = 0.4;
+  auto entities = GenerateSkewed(cfg);
+  ASSERT_TRUE(entities.ok());
+  std::map<uint64_t, std::set<std::string>> cluster_blocks;
+  size_t clustered = 0;
+  for (const auto& e : *entities) {
+    if (e.cluster_id != 0) {
+      cluster_blocks[e.cluster_id].insert(e.fields[kSkewBlockField]);
+      ++clustered;
+    }
+  }
+  EXPECT_GT(clustered, 100u);
+  for (const auto& [cid, blocks] : cluster_blocks) {
+    EXPECT_EQ(blocks.size(), 1u) << "cluster " << cid << " spans blocks";
+  }
+}
+
+TEST(SkewGenTest, DeterministicForSeed) {
+  SkewConfig cfg;
+  cfg.num_entities = 300;
+  cfg.num_blocks = 5;
+  cfg.skew = 0.5;
+  auto a = GenerateSkewed(cfg);
+  auto b = GenerateSkewed(cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].fields[0], (*b)[i].fields[0]);
+  }
+}
+
+TEST(SkewGenTest, InvalidConfigsRejected) {
+  SkewConfig cfg;
+  cfg.num_entities = 0;
+  EXPECT_FALSE(GenerateSkewed(cfg).ok());
+  cfg.num_entities = 5;
+  cfg.num_blocks = 10;  // fewer entities than blocks
+  EXPECT_FALSE(GenerateSkewed(cfg).ok());
+  cfg.num_blocks = 2;
+  cfg.skew = -1;
+  EXPECT_FALSE(GenerateSkewed(cfg).ok());
+  cfg.skew = 0;
+  cfg.duplicate_fraction = 1.5;
+  EXPECT_FALSE(GenerateSkewed(cfg).ok());
+}
+
+TEST(ProductGenTest, BrandVocabularyHasUniquePrefixes) {
+  auto brands = ProductBrandVocabulary(350);
+  ASSERT_EQ(brands.size(), 350u);
+  std::set<std::string> prefixes;
+  for (const auto& b : brands) {
+    ASSERT_GE(b.size(), 3u);
+    EXPECT_TRUE(prefixes.insert(b.substr(0, 3)).second)
+        << "duplicate prefix " << b.substr(0, 3);
+  }
+}
+
+TEST(ProductGenTest, Ds1LikeSkewShape) {
+  ProductConfig cfg;
+  cfg.num_entities = 20000;  // scaled-down DS1
+  auto entities = GenerateProducts(cfg);
+  ASSERT_TRUE(entities.ok());
+  EXPECT_EQ(entities->size(), 20000u);
+  er::PrefixBlocking blocking(0, 3);
+  auto stats = ComputeDatasetStats(*entities, blocking);
+  ASSERT_TRUE(stats.ok());
+  // DS1's hallmark: the largest block dominates the pair count ("more
+  // than 70% of all pairs").
+  EXPECT_GT(stats->largest_block_pair_share, 0.5);
+  EXPECT_GT(stats->num_blocks, 100u);
+}
+
+TEST(ProductGenTest, DuplicatesStayInBlock) {
+  ProductConfig cfg;
+  cfg.num_entities = 5000;
+  cfg.duplicate_fraction = 0.4;
+  auto entities = GenerateProducts(cfg);
+  ASSERT_TRUE(entities.ok());
+  er::PrefixBlocking blocking(0, 3);
+  std::map<uint64_t, std::set<std::string>> cluster_blocks;
+  for (const auto& e : *entities) {
+    if (e.cluster_id != 0) {
+      cluster_blocks[e.cluster_id].insert(blocking.Key(e));
+    }
+  }
+  ASSERT_GT(cluster_blocks.size(), 50u);
+  for (const auto& [cid, blocks] : cluster_blocks) {
+    EXPECT_EQ(blocks.size(), 1u);
+  }
+}
+
+TEST(ProductGenTest, InvalidConfigRejected) {
+  ProductConfig cfg;
+  cfg.num_brands = 0;
+  EXPECT_FALSE(GenerateProducts(cfg).ok());
+  cfg.num_brands = 2000;  // vocabulary max is 1920
+  EXPECT_FALSE(GenerateProducts(cfg).ok());
+}
+
+TEST(PublicationGenTest, Ds2LikeShape) {
+  PublicationConfig cfg;
+  cfg.num_entities = 30000;  // scaled-down DS2
+  auto entities = GeneratePublications(cfg);
+  ASSERT_TRUE(entities.ok());
+  EXPECT_EQ(entities->size(), 30000u);
+  er::PrefixBlocking blocking(0, 3);
+  auto stats = ComputeDatasetStats(*entities, blocking);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->num_blocks, 20u);
+  // Heavy-tailed but less extreme than DS1.
+  EXPECT_GT(stats->largest_block_pair_share, 0.05);
+  // Three-field records: title, venue, year.
+  EXPECT_EQ((*entities)[0].fields.size(), 3u);
+}
+
+TEST(PublicationGenTest, Deterministic) {
+  PublicationConfig cfg;
+  cfg.num_entities = 500;
+  auto a = GeneratePublications(cfg);
+  auto b = GeneratePublications(cfg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].fields[0], (*b)[i].fields[0]);
+  }
+}
+
+TEST(DatasetStatsTest, HandComputedExample) {
+  std::vector<er::Entity> entities;
+  auto add = [&](uint64_t id, const char* t) {
+    er::Entity e;
+    e.id = id;
+    e.fields = {t};
+    entities.push_back(e);
+  };
+  // Blocks: "aaa"×3, "bbb"×2, "ccc"×1 -> pairs 3+1+0 = 4.
+  add(1, "aaax");
+  add(2, "aaay");
+  add(3, "aaaz");
+  add(4, "bbbx");
+  add(5, "bbby");
+  add(6, "cccx");
+  er::PrefixBlocking blocking(0, 3);
+  auto stats = ComputeDatasetStats(entities, blocking);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_entities, 6u);
+  EXPECT_EQ(stats->num_blocks, 3u);
+  EXPECT_EQ(stats->largest_block_size, 3u);
+  EXPECT_EQ(stats->total_pairs, 4u);
+  EXPECT_EQ(stats->largest_block_pairs, 3u);
+  EXPECT_DOUBLE_EQ(stats->largest_block_pair_share, 0.75);
+  EXPECT_DOUBLE_EQ(stats->largest_block_entity_share, 0.5);
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace erlb

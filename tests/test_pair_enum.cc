@@ -1,0 +1,277 @@
+#include "lb/pair_enum.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+#include <vector>
+
+namespace erlb {
+namespace lb {
+namespace {
+
+TEST(CellIndexTest, Figure6KnownValues) {
+  // Block Φ0 has 4 entities; "the index for pair (2,3) of block Φ0
+  // equals 5".
+  EXPECT_EQ(CellIndex(2, 3, 4), 5u);
+  EXPECT_EQ(CellIndex(0, 1, 4), 0u);
+  // Block Φ3 has 5 entities; M (index 2): pmin = p3(0,2) = 11 with
+  // offset 10, pmax = p3(2,4) = 18.
+  EXPECT_EQ(CellIndex(0, 2, 5), 1u);   // + offset 10 = 11
+  EXPECT_EQ(CellIndex(2, 4, 5), 8u);   // + offset 10 = 18
+  EXPECT_EQ(CellIndex(1, 2, 5), 4u);   // + offset 10 = 14
+  EXPECT_EQ(CellIndex(2, 3, 5), 7u);   // + offset 10 = 17
+}
+
+TEST(CellIndexTest, ColumnWiseEnumerationIsABijection) {
+  for (uint64_t n : {2u, 3u, 4u, 5u, 7u, 11u, 20u}) {
+    std::set<uint64_t> seen;
+    for (uint64_t x = 0; x < n; ++x) {
+      for (uint64_t y = x + 1; y < n; ++y) {
+        uint64_t c = CellIndex(x, y, n);
+        EXPECT_LT(c, PairsOfBlock(n));
+        EXPECT_TRUE(seen.insert(c).second)
+            << "duplicate cell " << c << " n=" << n;
+      }
+    }
+    EXPECT_EQ(seen.size(), PairsOfBlock(n));
+  }
+}
+
+TEST(CellIndexTest, ColumnMajorOrder) {
+  // Column x is fully enumerated before column x+1 (Figure 6 layout).
+  for (uint64_t n : {3u, 6u, 9u}) {
+    uint64_t prev = 0;
+    bool first = true;
+    for (uint64_t x = 0; x + 1 < n; ++x) {
+      for (uint64_t y = x + 1; y < n; ++y) {
+        uint64_t c = CellIndex(x, y, n);
+        if (!first) EXPECT_EQ(c, prev + 1);
+        prev = c;
+        first = false;
+      }
+    }
+  }
+}
+
+TEST(CellToPairTest, InvertsCellIndex) {
+  for (uint64_t n : {2u, 3u, 5u, 8u, 17u}) {
+    for (uint64_t c = 0; c < PairsOfBlock(n); ++c) {
+      uint64_t x, y;
+      CellToPair(c, n, &x, &y);
+      EXPECT_EQ(CellIndex(x, y, n), c) << "n=" << n;
+      EXPECT_LT(x, y);
+      EXPECT_LT(y, n);
+    }
+  }
+}
+
+TEST(PairsOfBlockTest, SmallValues) {
+  EXPECT_EQ(PairsOfBlock(0), 0u);
+  EXPECT_EQ(PairsOfBlock(1), 0u);
+  EXPECT_EQ(PairsOfBlock(2), 1u);
+  EXPECT_EQ(PairsOfBlock(5), 10u);
+}
+
+TEST(RangeTest, PaperExampleRanges) {
+  // P=20, r=3: ranges [0,6], [7,13], [14,19].
+  EXPECT_EQ(PairsPerRange(20, 3), 7u);
+  EXPECT_EQ(RangeOfPair(0, 20, 3), 0u);
+  EXPECT_EQ(RangeOfPair(6, 20, 3), 0u);
+  EXPECT_EQ(RangeOfPair(7, 20, 3), 1u);
+  EXPECT_EQ(RangeOfPair(13, 20, 3), 1u);
+  EXPECT_EQ(RangeOfPair(14, 20, 3), 2u);
+  EXPECT_EQ(RangeOfPair(19, 20, 3), 2u);
+  EXPECT_EQ(RangeSize(0, 20, 3), 7u);
+  EXPECT_EQ(RangeSize(1, 20, 3), 7u);
+  EXPECT_EQ(RangeSize(2, 20, 3), 6u);  // remainder tail
+}
+
+TEST(RangeTest, RangesPartitionThePairSpace) {
+  for (uint64_t P : {1u, 5u, 19u, 20u, 100u, 101u}) {
+    for (uint32_t r : {1u, 2u, 3u, 7u, 50u, 200u}) {
+      uint64_t covered = 0;
+      for (uint32_t k = 0; k < r; ++k) {
+        covered += RangeSize(k, P, r);
+      }
+      EXPECT_EQ(covered, P) << "P=" << P << " r=" << r;
+      // "The first r−1 reduce tasks process ⌈P/r⌉ pairs each."
+      for (uint32_t k = 0; k + 1 < r; ++k) {
+        uint64_t expected =
+            std::min(PairsPerRange(P, r),
+                     P - std::min(P, RangeBegin(k, P, r)));
+        EXPECT_EQ(RangeSize(k, P, r), expected);
+      }
+    }
+  }
+}
+
+TEST(RangeTest, RangeOfPairMonotone) {
+  const uint64_t P = 57;
+  const uint32_t r = 9;
+  uint32_t prev = 0;
+  for (uint64_t p = 0; p < P; ++p) {
+    uint32_t k = RangeOfPair(p, P, r);
+    EXPECT_GE(k, prev);
+    EXPECT_LT(k, r);
+    prev = k;
+  }
+}
+
+TEST(RelevantRangesTest, PaperEntityM) {
+  // M: block Φ3, entity index 2, N=5, offset 10, P=20, r=3.
+  // Pairs 11, 14, 17, 18 -> ranges {1, 2} (Figure 7: keys 1.3.2, 2.3.2).
+  std::vector<uint32_t> out;
+  RelevantRangesOneSource(2, 5, 10, 20, 3, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(RelevantRangesTest, PaperEntityF) {
+  // F: block Φ3 entity 0: pairs (0,1)..(0,4) = 10..13, all in range 1.
+  // "the third reduce task ... receives all entities of Φ3 but F".
+  std::vector<uint32_t> out;
+  RelevantRangesOneSource(0, 5, 10, 20, 3, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{1}));
+}
+
+TEST(RelevantRangesTest, SingletonBlockHasNoRanges) {
+  std::vector<uint32_t> out;
+  RelevantRangesOneSource(0, 1, 0, 20, 3, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+// Exhaustive property sweep: the fast skip-jump implementation must agree
+// with brute force for every entity of every block layout.
+class RelevantRangesPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RelevantRangesPropertyTest, MatchesBruteForce) {
+  auto [n_int, r_int] = GetParam();
+  const uint64_t n = static_cast<uint64_t>(n_int);
+  const uint32_t r = static_cast<uint32_t>(r_int);
+  // Try several block offsets / total sizes (block embedded in a larger
+  // pair space).
+  const uint64_t block_pairs = PairsOfBlock(n);
+  for (uint64_t offset : {uint64_t{0}, uint64_t{3}, uint64_t{11},
+                          uint64_t{97}}) {
+    const uint64_t total = offset + block_pairs + 13;
+    for (uint64_t x = 0; x < n; ++x) {
+      std::vector<uint32_t> fast, brute;
+      RelevantRangesOneSource(x, n, offset, total, r, &fast);
+      RelevantRangesOneSourceBrute(x, n, offset, total, r, &brute);
+      EXPECT_EQ(fast, brute) << "n=" << n << " r=" << r << " x=" << x
+                             << " offset=" << offset;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RelevantRangesPropertyTest,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8, 13, 21, 40),
+                       ::testing::Values(1, 2, 3, 7, 16, 64)));
+
+// Every pair is covered by exactly the ranges of both of its entities.
+TEST(RelevantRangesTest, EveryPairCoveredByBothEndpoints) {
+  const uint64_t n = 12;
+  const uint64_t offset = 5;
+  const uint64_t total = offset + PairsOfBlock(n) + 7;
+  const uint32_t r = 5;
+  std::vector<std::vector<uint32_t>> ranges_of(n);
+  for (uint64_t x = 0; x < n; ++x) {
+    RelevantRangesOneSource(x, n, offset, total, r, &ranges_of[x]);
+  }
+  for (uint64_t x = 0; x < n; ++x) {
+    for (uint64_t y = x + 1; y < n; ++y) {
+      uint32_t rho = RangeOfPair(offset + CellIndex(x, y, n), total, r);
+      auto has = [&](uint64_t e) {
+        return std::find(ranges_of[e].begin(), ranges_of[e].end(), rho) !=
+               ranges_of[e].end();
+      };
+      EXPECT_TRUE(has(x)) << x << "," << y;
+      EXPECT_TRUE(has(y)) << x << "," << y;
+    }
+  }
+}
+
+// ---- two-source enumeration -------------------------------------------
+
+TEST(DualCellIndexTest, RowTimesColumnLayout) {
+  // c(x,y,Ns) = x*Ns + y enumerates all cells of the Nr x Ns matrix.
+  const uint64_t nr = 4, ns = 3;
+  std::set<uint64_t> seen;
+  for (uint64_t x = 0; x < nr; ++x) {
+    for (uint64_t y = 0; y < ns; ++y) {
+      uint64_t c = CellIndexDual(x, y, ns);
+      EXPECT_LT(c, nr * ns);
+      EXPECT_TRUE(seen.insert(c).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), nr * ns);
+}
+
+TEST(DualRelevantRangesTest, PaperEntityC) {
+  // C ∈ R, first entity (index 0) of block Φ3 (nr=2, ns=3, offset 6,
+  // P=12, r=3): pairs 6,7,8 -> ranges {1,2} (Figure 17: keys 1.3.R.0 and
+  // 2.3.R.0).
+  std::vector<uint32_t> out;
+  RelevantRangesDualR(0, 2, 3, 6, 12, 3, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(DualRelevantRangesTest, RMatchesBruteForce) {
+  for (uint64_t nr : {1u, 2u, 5u, 9u}) {
+    for (uint64_t ns : {1u, 3u, 7u}) {
+      for (uint32_t r : {1u, 2u, 4u, 11u}) {
+        const uint64_t offset = 4;
+        const uint64_t total = offset + nr * ns + 9;
+        for (uint64_t x = 0; x < nr; ++x) {
+          std::vector<uint32_t> fast;
+          RelevantRangesDualR(x, nr, ns, offset, total, r, &fast);
+          std::set<uint32_t> brute;
+          for (uint64_t y = 0; y < ns; ++y) {
+            brute.insert(RangeOfPair(offset + CellIndexDual(x, y, ns),
+                                     total, r));
+          }
+          EXPECT_EQ(std::vector<uint32_t>(brute.begin(), brute.end()),
+                    fast)
+              << "nr=" << nr << " ns=" << ns << " r=" << r << " x=" << x;
+        }
+      }
+    }
+  }
+}
+
+TEST(DualRelevantRangesTest, SMatchesBruteForce) {
+  for (uint64_t nr : {1u, 2u, 5u, 9u}) {
+    for (uint64_t ns : {1u, 3u, 7u}) {
+      for (uint32_t r : {1u, 2u, 4u, 11u}) {
+        const uint64_t offset = 4;
+        const uint64_t total = offset + nr * ns + 9;
+        for (uint64_t y = 0; y < ns; ++y) {
+          std::vector<uint32_t> fast;
+          RelevantRangesDualS(y, nr, ns, offset, total, r, &fast);
+          std::set<uint32_t> brute;
+          for (uint64_t x = 0; x < nr; ++x) {
+            brute.insert(RangeOfPair(offset + CellIndexDual(x, y, ns),
+                                     total, r));
+          }
+          EXPECT_EQ(std::vector<uint32_t>(brute.begin(), brute.end()),
+                    fast)
+              << "nr=" << nr << " ns=" << ns << " r=" << r << " y=" << y;
+        }
+      }
+    }
+  }
+}
+
+TEST(DualRelevantRangesTest, EmptySideYieldsNothing) {
+  std::vector<uint32_t> out;
+  RelevantRangesDualR(0, 0, 5, 0, 10, 2, &out);
+  EXPECT_TRUE(out.empty());
+  RelevantRangesDualS(0, 5, 0, 0, 10, 2, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace lb
+}  // namespace erlb

@@ -1,0 +1,79 @@
+#include "sim/recommend.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/skew_gen.h"
+
+namespace erlb {
+namespace sim {
+namespace {
+
+bdm::Bdm SkewedBdm(double skew, uint64_t n = 20000, uint32_t m = 20) {
+  gen::SkewConfig cfg;
+  cfg.num_entities = n;
+  cfg.num_blocks = 100;
+  cfg.skew = skew;
+  auto entities = gen::GenerateSkewed(cfg);
+  EXPECT_TRUE(entities.ok());
+  std::vector<std::vector<std::string>> keys(m);
+  size_t i = 0;
+  for (const auto& e : *entities) {
+    keys[i++ % m].push_back(e.fields[gen::kSkewBlockField]);
+  }
+  auto bdm = bdm::Bdm::FromKeys(keys);
+  EXPECT_TRUE(bdm.ok());
+  return std::move(bdm).ValueOrDie();
+}
+
+TEST(RecommendTest, SkewedDataAvoidsBasic) {
+  auto bdm = SkewedBdm(1.0);
+  ClusterConfig cluster;
+  CostModel cost;
+  auto rec = RecommendStrategy(bdm, 100, cluster, cost);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_NE(rec->strategy, lb::StrategyKind::kBasic);
+  EXPECT_GT(rec->imbalance[static_cast<int>(lb::StrategyKind::kBasic)],
+            5.0);
+  EXPECT_NE(rec->rationale.find("slower"), std::string::npos);
+}
+
+TEST(RecommendTest, UniformDataPicksBasic) {
+  // With perfectly uniform blocks the BDM job is pure overhead
+  // ("the Basic strategy is the fastest for a uniform block
+  // distribution").
+  auto bdm = SkewedBdm(0.0);
+  ClusterConfig cluster;
+  CostModel cost;
+  auto rec = RecommendStrategy(bdm, 100, cluster, cost);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->strategy, lb::StrategyKind::kBasic);
+  EXPECT_NE(rec->rationale.find("BDM"), std::string::npos);
+}
+
+TEST(RecommendTest, ProjectionsPopulatedForAllStrategies) {
+  auto bdm = SkewedBdm(0.5);
+  ClusterConfig cluster;
+  CostModel cost;
+  auto rec = RecommendStrategy(bdm, 50, cluster, cost);
+  ASSERT_TRUE(rec.ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GT(rec->projected_seconds[i], 0.0) << i;
+    EXPECT_GE(rec->imbalance[i], 1.0) << i;
+  }
+  // The pick is the argmin.
+  double best = rec->projected_seconds[static_cast<int>(rec->strategy)];
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_GE(rec->projected_seconds[i], best - 1e-9);
+  }
+}
+
+TEST(RecommendTest, InvalidArgsPropagate) {
+  auto bdm = SkewedBdm(0.2, 2000, 4);
+  ClusterConfig cluster;
+  CostModel cost;
+  EXPECT_FALSE(RecommendStrategy(bdm, 0, cluster, cost).ok());
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace erlb

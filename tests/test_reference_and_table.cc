@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "core/reference.h"
+#include "core/table.h"
+#include "er/blocking.h"
+#include "er/matcher.h"
+
+namespace erlb {
+namespace core {
+namespace {
+
+er::Entity Make(uint64_t id, const char* title) {
+  er::Entity e;
+  e.id = id;
+  e.fields = {title};
+  return e;
+}
+
+TEST(ReferenceTest, DeduplicateOnlyWithinBlocks) {
+  std::vector<er::Entity> entities{Make(1, "aaa x"), Make(2, "aaa x"),
+                                   Make(3, "bbb x"), Make(4, "bbb x"),
+                                   Make(5, "aaa x")};
+  er::PrefixBlocking blocking(0, 3);
+  er::LambdaMatcher all(
+      [](const er::Entity&, const er::Entity&) { return true; }, "all");
+  auto result = ReferenceDeduplicate(entities, blocking, all);
+  // aaa block {1,2,5}: 3 pairs; bbb block {3,4}: 1 pair.
+  EXPECT_EQ(result.size(), 4u);
+  EXPECT_EQ(ReferencePairCount(entities, blocking), 4u);
+}
+
+TEST(ReferenceTest, SkipsEmptyKeys) {
+  std::vector<er::Entity> entities{Make(1, ""), Make(2, ""),
+                                   Make(3, "aaa")};
+  er::PrefixBlocking blocking(0, 3);
+  er::LambdaMatcher all(
+      [](const er::Entity&, const er::Entity&) { return true; }, "all");
+  EXPECT_EQ(ReferenceDeduplicate(entities, blocking, all).size(), 0u);
+  EXPECT_EQ(ReferencePairCount(entities, blocking), 0u);
+}
+
+TEST(ReferenceTest, LinkCrossesSourcesOnly) {
+  std::vector<er::Entity> r_ents{Make(1, "aaa x"), Make(2, "aaa y")};
+  std::vector<er::Entity> s_ents{Make(11, "aaa z"), Make(12, "bbb z")};
+  er::PrefixBlocking blocking(0, 3);
+  er::LambdaMatcher all(
+      [](const er::Entity&, const er::Entity&) { return true; }, "all");
+  auto result = ReferenceLink(r_ents, s_ents, blocking, all);
+  // Only block aaa exists in both: {1,2} × {11} = 2 pairs.
+  EXPECT_EQ(result.size(), 2u);
+}
+
+TEST(ReferenceTest, MatcherFilters) {
+  std::vector<er::Entity> entities{Make(1, "aaa camera one"),
+                                   Make(2, "aaa camera one!"),
+                                   Make(3, "aaa different thing")};
+  er::PrefixBlocking blocking(0, 3);
+  er::EditDistanceMatcher matcher(0.8);
+  auto result = ReferenceDeduplicate(entities, blocking, matcher);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result.pairs()[0], er::MatchPair(1, 2));
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t;
+  t.SetHeader({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "23456"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Numeric column right-aligned: "    1" under "value".
+  EXPECT_NE(out.find("    1"), std::string::npos);
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable t;
+  t.SetHeader({"a", "b", "c"});
+  t.AddRow({"x"});
+  std::string out = t.ToString();
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(TextTableTest, NoHeader) {
+  TextTable t;
+  t.AddRow({"only", "rows"});
+  std::string out = t.ToString();
+  EXPECT_EQ(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("only"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace erlb

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "gen/skew_gen.h"
+#include "sim/cost_model.h"
+#include "sim/er_sim.h"
+#include "sim/scheduler.h"
+
+namespace erlb {
+namespace sim {
+namespace {
+
+TEST(SchedulerTest, SingleSlotIsSequential) {
+  auto res = ListSchedule({1.0, 2.0, 3.0}, 1);
+  EXPECT_DOUBLE_EQ(res.makespan_s, 6.0);
+  EXPECT_DOUBLE_EQ(res.task_start_s[0], 0.0);
+  EXPECT_DOUBLE_EQ(res.task_start_s[1], 1.0);
+  EXPECT_DOUBLE_EQ(res.task_start_s[2], 3.0);
+}
+
+TEST(SchedulerTest, PerfectParallelism) {
+  auto res = ListSchedule({2.0, 2.0, 2.0, 2.0}, 4);
+  EXPECT_DOUBLE_EQ(res.makespan_s, 2.0);
+  EXPECT_DOUBLE_EQ(res.SlotImbalance(), 1.0);
+}
+
+TEST(SchedulerTest, FifoAssignsToEarliestFreeSlot) {
+  // Tasks 10,1,1,1 on 2 slots: slot0 <- 10; slot1 <- 1,1,1.
+  auto res = ListSchedule({10.0, 1.0, 1.0, 1.0}, 2);
+  EXPECT_DOUBLE_EQ(res.makespan_s, 10.0);
+  EXPECT_DOUBLE_EQ(res.slot_busy_s[0], 10.0);
+  EXPECT_DOUBLE_EQ(res.slot_busy_s[1], 3.0);
+}
+
+TEST(SchedulerTest, StragglerDominatesMakespan) {
+  // One huge task serializes the wave regardless of slot count — the
+  // Basic strategy's failure mode.
+  std::vector<double> tasks(100, 0.1);
+  tasks[50] = 50.0;
+  for (uint32_t slots : {2u, 10u, 100u}) {
+    auto res = ListSchedule(tasks, slots);
+    EXPECT_GE(res.makespan_s, 50.0) << slots;
+    EXPECT_LE(res.makespan_s, 50.0 + 10.0 / slots + 0.2) << slots;
+  }
+}
+
+TEST(SchedulerTest, SlowSlotStretchesItsTasks) {
+  std::vector<double> speed{1.0, 0.5};
+  auto res = ListSchedule({1.0, 1.0}, 2, &speed);
+  EXPECT_DOUBLE_EQ(res.makespan_s, 2.0);  // slot 1 runs its task at half
+}
+
+TEST(SchedulerTest, EmptyTaskList) {
+  auto res = ListSchedule({}, 4);
+  EXPECT_DOUBLE_EQ(res.makespan_s, 0.0);
+}
+
+TEST(SchedulerTest, MoreSlotsNeverSlower) {
+  std::vector<double> tasks;
+  for (int i = 0; i < 57; ++i) tasks.push_back(0.5 + (i % 7) * 0.3);
+  double prev = 1e18;
+  for (uint32_t slots : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    auto res = ListSchedule(tasks, slots);
+    EXPECT_LE(res.makespan_s, prev + 1e-9);
+    prev = res.makespan_s;
+  }
+}
+
+class ErSimTest : public ::testing::Test {
+ protected:
+  bdm::Bdm SkewedBdm(double skew, uint64_t n = 20000, uint32_t m = 20) {
+    gen::SkewConfig cfg;
+    cfg.num_entities = n;
+    cfg.num_blocks = 100;
+    cfg.skew = skew;
+    auto entities = gen::GenerateSkewed(cfg);
+    EXPECT_TRUE(entities.ok());
+    std::vector<std::vector<std::string>> keys(m);
+    size_t i = 0;
+    for (const auto& e : *entities) {
+      keys[i++ % m].push_back(e.fields[gen::kSkewBlockField]);
+    }
+    auto bdm = bdm::Bdm::FromKeys(keys);
+    EXPECT_TRUE(bdm.ok());
+    return *bdm;
+  }
+};
+
+TEST_F(ErSimTest, SkewCripplesBasicButNotTheBalancers) {
+  auto bdm = SkewedBdm(1.0);
+  ClusterConfig cluster;
+  cluster.num_nodes = 10;
+  CostModel cost;
+  auto basic =
+      SimulateEr(lb::StrategyKind::kBasic, bdm, 100, cluster, cost);
+  auto split =
+      SimulateEr(lb::StrategyKind::kBlockSplit, bdm, 100, cluster, cost);
+  auto range =
+      SimulateEr(lb::StrategyKind::kPairRange, bdm, 100, cluster, cost);
+  ASSERT_TRUE(basic.ok());
+  ASSERT_TRUE(split.ok());
+  ASSERT_TRUE(range.ok());
+  // Figure 9's headline: at s=1, Basic is many times slower per pair.
+  EXPECT_GT(basic->match_reduce_phase_s,
+            3 * split->match_reduce_phase_s);
+  EXPECT_GT(basic->match_reduce_phase_s,
+            3 * range->match_reduce_phase_s);
+  // The balanced strategies pay the BDM job, Basic does not.
+  EXPECT_DOUBLE_EQ(basic->bdm_job_s, 0.0);
+  EXPECT_GT(split->bdm_job_s, 0.0);
+}
+
+TEST_F(ErSimTest, UniformDataFavorsBasicSlightly) {
+  auto bdm = SkewedBdm(0.0);
+  ClusterConfig cluster;
+  cluster.num_nodes = 10;
+  CostModel cost;
+  auto basic =
+      SimulateEr(lb::StrategyKind::kBasic, bdm, 100, cluster, cost);
+  auto split =
+      SimulateEr(lb::StrategyKind::kBlockSplit, bdm, 100, cluster, cost);
+  ASSERT_TRUE(basic.ok());
+  ASSERT_TRUE(split.ok());
+  // "the Basic strategy is the fastest for a uniform block distribution
+  // (s=0) because it does not suffer from the additional BDM computation".
+  EXPECT_LT(basic->total_s, split->total_s);
+}
+
+TEST_F(ErSimTest, BalancedStrategiesScaleWithNodes) {
+  auto bdm = SkewedBdm(0.8, 50000, 40);
+  CostModel cost;
+  double prev_split = 1e18, prev_range = 1e18;
+  for (uint32_t n : {1u, 2u, 5u, 10u, 20u}) {
+    ClusterConfig cluster;
+    cluster.num_nodes = n;
+    auto split = SimulateEr(lb::StrategyKind::kBlockSplit, bdm, 10 * n,
+                            cluster, cost);
+    auto range = SimulateEr(lb::StrategyKind::kPairRange, bdm, 10 * n,
+                            cluster, cost);
+    ASSERT_TRUE(split.ok());
+    ASSERT_TRUE(range.ok());
+    EXPECT_LT(split->total_s, prev_split) << "n=" << n;
+    EXPECT_LT(range->total_s, prev_range) << "n=" << n;
+    prev_split = split->total_s;
+    prev_range = range->total_s;
+  }
+}
+
+TEST_F(ErSimTest, BasicSaturatesWithNodes) {
+  auto bdm = SkewedBdm(1.0, 50000, 40);
+  CostModel cost;
+  ClusterConfig two, hundred;
+  two.num_nodes = 2;
+  hundred.num_nodes = 100;
+  auto at2 = SimulateEr(lb::StrategyKind::kBasic, bdm, 20, two, cost);
+  auto at100 =
+      SimulateEr(lb::StrategyKind::kBasic, bdm, 1000, hundred, cost);
+  ASSERT_TRUE(at2.ok());
+  ASSERT_TRUE(at100.ok());
+  // "Basic does not scale for more than two nodes": 50x more nodes must
+  // not even give 3x speedup (the largest block runs on one slot).
+  EXPECT_GT(at100->total_s, at2->total_s / 3);
+}
+
+TEST_F(ErSimTest, PairRangeImbalanceIsMinimal) {
+  auto bdm = SkewedBdm(1.0);
+  ClusterConfig cluster;
+  CostModel cost;
+  auto range =
+      SimulateEr(lb::StrategyKind::kPairRange, bdm, 100, cluster, cost);
+  auto basic =
+      SimulateEr(lb::StrategyKind::kBasic, bdm, 100, cluster, cost);
+  ASSERT_TRUE(range.ok());
+  ASSERT_TRUE(basic.ok());
+  EXPECT_LT(range->reduce_task_imbalance, 1.01);
+  EXPECT_GT(basic->reduce_task_imbalance, 10.0);
+}
+
+TEST_F(ErSimTest, HeterogeneityDrawsAreDeterministic) {
+  ClusterConfig cluster;
+  cluster.num_nodes = 5;
+  CostModel cost;
+  cost.heterogeneity_sigma = 0.2;
+  std::vector<double> m1, r1, m2, r2;
+  DrawSlotSpeeds(cluster, cost, &m1, &r1);
+  DrawSlotSpeeds(cluster, cost, &m2, &r2);
+  EXPECT_EQ(m1, m2);
+  EXPECT_EQ(r1, r2);
+  ASSERT_EQ(m1.size(), cluster.TotalMapSlots());
+  // Both slots of one node share a speed.
+  for (uint32_t node = 0; node < 5; ++node) {
+    EXPECT_DOUBLE_EQ(m1[2 * node], m1[2 * node + 1]);
+  }
+}
+
+TEST_F(ErSimTest, InvalidArgumentsRejected) {
+  auto bdm = SkewedBdm(0.0, 1000, 2);
+  ClusterConfig cluster;
+  CostModel cost;
+  EXPECT_FALSE(
+      SimulateEr(lb::StrategyKind::kBasic, bdm, 0, cluster, cost).ok());
+  cluster.num_nodes = 0;
+  EXPECT_FALSE(
+      SimulateEr(lb::StrategyKind::kBasic, bdm, 10, cluster, cost).ok());
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace erlb

@@ -1,0 +1,192 @@
+#include "er/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/random.h"
+
+namespace erlb {
+namespace er {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "xy"), 2u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(EditDistance("intention", "execution"), 5u);
+  EXPECT_EQ(EditDistance("a", "b"), 1u);
+  EXPECT_EQ(EditDistance("ab", "ba"), 2u);
+}
+
+TEST(EditDistanceTest, Symmetric) {
+  EXPECT_EQ(EditDistance("sunday", "saturday"),
+            EditDistance("saturday", "sunday"));
+}
+
+TEST(EditDistanceTest, TriangleInequalityOnSamples) {
+  Pcg32 rng(31);
+  auto random_str = [&](size_t max_len) {
+    std::string s;
+    size_t len = rng.NextBounded(static_cast<uint32_t>(max_len + 1));
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.NextBounded(4));
+    }
+    return s;
+  };
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string a = random_str(12), b = random_str(12), c = random_str(12);
+    EXPECT_LE(EditDistance(a, c),
+              EditDistance(a, b) + EditDistance(b, c));
+  }
+}
+
+TEST(EditDistanceBoundedTest, AgreesWithFullWhenWithinBound) {
+  Pcg32 rng(37);
+  auto random_str = [&](size_t max_len) {
+    std::string s;
+    size_t len = rng.NextBounded(static_cast<uint32_t>(max_len + 1));
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.NextBounded(5));
+    }
+    return s;
+  };
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string a = random_str(16), b = random_str(16);
+    size_t full = EditDistance(a, b);
+    for (size_t bound : {0u, 1u, 2u, 4u, 8u, 16u}) {
+      size_t banded = EditDistanceBounded(a, b, bound);
+      if (full <= bound) {
+        EXPECT_EQ(banded, full) << "a=" << a << " b=" << b
+                                << " bound=" << bound;
+      } else {
+        EXPECT_GT(banded, bound) << "a=" << a << " b=" << b
+                                 << " bound=" << bound;
+      }
+    }
+  }
+}
+
+TEST(EditDistanceBoundedTest, LengthGapShortCircuit) {
+  EXPECT_GT(EditDistanceBounded("abcdefgh", "a", 3), 3u);
+  EXPECT_EQ(EditDistanceBounded("abcdefgh", "a", 7), 7u);
+}
+
+TEST(EditDistanceBoundedTest, EmptyStrings) {
+  EXPECT_EQ(EditDistanceBounded("", "", 0), 0u);
+  EXPECT_EQ(EditDistanceBounded("ab", "", 2), 2u);
+  EXPECT_GT(EditDistanceBounded("abc", "", 2), 2u);
+}
+
+TEST(EditSimilarityTest, RangeAndIdentity) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(EditSimilarity("abcd", "abcx"), 0.75, 1e-12);
+}
+
+TEST(EditSimilarityTest, PaperThresholdExample) {
+  // Two titles differing by one character out of ten: sim 0.9 >= 0.8.
+  EXPECT_TRUE(EditSimilarityAtLeast("canon eos 5", "canon eos 6", 0.8));
+  // Completely different strings fail.
+  EXPECT_FALSE(EditSimilarityAtLeast("canon eos 5", "nikon d300x", 0.8));
+}
+
+TEST(EditSimilarityAtLeastTest, AgreesWithDirectComputation) {
+  Pcg32 rng(41);
+  auto random_str = [&](size_t max_len) {
+    std::string s;
+    size_t len = rng.NextBounded(static_cast<uint32_t>(max_len)) + 1;
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.NextBounded(6));
+    }
+    return s;
+  };
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string a = random_str(14), b = random_str(14);
+    for (double t : {0.0, 0.3, 0.5, 0.8, 0.9, 1.0}) {
+      bool expected = EditSimilarity(a, b) >= t - 1e-12;
+      EXPECT_EQ(EditSimilarityAtLeast(a, b, t), expected)
+          << "a=" << a << " b=" << b << " t=" << t;
+    }
+  }
+}
+
+TEST(TokenizeTest, LowercasesAndStripsPunctuation) {
+  auto t = TokenizeWords("The Quick, brown FOX!");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], "the");
+  EXPECT_EQ(t[1], "quick");
+  EXPECT_EQ(t[3], "fox");
+}
+
+TEST(TokenizeTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(TokenizeWords("").empty());
+  EXPECT_TRUE(TokenizeWords("... !!!").empty());
+}
+
+TEST(JaccardTest, IdenticalAndDisjoint) {
+  EXPECT_DOUBLE_EQ(JaccardTokenSimilarity("a b c", "c b a"), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardTokenSimilarity("a b", "c d"), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardTokenSimilarity("", ""), 1.0);
+}
+
+TEST(JaccardTest, PartialOverlap) {
+  // {a,b,c} vs {b,c,d}: 2/4.
+  EXPECT_DOUBLE_EQ(JaccardTokenSimilarity("a b c", "b c d"), 0.5);
+}
+
+TEST(NgramTest, GramExtraction) {
+  auto g = CharNgrams("abcd", 3);
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_EQ(g[0], "abc");
+  EXPECT_EQ(g[1], "bcd");
+  EXPECT_EQ(CharNgrams("ab", 3).size(), 1u);  // short string -> whole
+  EXPECT_TRUE(CharNgrams("", 3).empty());
+}
+
+TEST(NgramTest, SimilarityBasics) {
+  EXPECT_DOUBLE_EQ(NgramSimilarity("abcd", "abcd", 3), 1.0);
+  EXPECT_DOUBLE_EQ(NgramSimilarity("abc", "xyz", 3), 0.0);
+  EXPECT_GT(NgramSimilarity("database", "databases", 3), 0.6);
+}
+
+// Parameterized sweep: similarity measures are symmetric and in [0,1].
+class SimilarityPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SimilarityPropertyTest, SymmetricAndBounded) {
+  auto [seed, len] = GetParam();
+  Pcg32 rng(seed);
+  auto random_str = [&](size_t max_len) {
+    std::string s;
+    size_t n = rng.NextBounded(static_cast<uint32_t>(max_len + 1));
+    for (size_t i = 0; i < n; ++i) {
+      s += static_cast<char>('a' + rng.NextBounded(8));
+    }
+    return s;
+  };
+  for (int iter = 0; iter < 50; ++iter) {
+    std::string a = random_str(len), b = random_str(len);
+    for (double s : {EditSimilarity(a, b), JaccardTokenSimilarity(a, b),
+                     NgramSimilarity(a, b, 3)}) {
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+    EXPECT_DOUBLE_EQ(EditSimilarity(a, b), EditSimilarity(b, a));
+    EXPECT_DOUBLE_EQ(NgramSimilarity(a, b, 2), NgramSimilarity(b, a, 2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimilarityPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(4, 12, 24)));
+
+}  // namespace
+}  // namespace er
+}  // namespace erlb

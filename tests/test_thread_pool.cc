@@ -1,0 +1,98 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+
+namespace erlb {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsSequentially) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.Wait();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);  // FIFO
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      int now = concurrent.fetch_add(1) + 1;
+      int old = peak.load();
+      while (now > old && !peak.compare_exchange_weak(old, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      concurrent.fetch_sub(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, MultipleWaitCycles) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, UsesMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+  }
+  pool.Wait();
+  EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsCleanly) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+  }  // destructor
+  EXPECT_EQ(count.load(), 10);
+}
+
+}  // namespace
+}  // namespace erlb
