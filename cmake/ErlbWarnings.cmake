@@ -1,0 +1,15 @@
+# Strict-warning interface target shared by every erlb module, test,
+# bench, and example. Link `erlb_warnings` rather than repeating flags.
+add_library(erlb_warnings INTERFACE)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(erlb_warnings INTERFACE -Wall -Wextra)
+  if(ERLB_WERROR)
+    target_compile_options(erlb_warnings INTERFACE -Werror)
+  endif()
+elseif(MSVC)
+  target_compile_options(erlb_warnings INTERFACE /W4)
+  if(ERLB_WERROR)
+    target_compile_options(erlb_warnings INTERFACE /WX)
+  endif()
+endif()

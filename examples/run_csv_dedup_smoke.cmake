@@ -1,0 +1,29 @@
+# Hermetic end-to-end smoke run for csv_dedup: write a small catalog
+# with near-duplicate rows into WORK_DIR, dedup it, and check that the
+# matches CSV comes back. No shared /tmp state, so concurrent ctest
+# runs (e.g. release and asan trees) cannot race.
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(input ${WORK_DIR}/products.csv)
+set(output ${WORK_DIR}/matches.csv)
+
+file(WRITE ${input}
+"id,name
+1,apple iphone 12 64gb black
+2,apple iphone 12 64 gb black
+3,samsung galaxy s21 128gb
+4,samsung galaxy s21 128 gb
+5,logitech mx master 3 mouse
+6,dell ultrasharp u2720q monitor
+")
+
+execute_process(COMMAND ${EXE} ${input} ${output} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "csv_dedup exited with ${rc}")
+endif()
+if(NOT EXISTS ${output})
+  message(FATAL_ERROR "csv_dedup did not write ${output}")
+endif()
+file(READ ${output} matches)
+if(NOT matches MATCHES "[0-9]")
+  message(FATAL_ERROR "csv_dedup found no matches in a catalog with near-duplicates: ${matches}")
+endif()

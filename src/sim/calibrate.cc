@@ -49,7 +49,9 @@ Result<Calibration> CalibrateCostModel(
     uint32_t a = rng.NextBounded(static_cast<uint32_t>(block.size()));
     uint32_t b = rng.NextBounded(static_cast<uint32_t>(block.size()));
     if (a == b) b = (b + 1) % block.size();
-    sink += matcher.Match(*block[a], *block[b]) ? 1 : 0;
+    // Plain assignment: compound assignment to a volatile is deprecated
+    // in C++20 (-Wvolatile).
+    sink = sink + (matcher.Match(*block[a], *block[b]) ? 1 : 0);
   }
   double pair_ns =
       pair_watch.ElapsedNanos() / static_cast<double>(options.sample_pairs);

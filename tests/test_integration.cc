@@ -130,7 +130,10 @@ TEST(IntegrationTest, OneEntityPerBlockProducesNoPairs) {
   for (uint64_t i = 0; i < 50; ++i) {
     er::Entity e;
     e.id = i + 1;
-    e.fields = {"t" + std::to_string(i), "block" + std::to_string(i)};
+    // Lvalue suffix sidesteps GCC 12's false-positive -Wrestrict on the
+    // (const char* + string&&) overload (GCC PR105651).
+    const std::string suffix = std::to_string(i);
+    e.fields = {"t" + suffix, "block" + suffix};
     entities.push_back(std::move(e));
   }
   er::AttributeBlocking blocking(1);

@@ -46,7 +46,9 @@ TEST(CellIndexTest, ColumnMajorOrder) {
     for (uint64_t x = 0; x + 1 < n; ++x) {
       for (uint64_t y = x + 1; y < n; ++y) {
         uint64_t c = CellIndex(x, y, n);
-        if (!first) EXPECT_EQ(c, prev + 1);
+        if (!first) {
+          EXPECT_EQ(c, prev + 1);
+        }
         prev = c;
         first = false;
       }
