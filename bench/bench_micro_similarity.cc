@@ -1,17 +1,28 @@
-// Micro-benchmarks (google-benchmark) for the similarity kernels: full
-// Levenshtein vs. the banded threshold kernel the matcher uses, plus the
-// token/n-gram measures.
-#include <benchmark/benchmark.h>
-
+// Micro-benchmarks for the similarity kernels, with explicit before/after
+// comparisons for the PR-2 set -> sorted-vector rewrite:
+//
+//  * jaccard: the former per-call std::set<std::string> kernel (rebuilt
+//    here as the baseline) vs. er::JaccardTokenSimilarity's thread-local
+//    sort-and-intersect.
+//  * ngram: same comparison for trigram similarity.
+//  * edit: full Levenshtein vs. the banded threshold kernel the matcher
+//    uses (no old/new pair — both are current kernels).
+//
+// `--json <path>` writes the results as BENCH_*.json (see bench_json.h).
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/random.h"
 #include "er/similarity.h"
 
 namespace {
 
 using erlb::Pcg32;
+
+volatile double g_sink = 0.0;
 
 std::vector<std::pair<std::string, std::string>> MakeTitlePairs(
     size_t count, bool similar) {
@@ -39,46 +50,87 @@ std::vector<std::pair<std::string, std::string>> MakeTitlePairs(
   return pairs;
 }
 
-void BM_EditDistanceFull(benchmark::State& state) {
-  auto pairs = MakeTitlePairs(256, state.range(0) != 0);
-  size_t i = 0;
-  for (auto _ : state) {
-    const auto& [a, b] = pairs[i++ & 255];
-    benchmark::DoNotOptimize(erlb::er::EditDistance(a, b));
-  }
-}
-BENCHMARK(BM_EditDistanceFull)->Arg(0)->Arg(1);
+// ---------------------------------------------------------------------
+// The kernels as they were before the rewrite: per-call std::set builds.
+// ---------------------------------------------------------------------
 
-void BM_EditSimilarityThreshold(benchmark::State& state) {
-  auto pairs = MakeTitlePairs(256, state.range(0) != 0);
-  size_t i = 0;
-  for (auto _ : state) {
-    const auto& [a, b] = pairs[i++ & 255];
-    benchmark::DoNotOptimize(erlb::er::EditSimilarityAtLeast(a, b, 0.8));
-  }
+double OldJaccardOfSets(const std::set<std::string>& sa,
+                        const std::set<std::string>& sb) {
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t inter = 0;
+  for (const auto& t : sa) inter += sb.count(t);
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
 }
-BENCHMARK(BM_EditSimilarityThreshold)->Arg(0)->Arg(1);
 
-void BM_JaccardTokens(benchmark::State& state) {
+double OldJaccardTokenSimilarity(std::string_view a, std::string_view b) {
+  auto ta = erlb::er::TokenizeWords(a);
+  auto tb = erlb::er::TokenizeWords(b);
+  return OldJaccardOfSets({ta.begin(), ta.end()}, {tb.begin(), tb.end()});
+}
+
+double OldNgramSimilarity(std::string_view a, std::string_view b, size_t n) {
+  auto ga = erlb::er::CharNgrams(a, n);
+  auto gb = erlb::er::CharNgrams(b, n);
+  return OldJaccardOfSets({ga.begin(), ga.end()}, {gb.begin(), gb.end()});
+}
+
+void BenchJaccard(erlb::bench::MicroBench* mb) {
   auto pairs = MakeTitlePairs(256, true);
   size_t i = 0;
-  for (auto _ : state) {
+  mb->Run("jaccard/old_set_based", [&] {
     const auto& [a, b] = pairs[i++ & 255];
-    benchmark::DoNotOptimize(erlb::er::JaccardTokenSimilarity(a, b));
-  }
+    g_sink = g_sink + OldJaccardTokenSimilarity(a, b);
+  });
+  i = 0;
+  mb->Run("jaccard/new_sorted_vectors", [&] {
+    const auto& [a, b] = pairs[i++ & 255];
+    g_sink = g_sink + erlb::er::JaccardTokenSimilarity(a, b);
+  });
+  mb->Speedup("jaccard/speedup", "jaccard/old_set_based",
+              "jaccard/new_sorted_vectors");
 }
-BENCHMARK(BM_JaccardTokens);
 
-void BM_TrigramSimilarity(benchmark::State& state) {
+void BenchNgram(erlb::bench::MicroBench* mb) {
   auto pairs = MakeTitlePairs(256, true);
   size_t i = 0;
-  for (auto _ : state) {
+  mb->Run("ngram/old_set_based", [&] {
     const auto& [a, b] = pairs[i++ & 255];
-    benchmark::DoNotOptimize(erlb::er::NgramSimilarity(a, b, 3));
+    g_sink = g_sink + OldNgramSimilarity(a, b, 3);
+  });
+  i = 0;
+  mb->Run("ngram/new_sorted_vectors", [&] {
+    const auto& [a, b] = pairs[i++ & 255];
+    g_sink = g_sink + erlb::er::NgramSimilarity(a, b, 3);
+  });
+  mb->Speedup("ngram/speedup", "ngram/old_set_based",
+              "ngram/new_sorted_vectors");
+}
+
+void BenchEdit(erlb::bench::MicroBench* mb) {
+  for (bool similar : {false, true}) {
+    auto pairs = MakeTitlePairs(256, similar);
+    const std::string tag = similar ? "similar" : "dissimilar";
+    size_t i = 0;
+    mb->Run("edit/full_" + tag, [&] {
+      const auto& [a, b] = pairs[i++ & 255];
+      g_sink = g_sink + static_cast<double>(erlb::er::EditDistance(a, b));
+    });
+    i = 0;
+    mb->Run("edit/banded_threshold_" + tag, [&] {
+      const auto& [a, b] = pairs[i++ & 255];
+      g_sink = g_sink + (erlb::er::EditSimilarityAtLeast(a, b, 0.8) ? 1.0 : 0.0);
+    });
   }
 }
-BENCHMARK(BM_TrigramSimilarity);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  erlb::bench::MicroBench mb("bench_micro_similarity");
+  if (!mb.ParseArgs(argc, argv)) return 1;
+  BenchJaccard(&mb);
+  BenchNgram(&mb);
+  BenchEdit(&mb);
+  return mb.Finish();
+}

@@ -86,21 +86,24 @@ class BasicReducer
   CompareStats stats_;
 };
 
-uint32_t BasicPartition(const BasicKey& k, uint32_t r) {
-  return static_cast<uint32_t>(Fnv1a64(k.block_key) % r);
-}
+struct BasicPartitionFn {
+  uint32_t operator()(const BasicKey& k, uint32_t r) const {
+    return static_cast<uint32_t>(Fnv1a64(k.block_key) % r);
+  }
+};
+
+/// Typed fast-path spec (comp/group/part inlined by the engine).
+template <typename InK>
+using BasicSpec =
+    mr::TypedJobSpec<InK, er::EntityRef, BasicKey, MatchValue, MatchOutK,
+                     MatchOutV, BasicKeyLessFn, BasicKeyGroupEqualFn,
+                     BasicPartitionFn>;
 
 template <typename InK>
-mr::JobSpec<InK, er::EntityRef, BasicKey, MatchValue, MatchOutK, MatchOutV>
-MakeBasicSpecCommon(const er::Matcher& matcher, uint32_t r,
-                    bool two_source) {
-  mr::JobSpec<InK, er::EntityRef, BasicKey, MatchValue, MatchOutK,
-              MatchOutV>
-      spec;
+BasicSpec<InK> MakeBasicSpecCommon(const er::Matcher& matcher, uint32_t r,
+                                   bool two_source) {
+  BasicSpec<InK> spec;
   spec.num_reduce_tasks = r;
-  spec.partitioner = BasicPartition;
-  spec.key_less = BasicKeyLess;
-  spec.group_equal = BasicKeyGroupEqual;
   spec.reducer_factory = [&matcher, two_source](const mr::TaskContext&) {
     return std::make_unique<BasicReducer>(&matcher, two_source);
   };

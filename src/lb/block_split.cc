@@ -183,13 +183,13 @@ Result<MatchJobOutput> BlockSplitStrategy::RunMatchJob(
       BlockSplitPlan::Build(bdm, options.num_reduce_tasks,
                             options.assignment, options.sub_splits));
 
-  mr::JobSpec<std::string, er::EntityRef, BlockSplitKey, MatchValue,
-              MatchOutK, MatchOutV>
+  // Typed fast path: comp/group/part as compile-time functors, so the
+  // engine's sort and merge loops inline them.
+  mr::TypedJobSpec<std::string, er::EntityRef, BlockSplitKey, MatchValue,
+                   MatchOutK, MatchOutV, BlockSplitKeyLessFn,
+                   BlockSplitGroupEqualFn, BlockSplitPartitionFn>
       spec;
   spec.num_reduce_tasks = options.num_reduce_tasks;
-  spec.partitioner = BlockSplitPartition;
-  spec.key_less = BlockSplitKeyLess;
-  spec.group_equal = BlockSplitGroupEqual;
   spec.mapper_factory = [&bdm, &plan](const mr::TaskContext& ctx) {
     return std::make_unique<BlockSplitMapper>(&bdm, &plan, ctx.task_index);
   };

@@ -26,6 +26,21 @@ inline bool BasicKeyGroupEqual(const BasicKey& a, const BasicKey& b) {
   return a.block_key == b.block_key;  // group by blocking key only
 }
 
+/// Stateless functor forms of comp/group/part for the engine's typed fast
+/// path (mr::TypedJobSpec): passing these as template arguments lets the
+/// sort, merge and scatter loops inline the per-pair calls instead of
+/// dispatching through std::function.
+struct BasicKeyLessFn {
+  bool operator()(const BasicKey& a, const BasicKey& b) const {
+    return BasicKeyLess(a, b);
+  }
+};
+struct BasicKeyGroupEqualFn {
+  bool operator()(const BasicKey& a, const BasicKey& b) const {
+    return BasicKeyGroupEqual(a, b);
+  }
+};
+
 /// BlockSplit: key = (reduce index ∘ block index ∘ split) with
 /// split = (pi, pj) (Section IV; two-source adds the source, App. I-A).
 /// Unsplit blocks use the sentinel pi = pj = 0 ("k.*").
@@ -53,6 +68,23 @@ inline bool BlockSplitGroupEqual(const BlockSplitKey& a,
   return std::tie(a.block, a.pi, a.pj) == std::tie(b.block, b.pi, b.pj);
 }
 
+/// Typed fast-path functors (see BasicKeyLessFn).
+struct BlockSplitPartitionFn {
+  uint32_t operator()(const BlockSplitKey& k, uint32_t r) const {
+    return BlockSplitPartition(k, r);
+  }
+};
+struct BlockSplitKeyLessFn {
+  bool operator()(const BlockSplitKey& a, const BlockSplitKey& b) const {
+    return BlockSplitKeyLess(a, b);
+  }
+};
+struct BlockSplitGroupEqualFn {
+  bool operator()(const BlockSplitKey& a, const BlockSplitKey& b) const {
+    return BlockSplitGroupEqual(a, b);
+  }
+};
+
 /// PairRange: key = (range index ∘ block index ∘ entity index), with the
 /// source between block and entity index in two-source runs (App. I-B).
 struct PairRangeKey {
@@ -76,6 +108,23 @@ inline bool PairRangeGroupEqual(const PairRangeKey& a,
                                 const PairRangeKey& b) {
   return std::tie(a.range, a.block) == std::tie(b.range, b.block);
 }
+
+/// Typed fast-path functors (see BasicKeyLessFn).
+struct PairRangePartitionFn {
+  uint32_t operator()(const PairRangeKey& k, uint32_t r) const {
+    return PairRangePartition(k, r);
+  }
+};
+struct PairRangeKeyLessFn {
+  bool operator()(const PairRangeKey& a, const PairRangeKey& b) const {
+    return PairRangeKeyLess(a, b);
+  }
+};
+struct PairRangeGroupEqualFn {
+  bool operator()(const PairRangeKey& a, const PairRangeKey& b) const {
+    return PairRangeGroupEqual(a, b);
+  }
+};
 
 /// Value of all matching jobs: the entity plus the annotations map adds
 /// for the reduce phase (partition index for BlockSplit, entity index for

@@ -164,13 +164,13 @@ Result<MatchJobOutput> PairRangeStrategy::RunMatchJob(
   const uint32_t r = options.num_reduce_tasks;
   const auto offsets = bdm.BuildEntityIndexOffsets();
 
-  mr::JobSpec<std::string, er::EntityRef, PairRangeKey, MatchValue,
-              MatchOutK, MatchOutV>
+  // Typed fast path: comp/group/part as compile-time functors, so the
+  // engine's sort and merge loops inline them.
+  mr::TypedJobSpec<std::string, er::EntityRef, PairRangeKey, MatchValue,
+                   MatchOutK, MatchOutV, PairRangeKeyLessFn,
+                   PairRangeGroupEqualFn, PairRangePartitionFn>
       spec;
   spec.num_reduce_tasks = r;
-  spec.partitioner = PairRangePartition;
-  spec.key_less = PairRangeKeyLess;
-  spec.group_equal = PairRangeGroupEqual;
   spec.mapper_factory = [&bdm, &offsets, r](const mr::TaskContext& ctx) {
     return std::make_unique<PairRangeMapper>(&bdm, &offsets,
                                              ctx.task_index, r);

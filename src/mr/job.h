@@ -12,14 +12,27 @@
 //  * One map task per input partition (m = #partitions), as assumed by the
 //    paper's BDM ("the same number of map tasks and the same partitioning
 //    of the input data" across both jobs).
-//  * The shuffle concatenates each map task's output runs in map-task order
-//    and stable-sorts, so key-value pairs with equal keys stay contiguous
-//    per origin map task — the property Hadoop's merge of per-map sorted
-//    runs provides and Algorithm 1's streaming reduce for k.i×j match
-//    tasks depends on.
+//  * Merge-based shuffle, as in Hadoop: each map task stable-sorts its
+//    output by comp (one "spill"), scatters it in order into one sorted
+//    run per reduce task, and each reduce task k-way merges its m runs
+//    (mr/merge.h) — O(N log m) instead of re-sorting the concatenation.
+//    Cross-run ties break on map-task index, so pairs
+//    with equal keys stay contiguous per origin map task in map-task
+//    order — the property Hadoop's merge of per-map sorted runs provides
+//    and Algorithm 1's streaming reduce for k.i×j match tasks depends on.
+//    The merged sequence is byte-identical to the engine's previous
+//    concatenate-then-stable-sort shuffle (differential-tested).
 //  * Optional combiner per map task (the BDM job's counting optimization).
 //  * Tasks run on a fixed-size worker pool in FIFO order, emulating a
 //    cluster with a fixed number of processes.
+//
+// Job wiring comes in two flavors. `JobSpec` stores part/comp/group as
+// `std::function`s — maximally flexible, one indirect call per key
+// comparison. `TypedJobSpec` additionally takes the comparator, grouping
+// predicate, and partitioner as compile-time functor types, letting the
+// sort/merge/group loops inline them; the hot strategies (BlockSplit,
+// PairRange, Basic) use this fast path. `JobSpec` is just the alias of
+// `TypedJobSpec` with all three defaulted to `std::function`.
 #ifndef ERLB_MR_JOB_H_
 #define ERLB_MR_JOB_H_
 
@@ -35,6 +48,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "mr/counters.h"
+#include "mr/merge.h"
 #include "mr/metrics.h"
 
 namespace erlb {
@@ -99,12 +113,25 @@ class Reducer {
   virtual void Close(ReduceContext<OutK, OutV>* ctx) { (void)ctx; }
 };
 
-/// Full specification of an MR job.
+/// Full specification of an MR job. `KeyLess`, `GroupEqual` and
+/// `Partitioner` are functor types invoked on every key comparison /
+/// routing decision of the sort, merge and group loops; stateless structs
+/// here devirtualize the hottest calls of the engine. The defaults are
+/// `std::function`, giving the flexible `JobSpec` alias below.
 template <typename InK, typename InV, typename MidK, typename MidV,
-          typename OutK, typename OutV>
-struct JobSpec {
+          typename OutK, typename OutV,
+          typename KeyLess = std::function<bool(const MidK&, const MidK&)>,
+          typename GroupEqual = std::function<bool(const MidK&, const MidK&)>,
+          typename Partitioner = std::function<uint32_t(const MidK&, uint32_t)>>
+struct TypedJobSpec {
   using MapperT = Mapper<InK, InV, MidK, MidV>;
   using ReducerT = Reducer<MidK, MidV, OutK, OutV>;
+  using InKey = InK;
+  using InValue = InV;
+  using MidKey = MidK;
+  using MidValue = MidV;
+  using OutKey = OutK;
+  using OutValue = OutV;
 
   /// Creates the mapper for one map task.
   std::function<std::unique_ptr<MapperT>(const TaskContext&)> mapper_factory;
@@ -112,12 +139,12 @@ struct JobSpec {
   std::function<std::unique_ptr<ReducerT>(const TaskContext&)>
       reducer_factory;
   /// part: key -> reduce task in [0, r).
-  std::function<uint32_t(const MidK&, uint32_t)> partitioner;
+  Partitioner partitioner{};
   /// comp: strict weak order on intermediate keys.
-  std::function<bool(const MidK&, const MidK&)> key_less;
+  KeyLess key_less{};
   /// group: equivalence on intermediate keys; must be coarser than (or equal
   /// to) the sort order's equivalence, as in Hadoop.
-  std::function<bool(const MidK&, const MidK&)> group_equal;
+  GroupEqual group_equal{};
   /// Optional combiner applied to each map task's sorted output run:
   /// receives one group (equal keys by group_equal within the task) and
   /// emits replacement pairs.
@@ -128,6 +155,11 @@ struct JobSpec {
   uint32_t num_reduce_tasks = 1;
 };
 
+/// Compatibility spec: part/comp/group held as `std::function`.
+template <typename InK, typename InV, typename MidK, typename MidV,
+          typename OutK, typename OutV>
+using JobSpec = TypedJobSpec<InK, InV, MidK, MidV, OutK, OutV>;
+
 /// Result of running a job: output pairs per reduce task plus metrics.
 template <typename OutK, typename OutV>
 struct JobResult {
@@ -136,7 +168,10 @@ struct JobResult {
 
   /// Concatenates all reduce task outputs (in reduce-task order).
   std::vector<std::pair<OutK, OutV>> MergedOutput() const {
+    size_t total = 0;
+    for (const auto& part : outputs_per_reduce_task) total += part.size();
     std::vector<std::pair<OutK, OutV>> all;
+    all.reserve(total);
     for (const auto& part : outputs_per_reduce_task) {
       all.insert(all.end(), part.begin(), part.end());
     }
@@ -193,17 +228,23 @@ class JobRunner {
   size_t num_workers() const { return num_workers_; }
 
   /// Runs `spec` over `input_partitions` (one map task per partition).
-  template <typename InK, typename InV, typename MidK, typename MidV,
-            typename OutK, typename OutV>
-  JobResult<OutK, OutV> Run(
-      const JobSpec<InK, InV, MidK, MidV, OutK, OutV>& spec,
-      const std::vector<std::vector<std::pair<InK, InV>>>& input_partitions)
-      const {
+  /// `Spec` is any TypedJobSpec instantiation (including the JobSpec
+  /// alias).
+  template <typename Spec>
+  JobResult<typename Spec::OutKey, typename Spec::OutValue> Run(
+      const Spec& spec,
+      const std::vector<std::vector<
+          std::pair<typename Spec::InKey, typename Spec::InValue>>>&
+          input_partitions) const {
+    using OutK = typename Spec::OutKey;
+    using OutV = typename Spec::OutValue;
+    using MidK = typename Spec::MidKey;
+    using MidV = typename Spec::MidValue;
     ERLB_CHECK(spec.mapper_factory != nullptr);
     ERLB_CHECK(spec.reducer_factory != nullptr);
-    ERLB_CHECK(spec.partitioner != nullptr);
-    ERLB_CHECK(spec.key_less != nullptr);
-    ERLB_CHECK(spec.group_equal != nullptr);
+    ERLB_CHECK(!IsUnset(spec.partitioner));
+    ERLB_CHECK(!IsUnset(spec.key_less));
+    ERLB_CHECK(!IsUnset(spec.group_equal));
     ERLB_CHECK(spec.num_reduce_tasks >= 1);
 
     const uint32_t m = static_cast<uint32_t>(input_partitions.size());
@@ -236,12 +277,14 @@ class JobRunner {
     result.metrics.map_phase_nanos = map_watch.ElapsedNanos();
 
     // ---- Reduce phase ---------------------------------------------------
+    // Each reduce task owns (and consumes) its column of runs, so the
+    // mutable access to `buckets` is race-free.
     Stopwatch reduce_watch;
     {
       ThreadPool pool(num_workers_);
       for (uint32_t t = 0; t < r; ++t) {
         pool.Submit([&, t] {
-          RunReduceTask(spec, buckets, m, r, t,
+          RunReduceTask(spec, &buckets, m, r, t,
                         &result.outputs_per_reduce_task[t],
                         &result.metrics.reduce_tasks[t]);
         });
@@ -261,14 +304,29 @@ class JobRunner {
   }
 
  private:
-  template <typename InK, typename InV, typename MidK, typename MidV,
-            typename OutK, typename OutV>
+  /// True iff `f` is an unset std::function; plain functors are always
+  /// considered set.
+  template <typename F>
+  static bool IsUnset(const F& f) {
+    if constexpr (requires { f == nullptr; }) {
+      return f == nullptr;
+    } else {
+      return false;
+    }
+  }
+
+  template <typename Spec>
   static void RunMapTask(
-      const JobSpec<InK, InV, MidK, MidV, OutK, OutV>& spec,
-      const std::vector<std::pair<InK, InV>>& partition, uint32_t m,
-      uint32_t r, uint32_t task_index,
-      std::vector<std::vector<std::pair<MidK, MidV>>>* out_buckets,
+      const Spec& spec,
+      const std::vector<std::pair<typename Spec::InKey,
+                                  typename Spec::InValue>>& partition,
+      uint32_t m, uint32_t r, uint32_t task_index,
+      std::vector<std::vector<
+          std::pair<typename Spec::MidKey, typename Spec::MidValue>>>*
+          out_buckets,
       TaskMetrics* metrics) {
+    using MidK = typename Spec::MidKey;
+    using MidV = typename Spec::MidValue;
     Stopwatch watch;
     TaskContext ctx{m, r, task_index};
     auto mapper = spec.mapper_factory(ctx);
@@ -291,13 +349,14 @@ class JobRunner {
     // order breaks ties — then optionally combine, then scatter into the
     // per-reduce-task runs.
     auto& out = map_ctx.out();
-    std::stable_sort(out.begin(), out.end(),
-                     [&spec](const auto& a, const auto& b) {
-                       return spec.key_less(a.first, b.first);
-                     });
+    const auto pair_less = [&spec](const std::pair<MidK, MidV>& a,
+                                   const std::pair<MidK, MidV>& b) {
+      return spec.key_less(a.first, b.first);
+    };
+    std::stable_sort(out.begin(), out.end(), pair_less);
 
     std::vector<std::pair<MidK, MidV>> combined;
-    const std::vector<std::pair<MidK, MidV>>* final_out = &out;
+    std::vector<std::pair<MidK, MidV>>* final_out = &out;
     if (spec.combiner) {
       size_t i = 0;
       while (i < out.size()) {
@@ -311,45 +370,71 @@ class JobRunner {
                       &combined);
         i = j;
       }
+      // The reduce side merges runs instead of re-sorting, so each run
+      // must leave here sorted. A combiner normally re-emits its group's
+      // key and keeps the order; guard against one that doesn't.
+      if (!std::is_sorted(combined.begin(), combined.end(), pair_less)) {
+        std::stable_sort(combined.begin(), combined.end(), pair_less);
+      }
       final_out = &combined;
     }
 
-    for (const auto& kv : *final_out) {
-      uint32_t p = spec.partitioner(kv.first, r);
+    // Scatter: a counting pass sizes every run exactly, then pairs are
+    // moved (not copied) into their runs. Order is preserved, so each run
+    // stays sorted with emission order breaking ties.
+    const size_t n_out = final_out->size();
+    std::vector<uint32_t> dest(n_out);
+    std::vector<size_t> run_sizes(r, 0);
+    for (size_t i = 0; i < n_out; ++i) {
+      uint32_t p = spec.partitioner((*final_out)[i].first, r);
       ERLB_CHECK(p < r) << "partitioner returned " << p << " for r=" << r;
-      (*out_buckets)[p].push_back(kv);
+      dest[i] = p;
+      ++run_sizes[p];
+    }
+    for (uint32_t p = 0; p < r; ++p) {
+      (*out_buckets)[p].reserve(run_sizes[p]);
+    }
+    for (size_t i = 0; i < n_out; ++i) {
+      (*out_buckets)[dest[i]].push_back(std::move((*final_out)[i]));
     }
     metrics->duration_nanos = watch.ElapsedNanos();
   }
 
-  template <typename InK, typename InV, typename MidK, typename MidV,
-            typename OutK, typename OutV>
+  template <typename Spec>
   static void RunReduceTask(
-      const JobSpec<InK, InV, MidK, MidV, OutK, OutV>& spec,
-      const std::vector<std::vector<std::vector<std::pair<MidK, MidV>>>>&
+      const Spec& spec,
+      std::vector<std::vector<std::vector<
+          std::pair<typename Spec::MidKey, typename Spec::MidValue>>>>*
           buckets,
       uint32_t m, uint32_t r, uint32_t task_index,
-      std::vector<std::pair<OutK, OutV>>* output, TaskMetrics* metrics) {
+      std::vector<std::pair<typename Spec::OutKey, typename Spec::OutValue>>*
+          output,
+      TaskMetrics* metrics) {
+    using MidK = typename Spec::MidKey;
+    using MidV = typename Spec::MidValue;
+    using OutK = typename Spec::OutKey;
+    using OutV = typename Spec::OutValue;
     Stopwatch watch;
     TaskContext ctx{m, r, task_index};
     auto reducer = spec.reducer_factory(ctx);
     ERLB_CHECK(reducer != nullptr);
 
-    // Concatenate the per-map-task runs in map-task order, then stable
-    // sort: equal keys remain grouped by origin map task (Hadoop merge
-    // contiguity; see file comment).
-    std::vector<std::pair<MidK, MidV>> run;
-    size_t total = 0;
-    for (uint32_t mt = 0; mt < m; ++mt) total += buckets[mt][task_index].size();
-    run.reserve(total);
+    // Gather this task's column of per-map-task runs (each sorted by comp)
+    // and k-way merge them, breaking cross-run ties on map-task index:
+    // equal keys remain grouped by origin map task (Hadoop merge
+    // contiguity; see file comment), and the sequence is identical to
+    // stable-sorting the concatenated runs.
+    std::vector<std::vector<std::pair<MidK, MidV>>> runs;
+    runs.reserve(m);
     for (uint32_t mt = 0; mt < m; ++mt) {
-      const auto& b = buckets[mt][task_index];
-      run.insert(run.end(), b.begin(), b.end());
+      runs.push_back(std::move((*buckets)[mt][task_index]));
     }
-    std::stable_sort(run.begin(), run.end(),
-                     [&spec](const auto& a, const auto& b) {
-                       return spec.key_less(a.first, b.first);
-                     });
+    std::vector<std::pair<MidK, MidV>> run = MergeSortedRuns(
+        std::span<std::vector<std::pair<MidK, MidV>>>(runs),
+        [&spec](const std::pair<MidK, MidV>& a,
+                const std::pair<MidK, MidV>& b) {
+          return spec.key_less(a.first, b.first);
+        });
 
     internal::VectorReduceContext<OutK, OutV> red_ctx;
     size_t i = 0;

@@ -379,6 +379,72 @@ TEST(MrJobTest, CountersMergeAcrossTasks) {
   EXPECT_EQ(result.metrics.counters.Get(kCounterMapOutputPairs), 9);
 }
 
+// ---------------------------------------------------------------------
+// Typed fast path: a TypedJobSpec with functor comp/group/part must
+// produce byte-identical output to the std::function JobSpec.
+// ---------------------------------------------------------------------
+
+struct WordLessFn {
+  bool operator()(const std::string& a, const std::string& b) const {
+    return a < b;
+  }
+};
+struct WordEqualFn {
+  bool operator()(const std::string& a, const std::string& b) const {
+    return a == b;
+  }
+};
+struct WordPartitionFn {
+  uint32_t operator()(const std::string& k, uint32_t r) const {
+    return static_cast<uint32_t>(Fnv1a64(k) % r);
+  }
+};
+
+TEST(MrJobTest, TypedSpecMatchesFunctionSpec) {
+  TypedJobSpec<int, std::string, std::string, int, std::string, int,
+               WordLessFn, WordEqualFn, WordPartitionFn>
+      typed;
+  typed.num_reduce_tasks = 4;
+  typed.mapper_factory = [](const TaskContext&) {
+    return std::make_unique<WordCountMapper>();
+  };
+  typed.reducer_factory = [](const TaskContext&) {
+    return std::make_unique<SumReducer>();
+  };
+  JobRunner runner(4);
+  auto typed_result = runner.Run(typed, WordInput());
+  auto fn_result = runner.Run(WordCountSpec(4), WordInput());
+  EXPECT_EQ(typed_result.MergedOutput(), fn_result.MergedOutput());
+  EXPECT_EQ(typed_result.metrics.counters.Get(kCounterMapOutputPairs),
+            fn_result.metrics.counters.Get(kCounterMapOutputPairs));
+}
+
+TEST(MrJobTest, TypedSpecSupportsCombiner) {
+  TypedJobSpec<int, std::string, std::string, int, std::string, int,
+               WordLessFn, WordEqualFn, WordPartitionFn>
+      typed;
+  typed.num_reduce_tasks = 1;
+  typed.mapper_factory = [](const TaskContext&) {
+    return std::make_unique<WordCountMapper>();
+  };
+  typed.reducer_factory = [](const TaskContext&) {
+    return std::make_unique<SumReducer>();
+  };
+  typed.combiner = [](std::span<const std::pair<std::string, int>> group,
+                      std::vector<std::pair<std::string, int>>* out) {
+    int sum = 0;
+    for (const auto& [k, v] : group) sum += v;
+    out->emplace_back(group.front().first, sum);
+  };
+  JobRunner runner(2);
+  auto result = runner.Run(typed, WordInput());
+  auto counts = CollectCounts(result);
+  EXPECT_EQ(counts["a"], 4);
+  EXPECT_EQ(counts["b"], 2);
+  EXPECT_EQ(counts["c"], 3);
+  EXPECT_EQ(result.metrics.reduce_tasks[0].input_records, 6);
+}
+
 TEST(SideStoreTest, AppendAndRead) {
   SideStore<std::string, int> store(3);
   store.Append(0, "a", 1);
