@@ -1,0 +1,98 @@
+// Planning-throughput micro benchmark: how fast each strategy turns a BDM
+// into its full MatchPlan, and how fast plans round-trip through JSON
+// (the plan-cache read/write path). Uses the dependency-free bench_json.h
+// harness; `--json BENCH_plan.json` emits the machine-readable baseline.
+//
+//   $ ./bench_plan [--json <path>] [--reps N] [--min-rep-ms N]
+#include <string>
+#include <vector>
+
+#include "bdm/bdm.h"
+#include "bench_json.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "er/blocking.h"
+#include "gen/skew_gen.h"
+#include "lb/plan_io.h"
+#include "lb/strategy.h"
+
+using namespace erlb;
+
+namespace {
+
+/// A skewed BDM shaped like the figure benchmarks' datasets: `entities`
+/// entities over `blocks` blocks across `m` partitions.
+bdm::Bdm MakeBdm(uint32_t entities, uint32_t blocks, uint32_t m,
+                 double skew, uint64_t seed) {
+  gen::SkewConfig cfg;
+  cfg.num_entities = entities;
+  cfg.num_blocks = blocks;
+  cfg.skew = skew;
+  cfg.seed = seed;
+  auto generated = gen::GenerateSkewed(cfg);
+  ERLB_CHECK(generated.ok());
+  er::AttributeBlocking blocking(gen::kSkewBlockField);
+  std::vector<std::vector<std::string>> keys(m);
+  for (size_t i = 0; i < generated->size(); ++i) {
+    keys[i * m / generated->size()].push_back(
+        blocking.Key((*generated)[i]));
+  }
+  auto bdm = bdm::Bdm::FromKeys(keys);
+  ERLB_CHECK(bdm.ok());
+  return std::move(bdm).ValueOrDie();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::MicroBench harness("bench_plan");
+  if (!harness.ParseArgs(argc, argv)) return 1;
+
+  const uint32_t r = 100;
+  bdm::Bdm bdm = MakeBdm(/*entities=*/50000, /*blocks=*/200, /*m=*/20,
+                         /*skew=*/0.8, /*seed=*/7);
+  lb::MatchJobOptions options;
+  options.num_reduce_tasks = r;
+
+  // ---- BuildPlan throughput per strategy -------------------------------
+  for (auto kind : lb::AllStrategies()) {
+    auto strategy = lb::MakeStrategy(kind);
+    harness.Run(std::string("build_plan/") + lb::StrategyName(kind),
+                [&strategy, &bdm, &options] {
+                  auto plan = strategy->BuildPlan(bdm, options);
+                  ERLB_CHECK(plan.ok());
+                });
+  }
+
+  // BlockSplit with sub-splits multiplies virtual partitions — the
+  // heaviest planning configuration.
+  {
+    auto strategy = lb::MakeStrategy(lb::StrategyKind::kBlockSplit);
+    lb::MatchJobOptions sub_options = options;
+    sub_options.sub_splits = 4;
+    harness.Run("build_plan/BlockSplit_sub4",
+                [&strategy, &bdm, &sub_options] {
+                  auto plan = strategy->BuildPlan(bdm, sub_options);
+                  ERLB_CHECK(plan.ok());
+                });
+  }
+
+  // ---- Plan cache path: JSON serialize / parse -------------------------
+  for (auto kind : lb::AllStrategies()) {
+    auto plan = lb::MakeStrategy(kind)->BuildPlan(bdm, options);
+    ERLB_CHECK(plan.ok());
+    const std::string json = lb::MatchPlanToJson(*plan);
+    harness.Run(std::string("plan_to_json/") + lb::StrategyName(kind),
+                [&plan] {
+                  std::string out = lb::MatchPlanToJson(*plan);
+                  ERLB_CHECK(!out.empty());
+                });
+    harness.Run(std::string("plan_from_json/") + lb::StrategyName(kind),
+                [&json] {
+                  auto parsed = lb::MatchPlanFromJson(json);
+                  ERLB_CHECK(parsed.ok());
+                });
+  }
+
+  return harness.Finish();
+}

@@ -3,10 +3,11 @@
 // a production batch job. With no arguments it generates a demo input
 // first.
 //
-//   $ ./csv_dedup [input.csv [output.csv]]
+//   $ ./csv_dedup [input.csv [output.csv [strategy]]]
 //
 // Input format: header row, then one entity per row; column 0 = id,
-// remaining columns = fields (column 1 is matched on).
+// remaining columns = fields (column 1 is matched on). `strategy` is
+// Basic, BlockSplit (default), or PairRange.
 #include <cstdio>
 
 #include "core/pipeline.h"
@@ -21,6 +22,15 @@ using namespace erlb;
 int main(int argc, char** argv) {
   std::string input = argc > 1 ? argv[1] : "/tmp/erlb_demo_products.csv";
   std::string output = argc > 2 ? argv[2] : "/tmp/erlb_demo_matches.csv";
+  lb::StrategyKind strategy = lb::StrategyKind::kBlockSplit;
+  if (argc > 3) {
+    auto parsed = lb::StrategyKindFromName(argv[3]);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    strategy = *parsed;
+  }
 
   if (argc <= 1) {
     // No input given: generate a demo catalog.
@@ -49,11 +59,11 @@ int main(int argc, char** argv) {
 
   er::PrefixBlocking blocking(0, 3);
   er::EditDistanceMatcher matcher(0.8);
-  core::ErPipelineConfig config;
-  config.strategy = lb::StrategyKind::kBlockSplit;
-  config.num_map_tasks = 8;
-  config.num_reduce_tasks = 32;
-  core::ErPipeline pipeline(config);
+  core::ErPipeline pipeline = core::ErPipelineBuilder()
+                                  .Strategy(strategy)
+                                  .MapTasks(8)
+                                  .ReduceTasks(32)
+                                  .Build();
 
   auto result = pipeline.Deduplicate(*entities, blocking, matcher);
   if (!result.ok()) {

@@ -1,0 +1,411 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace erlb {
+
+uint64_t Json::AsUint64() const {
+  if (const auto* u = std::get_if<uint64_t>(&value_)) return *u;
+  if (const auto* i = std::get_if<int64_t>(&value_)) {
+    return static_cast<uint64_t>(*i);
+  }
+  return static_cast<uint64_t>(std::get<double>(value_));
+}
+
+int64_t Json::AsInt64() const {
+  if (const auto* i = std::get_if<int64_t>(&value_)) return *i;
+  if (const auto* u = std::get_if<uint64_t>(&value_)) {
+    return static_cast<int64_t>(*u);
+  }
+  return static_cast<int64_t>(std::get<double>(value_));
+}
+
+double Json::AsDouble() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  if (const auto* u = std::get_if<uint64_t>(&value_)) {
+    return static_cast<double>(*u);
+  }
+  return static_cast<double>(std::get<int64_t>(value_));
+}
+
+const Json* Json::Find(std::string_view key) const {
+  const auto* obj = std::get_if<Object>(&value_);
+  if (obj == nullptr) return nullptr;
+  for (const auto& [k, v] : *obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendIndent(std::string* out, int indent, int depth) {
+  if (indent < 0) return;
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  if (is_null()) {
+    out->append("null");
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    out->append(*b ? "true" : "false");
+  } else if (const auto* u = std::get_if<uint64_t>(&value_)) {
+    out->append(std::to_string(*u));
+  } else if (const auto* i = std::get_if<int64_t>(&value_)) {
+    out->append(std::to_string(*i));
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    if (std::isfinite(*d)) {
+      // Shortest representation that round-trips the double.
+      char buf[32];
+      for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, *d);
+        if (std::strtod(buf, nullptr) == *d) break;
+      }
+      out->append(buf);
+    } else {
+      out->append("null");  // JSON has no Inf/NaN
+    }
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    AppendEscaped(out, *s);
+  } else if (const auto* a = std::get_if<Array>(&value_)) {
+    if (a->empty()) {
+      out->append("[]");
+      return;
+    }
+    out->push_back('[');
+    for (size_t i = 0; i < a->size(); ++i) {
+      if (i > 0) out->push_back(',');
+      AppendIndent(out, indent, depth + 1);
+      (*a)[i].DumpTo(out, indent, depth + 1);
+    }
+    AppendIndent(out, indent, depth);
+    out->push_back(']');
+  } else {
+    const auto& obj = std::get<Object>(value_);
+    if (obj.empty()) {
+      out->append("{}");
+      return;
+    }
+    out->push_back('{');
+    for (size_t i = 0; i < obj.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      AppendIndent(out, indent, depth + 1);
+      AppendEscaped(out, obj[i].first);
+      out->append(indent < 0 ? ":" : ": ");
+      obj[i].second.DumpTo(out, indent, depth + 1);
+    }
+    AppendIndent(out, indent, depth);
+    out->push_back('}');
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  if (indent >= 0) out.push_back('\n');
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view with an explicit cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> ParseDocument() {
+    ERLB_ASSIGN_OR_RETURN(Json value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        ERLB_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Json(std::move(s));
+      }
+      case 't':
+        if (ConsumeLiteral("true")) return Json(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return Json(false);
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) return Json(nullptr);
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Json> ParseObject(int depth) {
+    ++pos_;  // '{'
+    Json::Object obj;
+    SkipWhitespace();
+    if (Consume('}')) return Json(std::move(obj));
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      ERLB_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      ERLB_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      obj.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Json(std::move(obj));
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Result<Json> ParseArray(int depth) {
+    ++pos_;  // '['
+    Json::Array arr;
+    SkipWhitespace();
+    if (Consume(']')) return Json(std::move(arr));
+    while (true) {
+      ERLB_ASSIGN_OR_RETURN(Json value, ParseValue(depth + 1));
+      arr.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Json(std::move(arr));
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_ + i];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode the (BMP) code point; surrogate pairs are not
+          // combined — plan artifacts are ASCII in practice.
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<Json> ParseNumber() {
+    const size_t start = pos_;
+    bool negative = Consume('-');
+    bool integral = true;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start + (negative ? 1 : 0)) return Error("invalid number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    std::string_view token = text_.substr(start, pos_ - start);
+    if (integral) {
+      if (negative) {
+        int64_t v = 0;
+        auto [p, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), v);
+        if (ec == std::errc() && p == token.data() + token.size()) {
+          return Json(v);
+        }
+      } else {
+        uint64_t v = 0;
+        auto [p, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), v);
+        if (ec == std::errc() && p == token.data() + token.size()) {
+          return Json(v);
+        }
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    double d = std::strtod(std::string(token).c_str(), nullptr);
+    return Json(d);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace erlb

@@ -1,0 +1,102 @@
+// Minimal JSON document model: parse, navigate, serialize. Dependency-free
+// (the container image carries no JSON library) and deliberately small —
+// just what plan/BDM artifacts need. Integers round-trip losslessly
+// (uint64/int64 are kept as integers, not doubles), and object key order
+// is preserved, so serialize → parse → re-serialize is byte-identical.
+#ifndef ERLB_COMMON_JSON_H_
+#define ERLB_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace erlb {
+
+/// One JSON value: null, bool, integer, double, string, array, or object.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  /// Insertion-ordered; duplicate keys are not rejected but Get returns
+  /// the first occurrence.
+  using Object = std::vector<std::pair<std::string, Json>>;
+
+  Json() : value_(nullptr) {}                        // null
+  Json(std::nullptr_t) : value_(nullptr) {}          // NOLINT
+  Json(bool b) : value_(b) {}                        // NOLINT
+  Json(int64_t i) : value_(i) {}                     // NOLINT
+  Json(uint64_t u) : value_(u) {}                    // NOLINT
+  Json(int i) : value_(static_cast<int64_t>(i)) {}   // NOLINT
+  Json(uint32_t u) : value_(static_cast<uint64_t>(u)) {}  // NOLINT
+  Json(double d) : value_(d) {}                      // NOLINT
+  Json(std::string s) : value_(std::move(s)) {}      // NOLINT
+  Json(const char* s) : value_(std::string(s)) {}    // NOLINT
+  Json(Array a) : value_(std::move(a)) {}            // NOLINT
+  Json(Object o) : value_(std::move(o)) {}           // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+  /// True for any numeric alternative (uint64, int64, or double).
+  bool is_number() const {
+    return std::holds_alternative<uint64_t>(value_) ||
+           std::holds_alternative<int64_t>(value_) ||
+           std::holds_alternative<double>(value_);
+  }
+  /// True iff the value was an integer token (no '.', no exponent) — the
+  /// uint64/int64 alternatives, not a double that happens to be whole.
+  bool is_integer() const {
+    return std::holds_alternative<uint64_t>(value_) ||
+           std::holds_alternative<int64_t>(value_);
+  }
+
+  bool AsBool() const { return std::get<bool>(value_); }
+  const std::string& AsString() const { return std::get<std::string>(value_); }
+  const Array& AsArray() const { return std::get<Array>(value_); }
+  Array& AsArray() { return std::get<Array>(value_); }
+  const Object& AsObject() const { return std::get<Object>(value_); }
+  Object& AsObject() { return std::get<Object>(value_); }
+
+  /// Numeric accessors convert between the three numeric alternatives
+  /// (e.g. AsUint64 on an int64 value); they do not parse strings.
+  uint64_t AsUint64() const;
+  int64_t AsInt64() const;
+  double AsDouble() const;
+
+  /// Object member lookup; nullptr when absent or this is not an object.
+  const Json* Find(std::string_view key) const;
+
+  /// Appends a member to an object value.
+  void Add(std::string key, Json value) {
+    std::get<Object>(value_).emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Serializes. indent < 0 → compact one-liner; indent >= 0 → pretty,
+  /// `indent` spaces per level. Numeric output is lossless for integers
+  /// and shortest-round-trip for doubles.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses a complete JSON document (trailing garbage is an error).
+  static Result<Json> Parse(std::string_view text);
+
+  friend bool operator==(const Json& a, const Json& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, uint64_t, int64_t, double, std::string,
+               Array, Object>
+      value_;
+};
+
+}  // namespace erlb
+
+#endif  // ERLB_COMMON_JSON_H_

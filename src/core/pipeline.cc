@@ -46,6 +46,12 @@ Result<ErPipelineResult> ErPipeline::DeduplicatePartitioned(
   return RunPartitioned(partitions, nullptr, blocking, matcher);
 }
 
+Result<ErPipelineResult> ErPipeline::DeduplicatePartitioned(
+    const er::Partitions& partitions, const er::BlockingFunction& blocking,
+    const er::Matcher& matcher, const lb::MatchPlan& plan) const {
+  return RunPartitioned(partitions, nullptr, blocking, matcher, &plan);
+}
+
 Result<ErPipelineResult> ErPipeline::Link(
     const std::vector<er::Entity>& r_entities,
     const std::vector<er::Entity>& s_entities,
@@ -76,24 +82,29 @@ Result<ErPipelineResult> ErPipeline::Link(
 Result<ErPipelineResult> ErPipeline::RunPartitioned(
     const er::Partitions& partitions,
     const std::vector<er::Source>* partition_sources,
-    const er::BlockingFunction& blocking, const er::Matcher& matcher) const {
+    const er::BlockingFunction& blocking, const er::Matcher& matcher,
+    const lb::MatchPlan* prebuilt_plan) const {
   if (partitions.empty()) {
     return Status::InvalidArgument("need at least one partition");
   }
   if (config_.num_reduce_tasks == 0) {
     return Status::InvalidArgument("num_reduce_tasks must be >= 1");
   }
+  // A pre-built plan overrides the config: it already fixes the strategy
+  // and every matching-job option.
+  const lb::StrategyKind strategy_kind =
+      prebuilt_plan != nullptr ? prebuilt_plan->strategy()
+                               : config_.strategy;
   mr::JobRunner runner(config_.EffectiveWorkers());
-  lb::MatchJobOptions match_options;
-  match_options.num_reduce_tasks = config_.num_reduce_tasks;
-  match_options.assignment = config_.assignment;
-  match_options.sub_splits = config_.sub_splits;
 
   ErPipelineResult result;
   Stopwatch total_watch;
 
-  if (config_.strategy == lb::StrategyKind::kBasic) {
+  if (prebuilt_plan == nullptr &&
+      strategy_kind == lb::StrategyKind::kBasic) {
     // Single job, no BDM (Section III's straightforward approach).
+    lb::MatchJobOptions match_options;
+    match_options.num_reduce_tasks = config_.num_reduce_tasks;
     ERLB_ASSIGN_OR_RETURN(
         lb::MatchJobOutput out,
         lb::RunBasicSingleJob(partitions, blocking, matcher, match_options,
@@ -123,13 +134,27 @@ Result<ErPipelineResult> ErPipeline::RunPartitioned(
   result.skipped_entities = bdm_out.skipped_entities;
   result.bdm_seconds = bdm_watch.ElapsedSeconds();
 
+  // ---- Plan: reuse the caller's or build from the fresh BDM -------------
+  // A freshly built plan is returned in the result; a pre-built one is
+  // executed in place, not copied — the caller already holds it.
+  auto strategy = lb::MakeStrategy(strategy_kind);
+  const lb::MatchPlan* plan = prebuilt_plan;
+  if (plan == nullptr) {
+    lb::MatchJobOptions match_options;
+    match_options.num_reduce_tasks = config_.num_reduce_tasks;
+    match_options.assignment = config_.assignment;
+    match_options.sub_splits = config_.sub_splits;
+    ERLB_ASSIGN_OR_RETURN(result.plan,
+                          strategy->BuildPlan(result.bdm, match_options));
+    plan = &*result.plan;
+  }
+
   // ---- Job 2: load-balanced matching ------------------------------------
   Stopwatch match_watch;
-  auto strategy = lb::MakeStrategy(config_.strategy);
   ERLB_ASSIGN_OR_RETURN(
       lb::MatchJobOutput out,
-      strategy->RunMatchJob(*bdm_out.annotated, result.bdm, matcher,
-                            match_options, runner));
+      strategy->ExecutePlan(*plan, *bdm_out.annotated, result.bdm,
+                            matcher, runner));
   result.matches = std::move(out.matches);
   result.match_metrics = std::move(out.metrics);
   result.comparisons = out.comparisons;

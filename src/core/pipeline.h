@@ -7,6 +7,7 @@
 #define ERLB_CORE_PIPELINE_H_
 
 #include <cstdint>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "er/entity.h"
 #include "er/match_result.h"
 #include "er/matcher.h"
+#include "lb/plan.h"
 #include "lb/strategy.h"
 #include "mr/metrics.h"
 
@@ -52,6 +54,12 @@ struct ErPipelineResult {
   er::MatchResult matches;
   /// The BDM (empty for Basic, which runs without preprocessing).
   bdm::Bdm bdm;
+  /// The exact plan the matching job executed (absent for single-job
+  /// Basic, which plans nothing, and for runs that were handed a
+  /// pre-built plan — the caller already holds it). Inspect it, feed it
+  /// to the simulator, serialize it (lb/plan_io.h), or hand it back to
+  /// the pre-built-plan overloads to re-execute without re-planning.
+  std::optional<lb::MatchPlan> plan;
   mr::JobMetrics bdm_metrics;
   mr::JobMetrics match_metrics;
   /// Pair comparisons evaluated in the reduce phase.
@@ -82,6 +90,20 @@ class ErPipeline {
       const er::BlockingFunction& blocking,
       const er::Matcher& matcher) const;
 
+  /// Plan-first overload: executes a pre-built `plan` (from
+  /// Strategy::BuildPlan, a previous run's ErPipelineResult, the
+  /// recommender, or lb/plan_io.h) instead of planning internally — plan
+  /// once, execute many. The plan decides the matching job's strategy and
+  /// reduce task count (config.strategy is ignored;
+  /// config.num_reduce_tasks still configures Job 1, the BDM job, and
+  /// must be >= 1). The plan's BDM fingerprint must match the BDM
+  /// computed for `partitions` (InvalidArgument otherwise). The result's
+  /// `plan` field is left empty — the caller already holds the plan.
+  Result<ErPipelineResult> DeduplicatePartitioned(
+      const er::Partitions& partitions,
+      const er::BlockingFunction& blocking, const er::Matcher& matcher,
+      const lb::MatchPlan& plan) const;
+
   /// Two-source linkage R×S (Appendix I). Sources are tagged internally;
   /// map tasks are divided between the sources proportionally to size
   /// (each partition holds one source only, the MultipleInputs layout).
@@ -94,9 +116,61 @@ class ErPipeline {
   Result<ErPipelineResult> RunPartitioned(
       const er::Partitions& partitions,
       const std::vector<er::Source>* partition_sources,
-      const er::BlockingFunction& blocking,
-      const er::Matcher& matcher) const;
+      const er::BlockingFunction& blocking, const er::Matcher& matcher,
+      const lb::MatchPlan* prebuilt_plan = nullptr) const;
 
+  ErPipelineConfig config_;
+};
+
+/// Fluent construction of an ErPipeline:
+///
+/// \code
+///   auto pipeline = core::ErPipelineBuilder()
+///                       .Strategy(lb::StrategyKind::kPairRange)
+///                       .MapTasks(8)
+///                       .ReduceTasks(32)
+///                       .Build();
+/// \endcode
+class ErPipelineBuilder {
+ public:
+  ErPipelineBuilder& Strategy(lb::StrategyKind kind) {
+    config_.strategy = kind;
+    return *this;
+  }
+  ErPipelineBuilder& MapTasks(uint32_t m) {
+    config_.num_map_tasks = m;
+    return *this;
+  }
+  ErPipelineBuilder& ReduceTasks(uint32_t r) {
+    config_.num_reduce_tasks = r;
+    return *this;
+  }
+  ErPipelineBuilder& Workers(uint32_t workers) {
+    config_.num_workers = workers;
+    return *this;
+  }
+  ErPipelineBuilder& Assignment(lb::TaskAssignment assignment) {
+    config_.assignment = assignment;
+    return *this;
+  }
+  ErPipelineBuilder& SubSplits(uint32_t sub_splits) {
+    config_.sub_splits = sub_splits;
+    return *this;
+  }
+  ErPipelineBuilder& MissingKeys(bdm::MissingKeyPolicy policy) {
+    config_.missing_key_policy = policy;
+    return *this;
+  }
+  ErPipelineBuilder& UseCombiner(bool use) {
+    config_.use_combiner = use;
+    return *this;
+  }
+
+  const ErPipelineConfig& config() const { return config_; }
+
+  ErPipeline Build() const { return ErPipeline(config_); }
+
+ private:
   ErPipelineConfig config_;
 };
 

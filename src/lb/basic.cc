@@ -86,24 +86,44 @@ class BasicReducer
   CompareStats stats_;
 };
 
+/// Hash routing, for the single-job path that has no BDM (and therefore no
+/// plan): the block's reduce task is the key hash mod r.
 struct BasicPartitionFn {
   uint32_t operator()(const BasicKey& k, uint32_t r) const {
     return static_cast<uint32_t>(Fnv1a64(k.block_key) % r);
   }
 };
 
+/// Plan routing: looks the block up in the BDM and routes to the reduce
+/// task the plan recorded for it — execution consumes the plan's decision
+/// instead of re-hashing.
+struct BasicPlannedPartitionFn {
+  const bdm::Bdm* bdm = nullptr;
+  const BasicPlanBody* body = nullptr;
+
+  uint32_t operator()(const BasicKey& k, uint32_t r) const {
+    auto idx = bdm->BlockIndex(k.block_key);
+    ERLB_CHECK(idx.ok()) << "block key absent from BDM: " << k.block_key;
+    uint32_t task = body->reduce_task_of_block[*idx];
+    ERLB_CHECK(task < r);
+    return task;
+  }
+};
+
 /// Typed fast-path spec (comp/group/part inlined by the engine).
-template <typename InK>
+template <typename InK, typename PartFn>
 using BasicSpec =
     mr::TypedJobSpec<InK, er::EntityRef, BasicKey, MatchValue, MatchOutK,
                      MatchOutV, BasicKeyLessFn, BasicKeyGroupEqualFn,
-                     BasicPartitionFn>;
+                     PartFn>;
 
-template <typename InK>
-BasicSpec<InK> MakeBasicSpecCommon(const er::Matcher& matcher, uint32_t r,
-                                   bool two_source) {
-  BasicSpec<InK> spec;
+template <typename InK, typename PartFn>
+BasicSpec<InK, PartFn> MakeBasicSpecCommon(const er::Matcher& matcher,
+                                           uint32_t r, bool two_source,
+                                           PartFn partitioner) {
+  BasicSpec<InK, PartFn> spec;
   spec.num_reduce_tasks = r;
+  spec.partitioner = partitioner;
   spec.reducer_factory = [&matcher, two_source](const mr::TaskContext&) {
     return std::make_unique<BasicReducer>(&matcher, two_source);
   };
@@ -124,15 +144,45 @@ MatchJobOutput CollectOutput(
 
 }  // namespace
 
-Result<MatchJobOutput> BasicStrategy::RunMatchJob(
-    const bdm::AnnotatedStore& input, const bdm::Bdm& bdm,
-    const er::Matcher& matcher, const MatchJobOptions& options,
+Result<MatchPlan> BasicStrategy::BuildPlan(
+    const bdm::Bdm& bdm, const MatchJobOptions& options) const {
+  ERLB_RETURN_NOT_OK(ValidateMatchJobOptions(options));
+  const uint32_t r = options.num_reduce_tasks;
+  PlanStats stats;
+  stats.strategy = StrategyKind::kBasic;
+  stats.num_reduce_tasks = r;
+  stats.comparisons_per_reduce_task.assign(r, 0);
+  stats.map_output_pairs_per_task.assign(bdm.num_partitions(), 0);
+  stats.input_records_per_reduce_task.assign(r, 0);
+  BasicPlanBody body;
+  body.reduce_task_of_block.resize(bdm.num_blocks());
+  for (uint32_t k = 0; k < bdm.num_blocks(); ++k) {
+    uint32_t t = static_cast<uint32_t>(Fnv1a64(bdm.BlockKey(k)) % r);
+    body.reduce_task_of_block[k] = t;
+    stats.comparisons_per_reduce_task[t] += bdm.PairsInBlock(k);
+    stats.total_comparisons += bdm.PairsInBlock(k);
+    stats.input_records_per_reduce_task[t] += bdm.Size(k);
+    // Basic replicates nothing: one KV pair per entity.
+    for (uint32_t p = 0; p < bdm.num_partitions(); ++p) {
+      stats.map_output_pairs_per_task[p] += bdm.Size(k, p);
+    }
+  }
+  return MatchPlan(StrategyKind::kBasic, options, BdmFingerprint::Of(bdm),
+                   std::move(stats), std::move(body));
+}
+
+Result<MatchJobOutput> BasicStrategy::ExecutePlan(
+    const MatchPlan& plan, const bdm::AnnotatedStore& input,
+    const bdm::Bdm& bdm, const er::Matcher& matcher,
     const mr::JobRunner& runner) const {
-  if (options.num_reduce_tasks == 0) {
-    return Status::InvalidArgument("r must be >= 1");
+  ERLB_RETURN_NOT_OK(plan.ValidateFor(StrategyKind::kBasic, bdm));
+  if (input.num_tasks() != bdm.num_partitions()) {
+    return Status::InvalidArgument(
+        "annotated store partition count disagrees with BDM");
   }
   auto spec = MakeBasicSpecCommon<std::string>(
-      matcher, options.num_reduce_tasks, bdm.two_source());
+      matcher, plan.num_reduce_tasks(), bdm.two_source(),
+      BasicPlannedPartitionFn{&bdm, plan.basic()});
   spec.mapper_factory = [](const mr::TaskContext&) {
     return std::make_unique<BasicAnnotatedMapper>();
   };
@@ -144,15 +194,13 @@ Result<MatchJobOutput> RunBasicSingleJob(
     const er::Matcher& matcher, const MatchJobOptions& options,
     const mr::JobRunner& runner,
     const std::vector<er::Source>* partition_sources) {
-  if (options.num_reduce_tasks == 0) {
-    return Status::InvalidArgument("r must be >= 1");
-  }
+  ERLB_RETURN_NOT_OK(ValidateMatchJobOptions(options));
   if (input.empty()) {
     return Status::InvalidArgument("input must have >= 1 partition");
   }
   bool two_source = partition_sources != nullptr;
   auto spec = MakeBasicSpecCommon<uint32_t>(
-      matcher, options.num_reduce_tasks, two_source);
+      matcher, options.num_reduce_tasks, two_source, BasicPartitionFn{});
   spec.mapper_factory = [&blocking](const mr::TaskContext&) {
     return std::make_unique<BasicRawMapper>(&blocking);
   };
@@ -163,32 +211,6 @@ Result<MatchJobOutput> RunBasicSingleJob(
     for (const auto& e : input[p]) job_input[p].emplace_back(0u, e);
   }
   return CollectOutput(runner.Run(spec, job_input));
-}
-
-Result<PlanStats> BasicStrategy::Plan(const bdm::Bdm& bdm,
-                                      const MatchJobOptions& options)
-    const {
-  if (options.num_reduce_tasks == 0) {
-    return Status::InvalidArgument("r must be >= 1");
-  }
-  const uint32_t r = options.num_reduce_tasks;
-  PlanStats stats;
-  stats.strategy = StrategyKind::kBasic;
-  stats.num_reduce_tasks = r;
-  stats.comparisons_per_reduce_task.assign(r, 0);
-  stats.map_output_pairs_per_task.assign(bdm.num_partitions(), 0);
-  stats.input_records_per_reduce_task.assign(r, 0);
-  for (uint32_t k = 0; k < bdm.num_blocks(); ++k) {
-    uint32_t t = static_cast<uint32_t>(Fnv1a64(bdm.BlockKey(k)) % r);
-    stats.comparisons_per_reduce_task[t] += bdm.PairsInBlock(k);
-    stats.total_comparisons += bdm.PairsInBlock(k);
-    stats.input_records_per_reduce_task[t] += bdm.Size(k);
-    // Basic replicates nothing: one KV pair per entity.
-    for (uint32_t p = 0; p < bdm.num_partitions(); ++p) {
-      stats.map_output_pairs_per_task[p] += bdm.Size(k, p);
-    }
-  }
-  return stats;
 }
 
 }  // namespace lb

@@ -165,55 +165,12 @@ class BlockSplitReducer
 
 }  // namespace
 
-Result<MatchJobOutput> BlockSplitStrategy::RunMatchJob(
-    const bdm::AnnotatedStore& input, const bdm::Bdm& bdm,
-    const er::Matcher& matcher, const MatchJobOptions& options,
-    const mr::JobRunner& runner) const {
-  if (options.num_reduce_tasks == 0) {
-    return Status::InvalidArgument("r must be >= 1");
-  }
-  if (input.num_tasks() != bdm.num_partitions()) {
-    return Status::InvalidArgument(
-        "annotated store partition count disagrees with BDM");
-  }
-  // The plan is a pure function of (BDM, r); Algorithm 1 rebuilds it in
-  // every map task, we build it once and share it read-only.
-  ERLB_ASSIGN_OR_RETURN(
-      BlockSplitPlan plan,
-      BlockSplitPlan::Build(bdm, options.num_reduce_tasks,
-                            options.assignment, options.sub_splits));
-
-  // Typed fast path: comp/group/part as compile-time functors, so the
-  // engine's sort and merge loops inline them.
-  mr::TypedJobSpec<std::string, er::EntityRef, BlockSplitKey, MatchValue,
-                   MatchOutK, MatchOutV, BlockSplitKeyLessFn,
-                   BlockSplitGroupEqualFn, BlockSplitPartitionFn>
-      spec;
-  spec.num_reduce_tasks = options.num_reduce_tasks;
-  spec.mapper_factory = [&bdm, &plan](const mr::TaskContext& ctx) {
-    return std::make_unique<BlockSplitMapper>(&bdm, &plan, ctx.task_index);
-  };
-  const bool dual = bdm.two_source();
-  spec.reducer_factory = [&matcher, &plan, dual](const mr::TaskContext&) {
-    return std::make_unique<BlockSplitReducer>(&matcher, &plan, dual);
-  };
-
-  auto job_result = runner.Run(spec, input.files());
-  MatchJobOutput out;
-  for (auto& [pair, unused] : job_result.MergedOutput()) {
-    out.matches.Add(pair.first, pair.second);
-  }
-  out.comparisons =
-      job_result.metrics.counters.Get(mr::kCounterComparisons);
-  out.metrics = std::move(job_result.metrics);
-  return out;
-}
-
-Result<PlanStats> BlockSplitStrategy::Plan(
+Result<MatchPlan> BlockSplitStrategy::BuildPlan(
     const bdm::Bdm& bdm, const MatchJobOptions& options) const {
-  if (options.num_reduce_tasks == 0) {
-    return Status::InvalidArgument("r must be >= 1");
-  }
+  ERLB_RETURN_NOT_OK(ValidateMatchJobOptions(options));
+  // The match-task plan is a pure function of (BDM, options); Algorithm 1
+  // rebuilds it in every map task, we build it exactly once here and every
+  // consumer — executor, simulator, recommender — shares it read-only.
   ERLB_ASSIGN_OR_RETURN(
       BlockSplitPlan plan,
       BlockSplitPlan::Build(bdm, options.num_reduce_tasks,
@@ -253,7 +210,48 @@ Result<PlanStats> BlockSplitStrategy::Plan(
       }
     }
   }
-  return stats;
+  return MatchPlan(StrategyKind::kBlockSplit, options,
+                   BdmFingerprint::Of(bdm), std::move(stats),
+                   BlockSplitPlanBody{std::move(plan)});
+}
+
+Result<MatchJobOutput> BlockSplitStrategy::ExecutePlan(
+    const MatchPlan& plan, const bdm::AnnotatedStore& input,
+    const bdm::Bdm& bdm, const er::Matcher& matcher,
+    const mr::JobRunner& runner) const {
+  ERLB_RETURN_NOT_OK(plan.ValidateFor(StrategyKind::kBlockSplit, bdm));
+  if (input.num_tasks() != bdm.num_partitions()) {
+    return Status::InvalidArgument(
+        "annotated store partition count disagrees with BDM");
+  }
+  const BlockSplitPlan* split_plan = &plan.block_split()->plan;
+
+  // Typed fast path: comp/group/part as compile-time functors, so the
+  // engine's sort and merge loops inline them.
+  mr::TypedJobSpec<std::string, er::EntityRef, BlockSplitKey, MatchValue,
+                   MatchOutK, MatchOutV, BlockSplitKeyLessFn,
+                   BlockSplitGroupEqualFn, BlockSplitPartitionFn>
+      spec;
+  spec.num_reduce_tasks = plan.num_reduce_tasks();
+  spec.mapper_factory = [&bdm, split_plan](const mr::TaskContext& ctx) {
+    return std::make_unique<BlockSplitMapper>(&bdm, split_plan,
+                                              ctx.task_index);
+  };
+  const bool dual = bdm.two_source();
+  spec.reducer_factory = [&matcher, split_plan,
+                          dual](const mr::TaskContext&) {
+    return std::make_unique<BlockSplitReducer>(&matcher, split_plan, dual);
+  };
+
+  auto job_result = runner.Run(spec, input.files());
+  MatchJobOutput out;
+  for (auto& [pair, unused] : job_result.MergedOutput()) {
+    out.matches.Add(pair.first, pair.second);
+  }
+  out.comparisons =
+      job_result.metrics.counters.Get(mr::kCounterComparisons);
+  out.metrics = std::move(job_result.metrics);
+  return out;
 }
 
 }  // namespace lb

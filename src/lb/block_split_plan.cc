@@ -40,7 +40,7 @@ Result<BlockSplitPlan> BlockSplitPlan::Build(const bdm::Bdm& bdm,
   plan.block_comparisons_.assign(b, 0);
   plan.num_partitions_ = m;
   plan.sub_splits_ = sub_splits;
-  plan.comparisons_per_reduce_task_.assign(r, 0);
+  plan.two_source_ = dual;
   const uint64_t total = bdm.TotalPairs();
   plan.avg_ = total / r;
 
@@ -131,19 +131,74 @@ Result<BlockSplitPlan> BlockSplitPlan::Build(const bdm::Bdm& bdm,
     }
   }
 
-  for (const auto& task : plan.tasks_) {
-    plan.comparisons_per_reduce_task_[task.reduce_task] += task.comparisons;
-    plan.task_to_reduce_.emplace(Key3(task.block, task.pi, task.pj),
-                                 task.reduce_task);
-    if (plan.split_[task.block]) {
-      plan.emissions_[(static_cast<uint64_t>(task.block) << 32) | task.pi] +=
-          1;
-      if (task.pi != task.pj || dual) {
-        plan.emissions_[(static_cast<uint64_t>(task.block) << 32) |
-                        task.pj] += 1;
+  plan.FinishFromTasks(r);
+  return plan;
+}
+
+void BlockSplitPlan::FinishFromTasks(uint32_t r) {
+  comparisons_per_reduce_task_.assign(r, 0);
+  task_to_reduce_.clear();
+  emissions_.clear();
+  for (const auto& task : tasks_) {
+    comparisons_per_reduce_task_[task.reduce_task] += task.comparisons;
+    task_to_reduce_.emplace(Key3(task.block, task.pi, task.pj),
+                            task.reduce_task);
+    if (split_[task.block]) {
+      emissions_[(static_cast<uint64_t>(task.block) << 32) | task.pi] += 1;
+      if (task.pi != task.pj || two_source_) {
+        emissions_[(static_cast<uint64_t>(task.block) << 32) | task.pj] += 1;
       }
     }
   }
+}
+
+Result<BlockSplitPlan> BlockSplitPlan::Restore(
+    std::vector<MatchTask> tasks, std::vector<bool> split,
+    std::vector<uint64_t> block_comparisons, uint64_t avg, uint32_t r,
+    uint32_t num_partitions, uint32_t sub_splits, bool two_source) {
+  if (r == 0) return Status::InvalidArgument("r must be >= 1");
+  if (sub_splits == 0) {
+    return Status::InvalidArgument("sub_splits must be >= 1");
+  }
+  if (static_cast<uint64_t>(num_partitions) * sub_splits > 0xffff) {
+    // Same limit as Build: Key3 packs pi/pj into 16 bits each.
+    return Status::InvalidArgument(
+        "num_partitions * sub_splits exceeds 65535");
+  }
+  if (split.size() != block_comparisons.size()) {
+    return Status::InvalidArgument(
+        "split flags and block comparisons disagree on block count");
+  }
+  const uint32_t b = static_cast<uint32_t>(split.size());
+  const uint32_t mv = num_partitions * sub_splits;
+  for (const auto& task : tasks) {
+    if (task.block >= b) {
+      return Status::InvalidArgument("match task names unknown block");
+    }
+    if (task.reduce_task >= r) {
+      return Status::InvalidArgument("match task names reduce task >= r");
+    }
+    if (split[task.block]) {
+      if (task.pi >= mv || task.pj >= mv) {
+        return Status::InvalidArgument(
+            "match task names virtual partition >= m * sub_splits");
+      }
+    } else if (task.pi != 0 || task.pj != 0) {
+      // Unsplit blocks form the single match task k.* with the 0/0
+      // sentinel; anything else would overflow Key3's packing.
+      return Status::InvalidArgument(
+          "unsplit block's match task must use the k.* sentinel (0, 0)");
+    }
+  }
+  BlockSplitPlan plan;
+  plan.tasks_ = std::move(tasks);
+  plan.split_ = std::move(split);
+  plan.block_comparisons_ = std::move(block_comparisons);
+  plan.avg_ = avg;
+  plan.num_partitions_ = num_partitions;
+  plan.sub_splits_ = sub_splits;
+  plan.two_source_ = two_source;
+  plan.FinishFromTasks(r);
   return plan;
 }
 

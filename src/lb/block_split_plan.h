@@ -58,6 +58,19 @@ class BlockSplitPlan {
                                           TaskAssignment::kGreedyLpt,
                                       uint32_t sub_splits = 1);
 
+  /// Reconstructs a plan from its serialized decision record (plan_io):
+  /// the already-assigned match tasks plus the per-block split decisions.
+  /// Derived lookup structures (task → reduce task, per-entity emission
+  /// counts, reduce loads) are rebuilt; no BDM is needed.
+  static Result<BlockSplitPlan> Restore(std::vector<MatchTask> tasks,
+                                        std::vector<bool> split,
+                                        std::vector<uint64_t>
+                                            block_comparisons,
+                                        uint64_t avg, uint32_t r,
+                                        uint32_t num_partitions,
+                                        uint32_t sub_splits,
+                                        bool two_source);
+
   /// Entities in chunk `v % S` of block `k`, partition `v / S`: chunk c
   /// of an n-entity sub-block spans local indexes
   /// [⌊n·c/S⌋, ⌊n·(c+1)/S⌋).
@@ -90,6 +103,16 @@ class BlockSplitPlan {
     return static_cast<uint32_t>(comparisons_per_reduce_task_.size());
   }
 
+  uint32_t num_partitions() const { return num_partitions_; }
+  bool two_source() const { return two_source_; }
+
+  /// Per-block split decisions; size b.
+  const std::vector<bool>& split_flags() const { return split_; }
+  /// Per-block comparison counts C(|Φk|,2) / |Φk,R|·|Φk,S|; size b.
+  const std::vector<uint64_t>& block_comparisons() const {
+    return block_comparisons_;
+  }
+
   /// Number of key-value pairs map emits for one entity of block `k`
   /// located in *virtual* partition `v`: 1 for unsplit blocks with >= 1
   /// comparison, 0 for unsplit zero-comparison blocks, and the number of
@@ -100,6 +123,11 @@ class BlockSplitPlan {
 
  private:
   BlockSplitPlan() = default;
+
+  /// Rebuilds the derived lookup structures (reduce loads, task → reduce
+  /// index, per-entity emission counts) from `tasks_`; shared by Build and
+  /// Restore.
+  void FinishFromTasks(uint32_t r);
 
   static uint64_t Key3(uint32_t block, uint32_t pi, uint32_t pj) {
     // block < 2^32; pi,pj < 2^16 in any realistic m — validated in Build.
@@ -118,6 +146,7 @@ class BlockSplitPlan {
   uint64_t avg_ = 0;
   uint32_t num_partitions_ = 0;
   uint32_t sub_splits_ = 1;
+  bool two_source_ = false;
 };
 
 }  // namespace lb

@@ -150,18 +150,34 @@ class PairRangeReducer
 
 }  // namespace
 
-Result<MatchJobOutput> PairRangeStrategy::RunMatchJob(
-    const bdm::AnnotatedStore& input, const bdm::Bdm& bdm,
-    const er::Matcher& matcher, const MatchJobOptions& options,
+Result<MatchJobOutput> PairRangeStrategy::ExecutePlan(
+    const MatchPlan& plan, const bdm::AnnotatedStore& input,
+    const bdm::Bdm& bdm, const er::Matcher& matcher,
     const mr::JobRunner& runner) const {
-  if (options.num_reduce_tasks == 0) {
-    return Status::InvalidArgument("r must be >= 1");
-  }
+  ERLB_RETURN_NOT_OK(plan.ValidateFor(StrategyKind::kPairRange, bdm));
   if (input.num_tasks() != bdm.num_partitions()) {
     return Status::InvalidArgument(
         "annotated store partition count disagrees with BDM");
   }
-  const uint32_t r = options.num_reduce_tasks;
+  // The plan's decision is the tiling of the pair index space into r
+  // ranges. The mappers and reducers evaluate that tiling analytically
+  // (RangeOfPair / RelevantRanges* over ⌈P/r⌉), so the plan body must be
+  // exactly the tiling execution will use — a tampered or mismatched
+  // boundary vector must fail here, not silently diverge from the record.
+  const uint32_t r = plan.num_reduce_tasks();
+  const uint64_t total_pairs = bdm.TotalPairs();
+  const std::vector<uint64_t>& boundaries = plan.pair_range()->range_begin;
+  if (boundaries.size() != static_cast<size_t>(r) + 1) {
+    return Status::InvalidArgument(
+        "pair-range plan must carry r + 1 range boundaries");
+  }
+  for (uint32_t t = 0; t <= r; ++t) {
+    if (boundaries[t] != RangeBegin(t, total_pairs, r)) {
+      return Status::InvalidArgument(
+          "pair-range plan boundaries disagree with the ⌈P/r⌉ tiling "
+          "execution evaluates");
+    }
+  }
   const auto offsets = bdm.BuildEntityIndexOffsets();
 
   // Typed fast path: comp/group/part as compile-time functors, so the
@@ -190,13 +206,17 @@ Result<MatchJobOutput> PairRangeStrategy::RunMatchJob(
   return out;
 }
 
-Result<PlanStats> PairRangeStrategy::Plan(
+Result<MatchPlan> PairRangeStrategy::BuildPlan(
     const bdm::Bdm& bdm, const MatchJobOptions& options) const {
-  if (options.num_reduce_tasks == 0) {
-    return Status::InvalidArgument("r must be >= 1");
-  }
+  ERLB_RETURN_NOT_OK(ValidateMatchJobOptions(options));
   const uint32_t r = options.num_reduce_tasks;
   const uint64_t total = bdm.TotalPairs();
+
+  PairRangePlanBody body;
+  body.range_begin.resize(r + 1);
+  for (uint32_t t = 0; t <= r; ++t) {
+    body.range_begin[t] = RangeBegin(t, total, r);
+  }
 
   PlanStats stats;
   stats.strategy = StrategyKind::kPairRange;
@@ -243,7 +263,9 @@ Result<PlanStats> PairRangeStrategy::Plan(
       }
     }
   }
-  return stats;
+  return MatchPlan(StrategyKind::kPairRange, options,
+                   BdmFingerprint::Of(bdm), std::move(stats),
+                   std::move(body));
 }
 
 }  // namespace lb

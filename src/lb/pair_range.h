@@ -15,15 +15,16 @@ class PairRangeStrategy : public Strategy {
  public:
   StrategyKind kind() const override { return StrategyKind::kPairRange; }
 
-  Result<MatchJobOutput> RunMatchJob(const bdm::AnnotatedStore& input,
-                                     const bdm::Bdm& bdm,
-                                     const er::Matcher& matcher,
-                                     const MatchJobOptions& options,
-                                     const mr::JobRunner& runner)
+  Result<MatchPlan> BuildPlan(const bdm::Bdm& bdm,
+                              const MatchJobOptions& options)
       const override;
 
-  Result<PlanStats> Plan(const bdm::Bdm& bdm,
-                         const MatchJobOptions& options) const override;
+  Result<MatchJobOutput> ExecutePlan(const MatchPlan& plan,
+                                     const bdm::AnnotatedStore& input,
+                                     const bdm::Bdm& bdm,
+                                     const er::Matcher& matcher,
+                                     const mr::JobRunner& runner)
+      const override;
 };
 
 }  // namespace lb

@@ -1,0 +1,33 @@
+// MatchPlan persistence: plans serialize to/from JSON for offline
+// inspection, cross-run caching, and shipping a centrally computed plan to
+// workers. The document records the strategy, the options, a fingerprint
+// of the BDM the plan was derived from, the aggregate per-task workload
+// vectors, and the strategy-specific decision body; serialize → parse →
+// re-serialize is byte-identical.
+#ifndef ERLB_LB_PLAN_IO_H_
+#define ERLB_LB_PLAN_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "lb/plan.h"
+
+namespace erlb {
+namespace lb {
+
+/// Serializes `plan` as a JSON document. `indent` < 0 emits a compact
+/// one-liner; >= 0 pretty-prints with that many spaces per level.
+std::string MatchPlanToJson(const MatchPlan& plan, int indent = 2);
+
+/// Parses a document written by MatchPlanToJson.
+Result<MatchPlan> MatchPlanFromJson(std::string_view json);
+
+/// File convenience wrappers.
+Status SaveMatchPlan(const std::string& path, const MatchPlan& plan);
+Result<MatchPlan> LoadMatchPlan(const std::string& path);
+
+}  // namespace lb
+}  // namespace erlb
+
+#endif  // ERLB_LB_PLAN_IO_H_

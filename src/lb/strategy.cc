@@ -1,5 +1,7 @@
 #include "lb/strategy.h"
 
+#include <cctype>
+
 #include "common/logging.h"
 #include "lb/basic.h"
 #include "lb/block_split.h"
@@ -18,6 +20,39 @@ const char* StrategyName(StrategyKind kind) {
       return "PairRange";
   }
   return "?";
+}
+
+Result<StrategyKind> StrategyKindFromName(std::string_view name) {
+  auto equals_ignore_case = [](std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(a[i])) !=
+          std::tolower(static_cast<unsigned char>(b[i]))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (StrategyKind kind : AllStrategies()) {
+    if (equals_ignore_case(name, StrategyName(kind))) return kind;
+  }
+  return Status::InvalidArgument(
+      "unknown strategy \"" + std::string(name) +
+      "\" (expected Basic, BlockSplit, or PairRange)");
+}
+
+Result<MatchJobOutput> Strategy::RunMatchJob(
+    const bdm::AnnotatedStore& input, const bdm::Bdm& bdm,
+    const er::Matcher& matcher, const MatchJobOptions& options,
+    const mr::JobRunner& runner) const {
+  ERLB_ASSIGN_OR_RETURN(MatchPlan plan, BuildPlan(bdm, options));
+  return ExecutePlan(plan, input, bdm, matcher, runner);
+}
+
+Result<PlanStats> Strategy::Plan(const bdm::Bdm& bdm,
+                                 const MatchJobOptions& options) const {
+  ERLB_ASSIGN_OR_RETURN(MatchPlan plan, BuildPlan(bdm, options));
+  return plan.stats();
 }
 
 std::unique_ptr<Strategy> MakeStrategy(StrategyKind kind) {

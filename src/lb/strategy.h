@@ -1,16 +1,21 @@
 // Strategy interface: the three entity redistribution schemes of the paper
-// (Basic, BlockSplit, PairRange) behind one API, each providing
-//  * RunMatchJob — execute MR Job 2 (real matching) over the annotated
-//    entities written by the BDM job, and
-//  * Plan — compute the exact per-reduce-task comparison counts and
-//    per-map-task key-value output counts from the BDM alone (no entity
-//    comparisons), which feeds the cluster simulator and Figure 12.
+// (Basic, BlockSplit, PairRange) behind one plan-first API:
+//  * BuildPlan — compute the full, exact workload decision record
+//    (lb::MatchPlan) from the BDM alone, with no entity comparisons;
+//  * ExecutePlan — run MR Job 2 (real matching) over the annotated
+//    entities written by the BDM job, consuming the plan verbatim.
+// Planning and execution are strictly separated: the executor, the
+// cluster simulator, and the strategy recommender all consume the same
+// MatchPlan, which can be cached, inspected, and serialized (plan_io.h).
+// RunMatchJob (= BuildPlan + ExecutePlan) and Plan (= BuildPlan's
+// aggregate stats) remain as convenience wrappers.
 #ifndef ERLB_LB_STRATEGY_H_
 #define ERLB_LB_STRATEGY_H_
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bdm/bdm.h"
@@ -19,27 +24,19 @@
 #include "er/match_result.h"
 #include "er/matcher.h"
 #include "lb/block_split_plan.h"
+#include "lb/plan.h"
 #include "mr/job.h"
 #include "mr/metrics.h"
 
 namespace erlb {
 namespace lb {
 
-enum class StrategyKind { kBasic = 0, kBlockSplit = 1, kPairRange = 2 };
-
 /// "Basic", "BlockSplit" or "PairRange".
 const char* StrategyName(StrategyKind kind);
 
-/// Options of the matching job.
-struct MatchJobOptions {
-  /// r — the number of reduce tasks.
-  uint32_t num_reduce_tasks = 1;
-  /// BlockSplit only: how match tasks map to reduce tasks.
-  TaskAssignment assignment = TaskAssignment::kGreedyLpt;
-  /// BlockSplit only: chunks per per-partition sub-block (extension; 1 =
-  /// the paper's algorithm). See BlockSplitPlan.
-  uint32_t sub_splits = 1;
-};
+/// Inverse of StrategyName, for CLI/config parsing. Case-insensitive;
+/// returns InvalidArgument for unknown names.
+Result<StrategyKind> StrategyKindFromName(std::string_view name);
 
 /// Output of the matching job.
 struct MatchJobOutput {
@@ -49,58 +46,37 @@ struct MatchJobOutput {
   int64_t comparisons = 0;
 };
 
-/// Exact workload distribution of a (hypothetical) matching job run,
-/// derived from the BDM without touching entities.
-struct PlanStats {
-  StrategyKind strategy = StrategyKind::kBasic;
-  uint32_t num_reduce_tasks = 0;
-  /// Pair comparisons each reduce task evaluates; size r.
-  std::vector<uint64_t> comparisons_per_reduce_task;
-  /// Key-value pairs each map task emits; size m (Figure 12's metric).
-  std::vector<uint64_t> map_output_pairs_per_task;
-  /// Key-value pairs each reduce task receives; size r (shuffle volume,
-  /// used by the cluster simulator's reduce-side cost).
-  std::vector<uint64_t> input_records_per_reduce_task;
-  uint64_t total_comparisons = 0;
-
-  uint64_t TotalMapOutputPairs() const {
-    uint64_t n = 0;
-    for (uint64_t v : map_output_pairs_per_task) n += v;
-    return n;
-  }
-  uint64_t MaxReduceComparisons() const {
-    uint64_t mx = 0;
-    for (uint64_t v : comparisons_per_reduce_task) mx = std::max(mx, v);
-    return mx;
-  }
-  /// max / mean reduce workload; 1.0 = perfectly balanced. Returns 1 when
-  /// there is no work.
-  double ReduceImbalance() const {
-    if (total_comparisons == 0 || comparisons_per_reduce_task.empty()) {
-      return 1.0;
-    }
-    double avg = static_cast<double>(total_comparisons) /
-                 comparisons_per_reduce_task.size();
-    return avg == 0 ? 1.0 : MaxReduceComparisons() / avg;
-  }
-};
-
 /// A load balancing strategy for MR-based entity resolution.
 class Strategy {
  public:
   virtual ~Strategy() = default;
   virtual StrategyKind kind() const = 0;
 
+  /// Computes the full per-task decision record for `options` from `bdm`
+  /// alone — per-map-task emit counts, per-reduce-task input records and
+  /// comparison counts, and the strategy-specific body execution consumes.
+  virtual Result<MatchPlan> BuildPlan(const bdm::Bdm& bdm,
+                                      const MatchJobOptions& options)
+      const = 0;
+
   /// Runs the matching job over `input` (the Π'i files written by the BDM
-  /// job) using `bdm` for planning.
-  virtual Result<MatchJobOutput> RunMatchJob(
-      const bdm::AnnotatedStore& input, const bdm::Bdm& bdm,
-      const er::Matcher& matcher, const MatchJobOptions& options,
+  /// job) exactly as `plan` prescribes. `plan` must have been built (or
+  /// deserialized) for this strategy and for `bdm`; nothing is re-planned.
+  virtual Result<MatchJobOutput> ExecutePlan(
+      const MatchPlan& plan, const bdm::AnnotatedStore& input,
+      const bdm::Bdm& bdm, const er::Matcher& matcher,
       const mr::JobRunner& runner) const = 0;
 
-  /// Computes the exact workload plan for `options` from `bdm`.
-  virtual Result<PlanStats> Plan(const bdm::Bdm& bdm,
-                                 const MatchJobOptions& options) const = 0;
+  /// Convenience: BuildPlan + ExecutePlan in one call.
+  Result<MatchJobOutput> RunMatchJob(const bdm::AnnotatedStore& input,
+                                     const bdm::Bdm& bdm,
+                                     const er::Matcher& matcher,
+                                     const MatchJobOptions& options,
+                                     const mr::JobRunner& runner) const;
+
+  /// Convenience: the aggregate projection of BuildPlan.
+  Result<PlanStats> Plan(const bdm::Bdm& bdm,
+                         const MatchJobOptions& options) const;
 };
 
 /// Creates a strategy instance.

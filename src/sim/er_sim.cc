@@ -91,32 +91,25 @@ void DrawSlotSpeeds(const ClusterConfig& cluster, const CostModel& cost,
   }
 }
 
-Result<ErSimResult> SimulateEr(lb::StrategyKind strategy,
-                               const bdm::Bdm& bdm, uint32_t r,
-                               const ClusterConfig& cluster,
-                               const CostModel& cost,
-                               lb::TaskAssignment assignment,
-                               uint32_t sub_splits) {
-  if (r == 0) return Status::InvalidArgument("r must be >= 1");
+Result<ErSimResult> SimulateMatchPlan(const lb::MatchPlan& plan,
+                                      const bdm::Bdm& bdm,
+                                      const ClusterConfig& cluster,
+                                      const CostModel& cost) {
   if (cluster.num_nodes == 0) {
     return Status::InvalidArgument("cluster must have >= 1 node");
   }
-
-  auto strat = lb::MakeStrategy(strategy);
-  lb::MatchJobOptions options;
-  options.num_reduce_tasks = r;
-  options.assignment = assignment;
-  options.sub_splits = sub_splits;
-  ERLB_ASSIGN_OR_RETURN(lb::PlanStats plan, strat->Plan(bdm, options));
+  ERLB_RETURN_NOT_OK(plan.ValidateFor(plan.strategy(), bdm));
+  const lb::PlanStats& stats = plan.stats();
+  const uint32_t r = plan.num_reduce_tasks();
 
   std::vector<double> map_speed, reduce_speed;
   DrawSlotSpeeds(cluster, cost, &map_speed, &reduce_speed);
 
   ErSimResult res;
-  res.reduce_task_imbalance = plan.ReduceImbalance();
+  res.reduce_task_imbalance = stats.ReduceImbalance();
 
   // ---- Job 1 (BDM) for the BDM-based strategies -----------------------
-  if (strategy != lb::StrategyKind::kBasic) {
+  if (plan.strategy() != lb::StrategyKind::kBasic) {
     res.bdm_job_s =
         SimulateBdmJob(bdm, cluster, cost, &map_speed, &reduce_speed);
   }
@@ -125,9 +118,9 @@ Result<ErSimResult> SimulateEr(lb::StrategyKind strategy,
   const auto recs = RecordsPerPartition(bdm);
   std::vector<double> map_costs(bdm.num_partitions());
   for (uint32_t p = 0; p < bdm.num_partitions(); ++p) {
-    map_costs[p] = cost.task_overhead_ms * kMs +
-                   recs[p] * cost.record_cost_us * kUs +
-                   plan.map_output_pairs_per_task[p] * cost.kv_cost_us * kUs;
+    map_costs[p] =
+        cost.task_overhead_ms * kMs + recs[p] * cost.record_cost_us * kUs +
+        stats.map_output_pairs_per_task[p] * cost.kv_cost_us * kUs;
   }
   auto map_sched =
       ListSchedule(map_costs, cluster.TotalMapSlots(), &map_speed);
@@ -138,8 +131,8 @@ Result<ErSimResult> SimulateEr(lb::StrategyKind strategy,
   for (uint32_t t = 0; t < r; ++t) {
     reduce_costs[t] =
         cost.task_overhead_ms * kMs +
-        plan.input_records_per_reduce_task[t] * cost.kv_cost_us * kUs +
-        plan.comparisons_per_reduce_task[t] * cost.pair_cost_us * kUs;
+        stats.input_records_per_reduce_task[t] * cost.kv_cost_us * kUs +
+        stats.comparisons_per_reduce_task[t] * cost.pair_cost_us * kUs;
   }
   auto reduce_sched =
       ListSchedule(reduce_costs, cluster.TotalReduceSlots(), &reduce_speed);
@@ -149,6 +142,22 @@ Result<ErSimResult> SimulateEr(lb::StrategyKind strategy,
   res.total_s = res.bdm_job_s + cost.job_overhead_s +
                 res.match_map_phase_s + res.match_reduce_phase_s;
   return res;
+}
+
+Result<ErSimResult> SimulateEr(lb::StrategyKind strategy,
+                               const bdm::Bdm& bdm, uint32_t r,
+                               const ClusterConfig& cluster,
+                               const CostModel& cost,
+                               lb::TaskAssignment assignment,
+                               uint32_t sub_splits) {
+  lb::MatchJobOptions options;
+  options.num_reduce_tasks = r;
+  options.assignment = assignment;
+  options.sub_splits = sub_splits;
+  ERLB_ASSIGN_OR_RETURN(
+      lb::MatchPlan plan,
+      lb::MakeStrategy(strategy)->BuildPlan(bdm, options));
+  return SimulateMatchPlan(plan, bdm, cluster, cost);
 }
 
 }  // namespace sim

@@ -48,6 +48,15 @@ Result<ErSimResult> SimulateEr(
     lb::TaskAssignment assignment = lb::TaskAssignment::kGreedyLpt,
     uint32_t sub_splits = 1);
 
+/// Same, consuming an already-built MatchPlan directly — the plan-first
+/// entry point: whoever holds a plan (from Strategy::BuildPlan, a cache,
+/// or plan_io) projects it on a cluster without re-planning. The plan must
+/// have been built for `bdm`.
+Result<ErSimResult> SimulateMatchPlan(const lb::MatchPlan& plan,
+                                      const bdm::Bdm& bdm,
+                                      const ClusterConfig& cluster,
+                                      const CostModel& cost);
+
 /// Draws per-slot speed factors for `cluster` under `cost` (LogNormal
 /// node speeds, both slots of a node share the speed). Returned vectors
 /// are sized TotalMapSlots() / TotalReduceSlots().

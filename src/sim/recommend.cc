@@ -12,11 +12,19 @@ Result<Recommendation> RecommendStrategy(const bdm::Bdm& bdm, uint32_t r,
                                          const ClusterConfig& cluster,
                                          const CostModel& cost) {
   Recommendation rec;
+  rec.plans.resize(lb::AllStrategies().size());
   double best = -1;
   for (auto kind : lb::AllStrategies()) {
+    // Plan once per strategy; the same MatchPlan feeds the projection here
+    // and, if this strategy wins, execution by the caller.
+    lb::MatchJobOptions options;
+    options.num_reduce_tasks = r;
+    ERLB_ASSIGN_OR_RETURN(lb::MatchPlan plan,
+                          lb::MakeStrategy(kind)->BuildPlan(bdm, options));
     ERLB_ASSIGN_OR_RETURN(ErSimResult res,
-                          SimulateEr(kind, bdm, r, cluster, cost));
+                          SimulateMatchPlan(plan, bdm, cluster, cost));
     const int i = static_cast<int>(kind);
+    rec.plans[i] = std::move(plan);
     rec.projected_seconds[i] = res.total_s;
     rec.imbalance[i] = res.reduce_task_imbalance;
     if (best < 0 || res.total_s < best) {

@@ -7,9 +7,11 @@
 #define ERLB_SIM_RECOMMEND_H_
 
 #include <string>
+#include <vector>
 
 #include "bdm/bdm.h"
 #include "common/result.h"
+#include "lb/plan.h"
 #include "lb/strategy.h"
 #include "sim/cost_model.h"
 
@@ -23,8 +25,17 @@ struct Recommendation {
   double projected_seconds[3] = {0, 0, 0};
   /// Reduce-task comparison imbalance per strategy.
   double imbalance[3] = {1, 1, 1};
+  /// The exact plans the projections were computed from (index =
+  /// StrategyKind) — the recommendation's evidence. The winning plan can
+  /// be executed (Strategy::ExecutePlan) or serialized (lb/plan_io.h)
+  /// as-is, so recommending and running never plan twice.
+  std::vector<lb::MatchPlan> plans;
   /// Human-readable rationale.
   std::string rationale;
+
+  const lb::MatchPlan& chosen_plan() const {
+    return plans[static_cast<size_t>(strategy)];
+  }
 };
 
 /// Projects all three strategies on `cluster`/`cost` for the dataset

@@ -1,15 +1,20 @@
 // Shared helpers for strategy tests: run the full two-job workflow (or
-// single-job Basic) over given partitions and return the match result.
+// single-job Basic) over given partitions and return the match result,
+// or run the explicit plan-first path (BDM job → BuildPlan → ExecutePlan)
+// and return the plan next to the per-task execution metrics so tests can
+// check planned against executed workloads.
 #ifndef ERLB_TESTS_STRATEGY_TEST_UTIL_H_
 #define ERLB_TESTS_STRATEGY_TEST_UTIL_H_
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "bdm/bdm_job.h"
 #include "er/match_result.h"
 #include "lb/basic.h"
+#include "lb/plan.h"
 #include "lb/strategy.h"
 #include "mr/job.h"
 
@@ -67,6 +72,91 @@ inline StrategyRun RunStrategy(
   run.matches = std::move(out->matches);
   run.comparisons = out->comparisons;
   run.map_output_pairs = out->metrics.TotalMapOutputPairs();
+  run.matches.Canonicalize();
+  return run;
+}
+
+/// One plan-first run: the exact MatchPlan plus what execution actually
+/// did, per task.
+struct PlanExecutionRun {
+  lb::MatchPlan plan;
+  bdm::Bdm bdm;
+  er::MatchResult matches;
+  /// Full matching-job metrics (per-map/per-reduce task workloads).
+  mr::JobMetrics metrics;
+  int64_t comparisons = 0;
+
+  /// Key-value pairs map task p emitted.
+  std::vector<uint64_t> ExecutedMapOutputPairs() const {
+    std::vector<uint64_t> out;
+    out.reserve(metrics.map_tasks.size());
+    for (const auto& t : metrics.map_tasks) {
+      out.push_back(static_cast<uint64_t>(t.output_records));
+    }
+    return out;
+  }
+  /// Key-value pairs reduce task t received.
+  std::vector<uint64_t> ExecutedReduceInputRecords() const {
+    std::vector<uint64_t> out;
+    out.reserve(metrics.reduce_tasks.size());
+    for (const auto& t : metrics.reduce_tasks) {
+      out.push_back(static_cast<uint64_t>(t.input_records));
+    }
+    return out;
+  }
+  /// Comparisons reduce task t evaluated.
+  std::vector<uint64_t> ExecutedReduceComparisons() const {
+    std::vector<uint64_t> out;
+    out.reserve(metrics.reduce_tasks.size());
+    for (const auto& t : metrics.reduce_tasks) {
+      out.push_back(static_cast<uint64_t>(
+          t.counters.Get(mr::kCounterComparisons)));
+    }
+    return out;
+  }
+};
+
+/// Runs the explicit plan-first workflow — BDM job, BuildPlan,
+/// ExecutePlan — for any strategy (Basic executes over the annotated
+/// store here, not as the single job). Asserts (via gtest) on
+/// infrastructure failures.
+inline PlanExecutionRun RunWithPlan(
+    lb::StrategyKind kind, const er::Partitions& partitions,
+    const er::BlockingFunction& blocking, const er::Matcher& matcher,
+    uint32_t r, uint32_t workers = 4,
+    const std::vector<er::Source>* partition_sources = nullptr,
+    lb::TaskAssignment assignment = lb::TaskAssignment::kGreedyLpt,
+    uint32_t sub_splits = 1) {
+  PlanExecutionRun run;
+  mr::JobRunner runner(workers);
+
+  bdm::BdmJobOptions bdm_options;
+  bdm_options.num_reduce_tasks = r;
+  if (partition_sources != nullptr) {
+    bdm_options.partition_sources = *partition_sources;
+  }
+  auto bdm_out = bdm::RunBdmJob(partitions, blocking, bdm_options, runner);
+  EXPECT_TRUE(bdm_out.ok()) << bdm_out.status().ToString();
+  if (!bdm_out.ok()) return run;
+  run.bdm = bdm_out->bdm;
+
+  lb::MatchJobOptions options;
+  options.num_reduce_tasks = r;
+  options.assignment = assignment;
+  options.sub_splits = sub_splits;
+  auto strategy = lb::MakeStrategy(kind);
+  auto plan = strategy->BuildPlan(run.bdm, options);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  if (!plan.ok()) return run;
+  run.plan = std::move(plan).ValueOrDie();
+
+  auto out = strategy->ExecutePlan(run.plan, *bdm_out->annotated, run.bdm,
+                                   matcher, runner);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  if (!out.ok()) return run;
+  run.matches = std::move(out->matches);
+  run.metrics = std::move(out->metrics);
+  run.comparisons = out->comparisons;
   run.matches.Canonicalize();
   return run;
 }

@@ -1,0 +1,103 @@
+// Tests for the minimal JSON model (common/json.h): parsing, escaping,
+// lossless integer round-trips, error reporting, and byte-stable
+// re-serialization.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/json.h"
+
+namespace erlb {
+namespace {
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_EQ(Json::Parse("true")->AsBool(), true);
+  EXPECT_EQ(Json::Parse("false")->AsBool(), false);
+  EXPECT_EQ(Json::Parse("42")->AsUint64(), 42u);
+  EXPECT_EQ(Json::Parse("-17")->AsInt64(), -17);
+  EXPECT_DOUBLE_EQ(Json::Parse("2.5")->AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e3")->AsDouble(), 1000.0);
+  EXPECT_EQ(Json::Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, ParsesNestedStructures) {
+  auto doc = Json::Parse(R"({"a": [1, 2, {"b": null}], "c": "x"})");
+  ASSERT_TRUE(doc.ok());
+  const Json* a = doc->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->AsArray().size(), 3u);
+  EXPECT_EQ(a->AsArray()[0].AsUint64(), 1u);
+  EXPECT_TRUE(a->AsArray()[2].Find("b")->is_null());
+  EXPECT_EQ(doc->Find("c")->AsString(), "x");
+  EXPECT_EQ(doc->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, Uint64RoundTripsLosslessly) {
+  const uint64_t big = std::numeric_limits<uint64_t>::max();
+  std::string text = std::to_string(big);
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsUint64(), big);
+  EXPECT_EQ(parsed->Dump(), text);
+  // 2^53 + 1 is not representable as a double; must stay exact.
+  auto above_double = Json::Parse("9007199254740993");
+  ASSERT_TRUE(above_double.ok());
+  EXPECT_EQ(above_double->AsUint64(), 9007199254740993ull);
+  EXPECT_EQ(above_double->Dump(), "9007199254740993");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto parsed = Json::Parse(R"("a\"b\\c\n\tA")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "a\"b\\c\n\tA");
+  // Serializing escapes again.
+  Json j(std::string("line1\nline2\t\"q\""));
+  EXPECT_EQ(j.Dump(), R"("line1\nline2\t\"q\"")");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(Json::Parse("nulll").ok());
+}
+
+TEST(JsonDumpTest, CompactAndPretty) {
+  Json obj{Json::Object{}};
+  obj.Add("n", Json(uint64_t{1}));
+  Json::Array arr;
+  arr.emplace_back(uint64_t{2});
+  arr.emplace_back(uint64_t{3});
+  obj.Add("a", Json(std::move(arr)));
+  EXPECT_EQ(obj.Dump(), R"({"n":1,"a":[2,3]})");
+  EXPECT_EQ(obj.Dump(2), "{\n  \"n\": 1,\n  \"a\": [\n    2,\n    3\n  ]\n}\n");
+}
+
+TEST(JsonDumpTest, ReserializationIsByteStable) {
+  const char* text =
+      R"({"s": "x", "n": 123456789012345678, "d": 0.25, "b": true,)"
+      R"( "v": [1, -2, null], "o": {"inner": []}})";
+  auto doc = Json::Parse(text);
+  ASSERT_TRUE(doc.ok());
+  std::string once = doc->Dump(2);
+  auto again = Json::Parse(once);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(once, again->Dump(2));
+  EXPECT_TRUE(*doc == *again);
+}
+
+TEST(JsonDumpTest, EmptyContainers) {
+  EXPECT_EQ(Json(Json::Array{}).Dump(2), "[]\n");
+  EXPECT_EQ(Json(Json::Object{}).Dump(2), "{}\n");
+}
+
+}  // namespace
+}  // namespace erlb

@@ -50,6 +50,63 @@ TEST_P(PipelineStrategyTest, DeduplicateMatchesReference) {
   }
 }
 
+TEST_P(PipelineStrategyTest, PrebuiltPlanOverloadMatchesFreshRun) {
+  // Plan once, execute many: a run's plan fed back through the plan-first
+  // overload must reproduce the run exactly, without re-planning.
+  auto entities = SmallProducts(500, 11);
+  er::PrefixBlocking blocking(0, 3);
+  er::EditDistanceMatcher matcher(0.8);
+
+  ErPipeline pipeline = ErPipelineBuilder()
+                            .Strategy(GetParam())
+                            .MapTasks(3)
+                            .ReduceTasks(7)
+                            .Workers(4)
+                            .Build();
+  er::Partitions parts = er::SplitIntoPartitions(entities, 3);
+  ErPipelineConfig cfg = pipeline.config();
+  EXPECT_EQ(cfg.strategy, GetParam());
+
+  if (GetParam() == lb::StrategyKind::kBasic) {
+    // Basic's default path is the single job and carries no plan; build
+    // one explicitly to exercise the overload.
+    std::vector<std::vector<std::string>> keys(parts.size());
+    for (size_t p = 0; p < parts.size(); ++p) {
+      for (const auto& e : parts[p]) keys[p].push_back(blocking.Key(*e));
+    }
+    auto bdm = bdm::Bdm::FromKeys(keys);
+    ASSERT_TRUE(bdm.ok());
+    lb::MatchJobOptions options;
+    options.num_reduce_tasks = 7;
+    auto plan = lb::MakeStrategy(GetParam())->BuildPlan(*bdm, options);
+    ASSERT_TRUE(plan.ok());
+    auto replay =
+        pipeline.DeduplicatePartitioned(parts, blocking, matcher, *plan);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    auto fresh = pipeline.DeduplicatePartitioned(parts, blocking, matcher);
+    ASSERT_TRUE(fresh.ok());
+    EXPECT_TRUE(replay->matches.SameAs(fresh->matches));
+    EXPECT_EQ(replay->comparisons, fresh->comparisons);
+    return;
+  }
+
+  auto fresh = pipeline.DeduplicatePartitioned(parts, blocking, matcher);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  ASSERT_TRUE(fresh->plan.has_value());
+  auto replay = pipeline.DeduplicatePartitioned(parts, blocking, matcher,
+                                                *fresh->plan);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_TRUE(replay->matches.SameAs(fresh->matches));
+  EXPECT_EQ(replay->comparisons, fresh->comparisons);
+
+  // A plan for different data must be rejected by the fingerprint check.
+  auto other_entities = SmallProducts(300, 77);
+  er::Partitions other_parts = er::SplitIntoPartitions(other_entities, 3);
+  auto mismatched = pipeline.DeduplicatePartitioned(other_parts, blocking,
+                                                    matcher, *fresh->plan);
+  EXPECT_TRUE(mismatched.status().IsInvalidArgument());
+}
+
 TEST_P(PipelineStrategyTest, LinkMatchesReference) {
   auto r_entities = SmallProducts(400, 21);
   auto s_entities = SmallProducts(500, 22);
