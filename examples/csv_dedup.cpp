@@ -1,7 +1,8 @@
-// Deduplicate a CSV file end-to-end: load entities, run the load-balanced
-// pipeline, and write the matched id pairs back out as CSV — the shape of
-// a production batch job. With no arguments it generates a demo input
-// first.
+// Deduplicate a CSV file end-to-end: stream the file through the
+// chunked, bounded-memory ingest, run the load-balanced pipeline (with
+// auto-selected out-of-core shuffle for large inputs), and write the
+// matched id pairs back out as CSV — the shape of a production batch
+// job. With no arguments it generates a demo input first.
 //
 //   $ ./csv_dedup [input.csv [output.csv [strategy]]]
 //
@@ -48,29 +49,29 @@ int main(int argc, char** argv) {
 
   er::CsvSchema schema;
   schema.id_column = 0;
-  auto entities = er::LoadEntitiesFromCsv(input, schema);
-  if (!entities.ok()) {
-    std::fprintf(stderr, "load failed: %s\n",
-                 entities.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("loaded %s entities from %s\n",
-              FormatWithCommas(entities->size()).c_str(), input.c_str());
-
   er::PrefixBlocking blocking(0, 3);
   er::EditDistanceMatcher matcher(0.8);
+  // Chunked ingest: each csv_split_records rows of the file become one
+  // bounded-memory input split, and the default kAuto execution mode
+  // spills the shuffle to disk when the input outgrows the threshold.
   core::ErPipeline pipeline = core::ErPipelineBuilder()
                                   .Strategy(strategy)
-                                  .MapTasks(8)
                                   .ReduceTasks(32)
+                                  .CsvSplitRecords(1024)
                                   .Build();
 
-  auto result = pipeline.Deduplicate(*entities, blocking, matcher);
+  auto result = pipeline.DeduplicateCsv(input, schema, blocking, matcher);
   if (!result.ok()) {
     std::fprintf(stderr, "pipeline failed: %s\n",
                  result.status().ToString().c_str());
     return 1;
   }
+  std::printf("ingested %s entities from %s (%zu splits, %s shuffle)\n",
+              FormatWithCommas(
+                  result->match_metrics.TotalMapInputRecords())
+                  .c_str(),
+              input.c_str(), result->bdm_metrics.map_tasks.size(),
+              result->match_metrics.external ? "external" : "in-memory");
   if (auto st = er::SaveMatchesToCsv(output, result->matches); !st.ok()) {
     std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
     return 1;

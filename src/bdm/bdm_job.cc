@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "common/string_util.h"
+#include "er/entity_spill.h"
 
 namespace erlb {
 namespace bdm {
@@ -92,6 +93,31 @@ class BdmReducer
 };
 
 }  // namespace
+}  // namespace bdm
+
+/// Spill codec for the BDM job's composite map output key, so Job 1 can
+/// run out-of-core alongside the matching job.
+namespace mr {
+template <>
+struct SpillCodec<bdm::BdmKey> {
+  static void Encode(const bdm::BdmKey& k, std::string* out) {
+    SpillCodec<std::string>::Encode(k.block_key, out);
+    SpillCodec<er::Source>::Encode(k.source, out);
+    SpillCodec<uint32_t>::Encode(k.partition, out);
+  }
+  static bool Decode(const char** p, const char* end, bdm::BdmKey* k) {
+    return SpillCodec<std::string>::Decode(p, end, &k->block_key) &&
+           SpillCodec<er::Source>::Decode(p, end, &k->source) &&
+           SpillCodec<uint32_t>::Decode(p, end, &k->partition);
+  }
+  static size_t ApproxBytes(const bdm::BdmKey& k) {
+    return SpillCodec<std::string>::ApproxBytes(k.block_key) +
+           sizeof(er::Source) + sizeof(uint32_t);
+  }
+};
+}  // namespace mr
+
+namespace bdm {
 
 Result<BdmJobOutput> RunBdmJob(const er::Partitions& input,
                                const er::BlockingFunction& blocking,
@@ -152,6 +178,7 @@ Result<BdmJobOutput> RunBdmJob(const er::Partitions& input,
   }
 
   auto job_result = runner.Run(spec, job_input);
+  ERLB_RETURN_NOT_OK(job_result.status);
   if (missing_key_error.load()) {
     return Status::InvalidArgument(
         "entity without blocking key under MissingKeyPolicy::kError "

@@ -1,5 +1,6 @@
 #include "common/csv.h"
 
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -65,17 +66,79 @@ std::string FormatCsvRow(const std::vector<std::string>& fields,
 
 Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path, char delim) {
-  std::ifstream in(path);
-  if (!in) {
-    return Status::IOError("cannot open " + path);
-  }
+  // One code path for both APIs: the whole-file reader is the chunked
+  // reader drained in one loop.
+  ERLB_ASSIGN_OR_RETURN(CsvChunkReader reader,
+                        CsvChunkReader::Open(path, delim));
   std::vector<std::vector<std::string>> rows;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    rows.push_back(ParseCsvLine(line, delim));
+  std::vector<std::vector<std::string>> chunk;
+  while (true) {
+    ERLB_ASSIGN_OR_RETURN(bool more, reader.NextChunk(4096, &chunk));
+    if (!more) break;
+    for (auto& row : chunk) rows.push_back(std::move(row));
   }
   return rows;
+}
+
+Result<CsvChunkReader> CsvChunkReader::Open(const std::string& path,
+                                            char delim,
+                                            size_t buffer_bytes) {
+  if (buffer_bytes == 0) {
+    return Status::InvalidArgument("buffer_bytes must be >= 1");
+  }
+  CsvChunkReader reader(delim, buffer_bytes);
+  // block_ is the real read buffer: every Read is block_-sized, which
+  // takes BufferedFileReader's large-read bypass, so give the reader
+  // only a token buffer instead of doubling the allocation.
+  ERLB_RETURN_NOT_OK(reader.reader_.Open(path, 64));
+  return reader;
+}
+
+Result<bool> CsvChunkReader::NextLine() {
+  line_.clear();
+  bool saw_any = false;
+  while (true) {
+    if (block_pos_ >= block_len_) {
+      if (eof_) break;
+      ERLB_ASSIGN_OR_RETURN(size_t got,
+                            reader_.Read(block_.data(), block_.size()));
+      block_pos_ = 0;
+      block_len_ = got;
+      if (got < block_.size()) eof_ = true;
+      if (got == 0) break;
+    }
+    saw_any = true;
+    const char* start = block_.data() + block_pos_;
+    const char* nl = static_cast<const char*>(
+        std::memchr(start, '\n', block_len_ - block_pos_));
+    if (nl == nullptr) {
+      line_.append(start, block_len_ - block_pos_);
+      block_pos_ = block_len_;
+      continue;
+    }
+    line_.append(start, static_cast<size_t>(nl - start));
+    block_pos_ += static_cast<size_t>(nl - start) + 1;
+    if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+    return true;
+  }
+  // Final line without trailing newline.
+  if (!line_.empty() && line_.back() == '\r') line_.pop_back();
+  return saw_any || !line_.empty();
+}
+
+Result<bool> CsvChunkReader::NextChunk(
+    size_t max_rows, std::vector<std::vector<std::string>>* rows) {
+  rows->clear();
+  if (done_) return false;
+  while (rows->size() < max_rows) {
+    ERLB_ASSIGN_OR_RETURN(bool more, NextLine());
+    if (!more) {
+      done_ = true;
+      break;
+    }
+    rows->push_back(ParseCsvLine(line_, delim_));
+  }
+  return !rows->empty();
 }
 
 Status WriteCsvFile(const std::string& path,

@@ -3,10 +3,12 @@
 #ifndef ERLB_COMMON_CSV_H_
 #define ERLB_COMMON_CSV_H_
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/io_buffer.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -28,6 +30,52 @@ std::string FormatCsvRow(const std::vector<std::string>& fields,
 /// Returns IOError if the file cannot be opened.
 Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path, char delim = ',');
+
+/// Streams a CSV file in bounded-memory batches: rows are parsed
+/// incrementally from a fixed-size read buffer (common/io_buffer.h), so
+/// memory holds one batch of rows plus one I/O buffer — never the whole
+/// file. Line-based like ReadCsvFile: records are separated by '\n'
+/// (trailing '\r' stripped); quoted fields may not span lines.
+///
+/// \code
+///   ERLB_ASSIGN_OR_RETURN(CsvChunkReader reader, CsvChunkReader::Open(p));
+///   std::vector<std::vector<std::string>> rows;
+///   while (true) {
+///     ERLB_ASSIGN_OR_RETURN(bool more, reader.NextChunk(4096, &rows));
+///     if (!more) break;
+///     Consume(rows);
+///   }
+/// \endcode
+class CsvChunkReader {
+ public:
+  static Result<CsvChunkReader> Open(const std::string& path,
+                                     char delim = ',',
+                                     size_t buffer_bytes = 1 << 16);
+
+  /// Replaces `*rows` with up to `max_rows` parsed rows. Returns false
+  /// when the file was already exhausted (rows is then empty).
+  Result<bool> NextChunk(size_t max_rows,
+                         std::vector<std::vector<std::string>>* rows);
+
+  /// True once the file is fully consumed.
+  bool done() const { return done_; }
+
+ private:
+  CsvChunkReader(char delim, size_t buffer_bytes)
+      : delim_(delim), block_(buffer_bytes) {}
+
+  /// Extracts the next line into line_; false at end of input.
+  Result<bool> NextLine();
+
+  BufferedFileReader reader_;
+  char delim_;
+  std::vector<char> block_;  // one read block
+  size_t block_pos_ = 0;
+  size_t block_len_ = 0;
+  std::string line_;
+  bool eof_ = false;
+  bool done_ = false;
+};
 
 /// Writes rows to `path`, overwriting. Returns IOError on failure.
 Status WriteCsvFile(const std::string& path,

@@ -1,0 +1,309 @@
+#include "common/io_buffer.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <utility>
+
+namespace erlb {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ---- BufferedFileWriter ---------------------------------------------------
+
+BufferedFileWriter::~BufferedFileWriter() {
+  if (fd_ >= 0) Close();  // best-effort; error already sticky
+}
+
+BufferedFileWriter::BufferedFileWriter(BufferedFileWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      buffer_(std::move(other.buffer_)),
+      buffered_(std::exchange(other.buffered_, 0)),
+      bytes_written_(std::exchange(other.bytes_written_, 0)),
+      fail_after_bytes_(std::exchange(other.fail_after_bytes_, 0)),
+      error_(std::move(other.error_)) {}
+
+BufferedFileWriter& BufferedFileWriter::operator=(
+    BufferedFileWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) Close();
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    buffer_ = std::move(other.buffer_);
+    buffered_ = std::exchange(other.buffered_, 0);
+    bytes_written_ = std::exchange(other.bytes_written_, 0);
+    fail_after_bytes_ = std::exchange(other.fail_after_bytes_, 0);
+    error_ = std::move(other.error_);
+  }
+  return *this;
+}
+
+Status BufferedFileWriter::Open(const std::string& path,
+                                size_t buffer_bytes) {
+  if (fd_ >= 0) return Status::FailedPrecondition("writer already open");
+  if (buffer_bytes == 0) {
+    return Status::InvalidArgument("buffer_bytes must be >= 1");
+  }
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) return ErrnoStatus("cannot create", path);
+  path_ = path;
+  buffer_.resize(buffer_bytes);
+  buffered_ = 0;
+  bytes_written_ = 0;
+  error_ = Status::OK();
+  return Status::OK();
+}
+
+Status BufferedFileWriter::WriteRaw(const char* data, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(fd_, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write failed for", path_);
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status BufferedFileWriter::Append(const void* data, size_t n) {
+  if (!error_.ok()) return error_;
+  if (fd_ < 0) return Status::FailedPrecondition("writer not open");
+  if (fail_after_bytes_ != 0 && bytes_written_ + n > fail_after_bytes_) {
+    error_ = Status::IOError("injected write failure for " + path_);
+    return error_;
+  }
+  const char* p = static_cast<const char*>(data);
+  // Large appends bypass the buffer once it is flushed.
+  if (n >= buffer_.size()) {
+    Status s = Flush();
+    if (!s.ok()) return s;
+    s = WriteRaw(p, n);
+    if (!s.ok()) {
+      error_ = s;
+      return s;
+    }
+    bytes_written_ += n;
+    return Status::OK();
+  }
+  if (buffered_ + n > buffer_.size()) {
+    Status s = Flush();
+    if (!s.ok()) return s;
+  }
+  std::memcpy(buffer_.data() + buffered_, p, n);
+  buffered_ += n;
+  bytes_written_ += n;
+  return Status::OK();
+}
+
+Status BufferedFileWriter::Flush() {
+  if (!error_.ok()) return error_;
+  if (fd_ < 0) return Status::FailedPrecondition("writer not open");
+  if (buffered_ == 0) return Status::OK();
+  Status s = WriteRaw(buffer_.data(), buffered_);
+  if (!s.ok()) {
+    error_ = s;
+    return s;
+  }
+  buffered_ = 0;
+  return Status::OK();
+}
+
+Status BufferedFileWriter::Close() {
+  if (fd_ < 0) return error_;
+  Status s = Flush();
+  if (::close(fd_) != 0 && s.ok()) {
+    s = ErrnoStatus("close failed for", path_);
+  }
+  fd_ = -1;
+  if (!s.ok() && error_.ok()) error_ = s;
+  return error_.ok() ? s : error_;
+}
+
+// ---- BufferedFileReader ---------------------------------------------------
+
+BufferedFileReader::~BufferedFileReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+BufferedFileReader::BufferedFileReader(BufferedFileReader&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      buffer_(std::move(other.buffer_)),
+      buffer_offset_(std::exchange(other.buffer_offset_, 0)),
+      buffer_pos_(std::exchange(other.buffer_pos_, 0)),
+      buffer_len_(std::exchange(other.buffer_len_, 0)) {}
+
+BufferedFileReader& BufferedFileReader::operator=(
+    BufferedFileReader&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    buffer_ = std::move(other.buffer_);
+    buffer_offset_ = std::exchange(other.buffer_offset_, 0);
+    buffer_pos_ = std::exchange(other.buffer_pos_, 0);
+    buffer_len_ = std::exchange(other.buffer_len_, 0);
+  }
+  return *this;
+}
+
+Status BufferedFileReader::Open(const std::string& path,
+                                size_t buffer_bytes) {
+  if (fd_ >= 0) return Status::FailedPrecondition("reader already open");
+  if (buffer_bytes == 0) {
+    return Status::InvalidArgument("buffer_bytes must be >= 1");
+  }
+  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd_ < 0) return ErrnoStatus("cannot open", path);
+  path_ = path;
+  buffer_.resize(buffer_bytes);
+  buffer_offset_ = 0;
+  buffer_pos_ = 0;
+  buffer_len_ = 0;
+  return Status::OK();
+}
+
+Status BufferedFileReader::Seek(uint64_t offset) {
+  if (fd_ < 0) return Status::FailedPrecondition("reader not open");
+  if (offset >= buffer_offset_ && offset <= buffer_offset_ + buffer_len_) {
+    buffer_pos_ = static_cast<size_t>(offset - buffer_offset_);
+    return Status::OK();
+  }
+  if (::lseek(fd_, static_cast<off_t>(offset), SEEK_SET) < 0) {
+    return ErrnoStatus("seek failed for", path_);
+  }
+  buffer_offset_ = offset;
+  buffer_pos_ = 0;
+  buffer_len_ = 0;
+  return Status::OK();
+}
+
+Result<size_t> BufferedFileReader::Read(void* data, size_t n) {
+  if (fd_ < 0) return Status::FailedPrecondition("reader not open");
+  char* out = static_cast<char*>(data);
+  size_t total = 0;
+  while (total < n) {
+    if (buffer_pos_ < buffer_len_) {
+      size_t take = std::min(n - total, buffer_len_ - buffer_pos_);
+      std::memcpy(out + total, buffer_.data() + buffer_pos_, take);
+      buffer_pos_ += take;
+      total += take;
+      continue;
+    }
+    // Refill. Large remaining reads go straight to the destination.
+    buffer_offset_ += buffer_len_;
+    buffer_pos_ = 0;
+    buffer_len_ = 0;
+    if (n - total >= buffer_.size()) {
+      ssize_t r = ::read(fd_, out + total, n - total);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("read failed for", path_);
+      }
+      if (r == 0) break;  // EOF
+      buffer_offset_ += static_cast<uint64_t>(r);
+      total += static_cast<size_t>(r);
+      continue;
+    }
+    ssize_t r = ::read(fd_, buffer_.data(), buffer_.size());
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("read failed for", path_);
+    }
+    if (r == 0) break;  // EOF
+    buffer_len_ = static_cast<size_t>(r);
+  }
+  return total;
+}
+
+Status BufferedFileReader::ReadExact(void* data, size_t n) {
+  ERLB_ASSIGN_OR_RETURN(size_t got, Read(data, n));
+  if (got != n) {
+    return Status::IOError("unexpected end of file in " + path_);
+  }
+  return Status::OK();
+}
+
+Status BufferedFileReader::Close() {
+  if (fd_ < 0) return Status::OK();
+  int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) return ErrnoStatus("close failed for", path_);
+  return Status::OK();
+}
+
+// ---- ScopedTempDir --------------------------------------------------------
+
+Result<ScopedTempDir> ScopedTempDir::Make(const std::string& base,
+                                          const std::string& prefix) {
+  namespace fs = std::filesystem;
+  static std::atomic<uint64_t> seq{0};
+  std::error_code ec;
+  fs::path root = base.empty() ? fs::temp_directory_path(ec)
+                               : fs::path(base);
+  if (ec) {
+    return Status::IOError("no system temp directory: " + ec.message());
+  }
+  fs::create_directories(root, ec);
+  if (ec) {
+    return Status::IOError("cannot create " + root.string() + ": " +
+                           ec.message());
+  }
+  std::random_device rd;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    uint64_t tag = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    fs::path dir = root / (prefix + "-" + std::to_string(::getpid()) + "-" +
+                           std::to_string(seq.fetch_add(1)) + "-" +
+                           std::to_string(tag & 0xffffff));
+    if (fs::create_directory(dir, ec)) {
+      return ScopedTempDir(dir.string());
+    }
+    if (ec) {
+      return Status::IOError("cannot create " + dir.string() + ": " +
+                             ec.message());
+    }
+    // Directory existed; retry with a fresh tag.
+  }
+  return Status::IOError("cannot create unique temp dir under " +
+                         root.string());
+}
+
+ScopedTempDir::ScopedTempDir(ScopedTempDir&& other) noexcept
+    : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+ScopedTempDir& ScopedTempDir::operator=(ScopedTempDir&& other) noexcept {
+  if (this != &other) {
+    if (!path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(path_, ec);
+    }
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+ScopedTempDir::~ScopedTempDir() {
+  if (path_.empty()) return;
+  std::error_code ec;
+  std::filesystem::remove_all(path_, ec);  // best-effort
+}
+
+}  // namespace erlb

@@ -1,0 +1,144 @@
+// Buffered file I/O for the out-of-core execution path, plus a scoped
+// temp-dir helper for spill files.
+//
+// The spill writer/reader of the MR engine (mr/spill.h) moves bytes in
+// record-sized pieces (a few tens of bytes each); issuing one syscall per
+// record would dominate the run cost. BufferedFileWriter and
+// BufferedFileReader batch those accesses through a private user-space
+// buffer over a raw POSIX fd — no FILE* locking, explicit Status-based
+// error reporting (ENOSPC surfaces as a failed Append/Flush, not a silent
+// short write), and a byte-exact failure-injection seam so tests can
+// exercise disk-full cleanup paths deterministically.
+//
+// ScopedTempDir owns a uniquely named directory and removes it (and
+// everything inside) on destruction — success and error paths alike, which
+// is what keeps crash-free spill runs from leaking temp files.
+#ifndef ERLB_COMMON_IO_BUFFER_H_
+#define ERLB_COMMON_IO_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace erlb {
+
+/// Append-only buffered writer over a POSIX file descriptor.
+class BufferedFileWriter {
+ public:
+  BufferedFileWriter() = default;
+  /// Closes (best-effort, errors ignored) if still open.
+  ~BufferedFileWriter();
+
+  BufferedFileWriter(const BufferedFileWriter&) = delete;
+  BufferedFileWriter& operator=(const BufferedFileWriter&) = delete;
+  BufferedFileWriter(BufferedFileWriter&& other) noexcept;
+  BufferedFileWriter& operator=(BufferedFileWriter&& other) noexcept;
+
+  /// Creates (or truncates) `path` for writing. `buffer_bytes` >= 1.
+  Status Open(const std::string& path, size_t buffer_bytes = 1 << 17);
+
+  /// Appends `n` bytes. Once any Append/Flush fails, every later call
+  /// returns the same error (the writer is sticky-failed).
+  Status Append(const void* data, size_t n);
+
+  /// Flushes the user-space buffer to the OS.
+  Status Flush();
+
+  /// Flush + close. Returns the first error encountered, if any.
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  /// Total bytes accepted by Append (buffered or flushed).
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  /// Test seam: the Append that would push bytes_written() past `bytes`
+  /// fails with IOError("injected write failure"), emulating ENOSPC at an
+  /// exact offset. 0 disables.
+  void InjectFailureAfter(uint64_t bytes) { fail_after_bytes_ = bytes; }
+
+ private:
+  Status WriteRaw(const char* data, size_t n);
+
+  int fd_ = -1;
+  std::string path_;
+  std::vector<char> buffer_;
+  size_t buffered_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t fail_after_bytes_ = 0;
+  Status error_;  // sticky
+};
+
+/// Buffered positional reader over a POSIX file descriptor.
+class BufferedFileReader {
+ public:
+  BufferedFileReader() = default;
+  ~BufferedFileReader();
+
+  BufferedFileReader(const BufferedFileReader&) = delete;
+  BufferedFileReader& operator=(const BufferedFileReader&) = delete;
+  BufferedFileReader(BufferedFileReader&& other) noexcept;
+  BufferedFileReader& operator=(BufferedFileReader&& other) noexcept;
+
+  /// Opens `path` for reading. `buffer_bytes` >= 1.
+  Status Open(const std::string& path, size_t buffer_bytes = 1 << 17);
+
+  /// Repositions the next Read at absolute `offset` (drops the buffer
+  /// unless the target is already buffered).
+  Status Seek(uint64_t offset);
+
+  /// Reads up to `n` bytes into `data`; returns the count actually read
+  /// (< n only at end of file).
+  Result<size_t> Read(void* data, size_t n);
+
+  /// Reads exactly `n` bytes; end of file before `n` bytes is an IOError.
+  Status ReadExact(void* data, size_t n);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  /// Absolute offset of the next byte Read will return.
+  uint64_t position() const { return buffer_offset_ + buffer_pos_; }
+
+  Status Close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::vector<char> buffer_;
+  uint64_t buffer_offset_ = 0;  // file offset of buffer_[0]
+  size_t buffer_pos_ = 0;       // next unread byte within the buffer
+  size_t buffer_len_ = 0;       // valid bytes in the buffer
+};
+
+/// Owns a uniquely named directory, recursively deleted on destruction.
+class ScopedTempDir {
+ public:
+  /// Creates a fresh directory `<base>/erlb-<pid>-<seq>-<rand>`; empty
+  /// `base` uses the system temp directory. The base is created first if
+  /// missing.
+  static Result<ScopedTempDir> Make(const std::string& base = "",
+                                    const std::string& prefix = "erlb");
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+  ScopedTempDir(ScopedTempDir&& other) noexcept;
+  ScopedTempDir& operator=(ScopedTempDir&& other) noexcept;
+
+  /// Removes the directory and all contents (best-effort).
+  ~ScopedTempDir();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit ScopedTempDir(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;  // empty after move-out
+};
+
+}  // namespace erlb
+
+#endif  // ERLB_COMMON_IO_BUFFER_H_

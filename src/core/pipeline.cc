@@ -46,6 +46,35 @@ Result<ErPipelineResult> ErPipeline::DeduplicatePartitioned(
   return RunPartitioned(partitions, nullptr, blocking, matcher);
 }
 
+Result<ErPipelineResult> ErPipeline::DeduplicateCsv(
+    const std::string& csv_path, const er::CsvSchema& schema,
+    const er::BlockingFunction& blocking, const er::Matcher& matcher) const {
+  if (config_.csv_split_records == 0) {
+    return Status::InvalidArgument("csv_split_records must be >= 1");
+  }
+  // Chunked ingest: each bounded batch of rows becomes one input split
+  // (map partition); neither the raw file nor all rows are ever resident
+  // at once.
+  er::Partitions partitions;
+  ERLB_ASSIGN_OR_RETURN(
+      uint64_t total,
+      er::LoadEntitiesFromCsvChunked(
+          csv_path, schema, config_.csv_split_records,
+          [&partitions](std::vector<er::Entity>&& batch) {
+            std::vector<er::EntityRef> split;
+            split.reserve(batch.size());
+            for (auto& e : batch) {
+              split.push_back(er::MakeEntityRef(std::move(e)));
+            }
+            partitions.push_back(std::move(split));
+            return Status::OK();
+          }));
+  if (total == 0) {
+    return Status::InvalidArgument("input is empty: " + csv_path);
+  }
+  return RunPartitioned(partitions, nullptr, blocking, matcher);
+}
+
 Result<ErPipelineResult> ErPipeline::DeduplicatePartitioned(
     const er::Partitions& partitions, const er::BlockingFunction& blocking,
     const er::Matcher& matcher, const lb::MatchPlan& plan) const {
@@ -95,7 +124,7 @@ Result<ErPipelineResult> ErPipeline::RunPartitioned(
   const lb::StrategyKind strategy_kind =
       prebuilt_plan != nullptr ? prebuilt_plan->strategy()
                                : config_.strategy;
-  mr::JobRunner runner(config_.EffectiveWorkers());
+  mr::JobRunner runner(config_.EffectiveWorkers(), config_.execution);
 
   ErPipelineResult result;
   Stopwatch total_watch;

@@ -16,10 +16,12 @@
 #include "common/result.h"
 #include "er/blocking.h"
 #include "er/entity.h"
+#include "er/entity_io.h"
 #include "er/match_result.h"
 #include "er/matcher.h"
 #include "lb/plan.h"
 #include "lb/strategy.h"
+#include "mr/job.h"
 #include "mr/metrics.h"
 
 namespace erlb {
@@ -41,6 +43,16 @@ struct ErPipelineConfig {
   uint32_t sub_splits = 1;
   bdm::MissingKeyPolicy missing_key_policy = bdm::MissingKeyPolicy::kError;
   bool use_combiner = true;
+  /// Out-of-core execution knobs for both MR jobs (mode, spill
+  /// threshold, temp dir, I/O buffer size). The default auto mode keeps
+  /// small workloads on the historical in-memory path and spills to disk
+  /// once the estimated input exceeds the threshold.
+  mr::ExecutionOptions execution;
+  /// CSV entry points (DeduplicateCsv): records per input split. Each
+  /// split is read in one bounded batch and becomes one map partition, so
+  /// m follows the data size — the HDFS fixed-size-split model —
+  /// and num_map_tasks is ignored.
+  uint32_t csv_split_records = 8192;
 
   uint32_t EffectiveWorkers() const {
     if (num_workers > 0) return num_workers;
@@ -80,6 +92,18 @@ class ErPipeline {
   /// One-source deduplication of `entities`.
   Result<ErPipelineResult> Deduplicate(
       const std::vector<er::Entity>& entities,
+      const er::BlockingFunction& blocking,
+      const er::Matcher& matcher) const;
+
+  /// One-source deduplication straight from a CSV file with chunked,
+  /// bounded-memory ingest: the file streams through a fixed read buffer
+  /// (er::LoadEntitiesFromCsvChunked) and every config.csv_split_records
+  /// rows become one map partition, like fixed-size HDFS input splits
+  /// (config.num_map_tasks is ignored). Combine with
+  /// ExecutionMode::kExternal (or a low spill threshold under kAuto) for
+  /// an end-to-end out-of-core run.
+  Result<ErPipelineResult> DeduplicateCsv(
+      const std::string& csv_path, const er::CsvSchema& schema,
       const er::BlockingFunction& blocking,
       const er::Matcher& matcher) const;
 
@@ -163,6 +187,30 @@ class ErPipelineBuilder {
   }
   ErPipelineBuilder& UseCombiner(bool use) {
     config_.use_combiner = use;
+    return *this;
+  }
+  ErPipelineBuilder& Execution(const mr::ExecutionOptions& options) {
+    config_.execution = options;
+    return *this;
+  }
+  ErPipelineBuilder& ExecutionMode(mr::ExecutionMode mode) {
+    config_.execution.mode = mode;
+    return *this;
+  }
+  ErPipelineBuilder& SpillThresholdBytes(uint64_t bytes) {
+    config_.execution.spill_threshold_bytes = bytes;
+    return *this;
+  }
+  ErPipelineBuilder& SpillTempDir(std::string dir) {
+    config_.execution.temp_dir = std::move(dir);
+    return *this;
+  }
+  ErPipelineBuilder& IoBufferBytes(size_t bytes) {
+    config_.execution.io_buffer_bytes = bytes;
+    return *this;
+  }
+  ErPipelineBuilder& CsvSplitRecords(uint32_t records) {
+    config_.csv_split_records = records;
     return *this;
   }
 

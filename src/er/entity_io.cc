@@ -20,49 +20,99 @@ Result<uint64_t> ParseId(const std::string& cell, size_t row) {
   return id;
 }
 
+/// Converts one data row to an Entity. `row_index` is the absolute row
+/// number (for error messages); `next_id` supplies sequential ids when
+/// the schema has no id column.
+Result<Entity> RowToEntity(const std::vector<std::string>& row,
+                           const CsvSchema& schema, size_t row_index,
+                           uint64_t* next_id) {
+  Entity e;
+  if (schema.id_column >= 0) {
+    if (static_cast<size_t>(schema.id_column) >= row.size()) {
+      return Status::InvalidArgument("row " + std::to_string(row_index) +
+                                     ": missing id column");
+    }
+    ERLB_ASSIGN_OR_RETURN(e.id, ParseId(row[schema.id_column], row_index));
+  } else {
+    e.id = (*next_id)++;
+  }
+  if (schema.field_columns.empty()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (static_cast<int>(c) == schema.id_column) continue;
+      e.fields.push_back(row[c]);
+    }
+  } else {
+    for (int c : schema.field_columns) {
+      if (c < 0 || static_cast<size_t>(c) >= row.size()) {
+        return Status::InvalidArgument(
+            "row " + std::to_string(row_index) + ": missing field column " +
+            std::to_string(c));
+      }
+      e.fields.push_back(row[c]);
+    }
+  }
+  if (e.fields.empty()) {
+    return Status::InvalidArgument("row " + std::to_string(row_index) +
+                                   ": no fields");
+  }
+  return e;
+}
+
 }  // namespace
+
+Result<uint64_t> LoadEntitiesFromCsvChunked(
+    const std::string& path, const CsvSchema& schema, size_t chunk_rows,
+    const std::function<Status(std::vector<Entity>&&)>& sink) {
+  if (chunk_rows == 0) {
+    return Status::InvalidArgument("chunk_rows must be >= 1");
+  }
+  ERLB_ASSIGN_OR_RETURN(CsvChunkReader reader, CsvChunkReader::Open(path));
+  std::vector<std::vector<std::string>> rows;
+  std::vector<Entity> batch;
+  uint64_t total = 0;
+  uint64_t next_id = 1;
+  size_t row_index = 0;
+  bool skip_header = schema.has_header;
+  while (true) {
+    ERLB_ASSIGN_OR_RETURN(bool more, reader.NextChunk(chunk_rows, &rows));
+    if (!more) break;
+    batch.clear();
+    batch.reserve(rows.size());
+    for (const auto& row : rows) {
+      if (skip_header) {
+        skip_header = false;
+        ++row_index;
+        continue;
+      }
+      if (row.size() == 1 && row[0].empty()) {  // blank line
+        ++row_index;
+        continue;
+      }
+      ERLB_ASSIGN_OR_RETURN(Entity e,
+                            RowToEntity(row, schema, row_index, &next_id));
+      batch.push_back(std::move(e));
+      ++row_index;
+    }
+    if (batch.empty()) continue;
+    total += batch.size();
+    ERLB_RETURN_NOT_OK(sink(std::move(batch)));
+    batch.clear();
+  }
+  return total;
+}
 
 Result<std::vector<Entity>> LoadEntitiesFromCsv(const std::string& path,
                                                 const CsvSchema& schema) {
-  ERLB_ASSIGN_OR_RETURN(auto rows, ReadCsvFile(path));
   std::vector<Entity> entities;
-  entities.reserve(rows.size());
-  size_t start = schema.has_header && !rows.empty() ? 1 : 0;
-  uint64_t next_id = 1;
-  for (size_t i = start; i < rows.size(); ++i) {
-    const auto& row = rows[i];
-    if (row.size() == 1 && row[0].empty()) continue;  // blank line
-    Entity e;
-    if (schema.id_column >= 0) {
-      if (static_cast<size_t>(schema.id_column) >= row.size()) {
-        return Status::InvalidArgument("row " + std::to_string(i) +
-                                       ": missing id column");
-      }
-      ERLB_ASSIGN_OR_RETURN(e.id, ParseId(row[schema.id_column], i));
-    } else {
-      e.id = next_id++;
-    }
-    if (schema.field_columns.empty()) {
-      for (size_t c = 0; c < row.size(); ++c) {
-        if (static_cast<int>(c) == schema.id_column) continue;
-        e.fields.push_back(row[c]);
-      }
-    } else {
-      for (int c : schema.field_columns) {
-        if (c < 0 || static_cast<size_t>(c) >= row.size()) {
-          return Status::InvalidArgument(
-              "row " + std::to_string(i) + ": missing field column " +
-              std::to_string(c));
-        }
-        e.fields.push_back(row[c]);
-      }
-    }
-    if (e.fields.empty()) {
-      return Status::InvalidArgument("row " + std::to_string(i) +
-                                     ": no fields");
-    }
-    entities.push_back(std::move(e));
-  }
+  ERLB_RETURN_NOT_OK(
+      LoadEntitiesFromCsvChunked(path, schema, 4096,
+                                 [&entities](std::vector<Entity>&& batch) {
+                                   for (auto& e : batch) {
+                                     entities.push_back(std::move(e));
+                                   }
+                                   return Status::OK();
+                                 })
+          .status());
   return entities;
 }
 

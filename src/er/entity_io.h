@@ -5,6 +5,7 @@
 #define ERLB_ER_ENTITY_IO_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,17 @@ struct CsvSchema {
 /// InvalidArgument; an unparsable id yields InvalidArgument.
 Result<std::vector<Entity>> LoadEntitiesFromCsv(const std::string& path,
                                                 const CsvSchema& schema);
+
+/// Streaming loader: reads `path` through a bounded read buffer
+/// (common/csv.h CsvChunkReader) and hands entities to `sink` in batches
+/// of up to `chunk_rows` — at no point are all rows (or the raw file)
+/// resident at once, only one batch. A non-OK status from `sink` aborts
+/// the load and is returned. Returns the total number of entities
+/// delivered. LoadEntitiesFromCsv is this loader draining into one
+/// vector.
+Result<uint64_t> LoadEntitiesFromCsvChunked(
+    const std::string& path, const CsvSchema& schema, size_t chunk_rows,
+    const std::function<Status(std::vector<Entity>&&)>& sink);
 
 /// Writes entities as CSV: id, then each field. Includes a header row.
 Status SaveEntitiesToCsv(const std::string& path,

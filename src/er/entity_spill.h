@@ -1,0 +1,62 @@
+// SpillCodec specializations for the entity model, so jobs whose
+// intermediate values carry entities can take the out-of-core path
+// (mr/job.h ExecutionMode::kExternal).
+//
+// An EntityRef round-trips as a full copy of the referenced Entity: the
+// spill file is a real serialization boundary, exactly like a Hadoop
+// Writable crossing the shuffle. Records that shared one Entity in memory
+// come back as independent copies — semantically identical (the matching
+// reduce phase only reads fields and ids), and the streamed reduce keeps
+// only the current group's copies alive.
+#ifndef ERLB_ER_ENTITY_SPILL_H_
+#define ERLB_ER_ENTITY_SPILL_H_
+
+#include <string>
+#include <utility>
+
+#include "er/entity.h"
+#include "mr/spill.h"
+
+namespace erlb {
+namespace mr {
+
+template <>
+struct SpillCodec<er::Entity> {
+  static void Encode(const er::Entity& e, std::string* out) {
+    SpillCodec<uint64_t>::Encode(e.id, out);
+    SpillCodec<uint64_t>::Encode(e.cluster_id, out);
+    SpillCodec<er::Source>::Encode(e.source, out);
+    SpillCodec<std::vector<std::string>>::Encode(e.fields, out);
+  }
+  static bool Decode(const char** p, const char* end, er::Entity* e) {
+    return SpillCodec<uint64_t>::Decode(p, end, &e->id) &&
+           SpillCodec<uint64_t>::Decode(p, end, &e->cluster_id) &&
+           SpillCodec<er::Source>::Decode(p, end, &e->source) &&
+           SpillCodec<std::vector<std::string>>::Decode(p, end, &e->fields);
+  }
+  static size_t ApproxBytes(const er::Entity& e) {
+    return 2 * sizeof(uint64_t) + sizeof(er::Source) +
+           SpillCodec<std::vector<std::string>>::ApproxBytes(e.fields);
+  }
+};
+
+template <>
+struct SpillCodec<er::EntityRef> {
+  static void Encode(const er::EntityRef& ref, std::string* out) {
+    SpillCodec<er::Entity>::Encode(*ref, out);
+  }
+  static bool Decode(const char** p, const char* end, er::EntityRef* ref) {
+    er::Entity e;
+    if (!SpillCodec<er::Entity>::Decode(p, end, &e)) return false;
+    *ref = er::MakeEntityRef(std::move(e));
+    return true;
+  }
+  static size_t ApproxBytes(const er::EntityRef& ref) {
+    return SpillCodec<er::Entity>::ApproxBytes(*ref);
+  }
+};
+
+}  // namespace mr
+}  // namespace erlb
+
+#endif  // ERLB_ER_ENTITY_SPILL_H_

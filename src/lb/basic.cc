@@ -5,6 +5,7 @@
 #include "common/string_util.h"
 #include "lb/match_kv.h"
 #include "lb/reduce_helpers.h"
+#include "lb/spill_codec.h"
 
 namespace erlb {
 namespace lb {
@@ -130,18 +131,6 @@ BasicSpec<InK, PartFn> MakeBasicSpecCommon(const er::Matcher& matcher,
   return spec;
 }
 
-MatchJobOutput CollectOutput(
-    mr::JobResult<MatchOutK, MatchOutV>&& job_result) {
-  MatchJobOutput out;
-  for (auto& [pair, unused] : job_result.MergedOutput()) {
-    out.matches.Add(pair.first, pair.second);
-  }
-  out.comparisons =
-      job_result.metrics.counters.Get(mr::kCounterComparisons);
-  out.metrics = std::move(job_result.metrics);
-  return out;
-}
-
 }  // namespace
 
 Result<MatchPlan> BasicStrategy::BuildPlan(
@@ -186,7 +175,7 @@ Result<MatchJobOutput> BasicStrategy::ExecutePlan(
   spec.mapper_factory = [](const mr::TaskContext&) {
     return std::make_unique<BasicAnnotatedMapper>();
   };
-  return CollectOutput(runner.Run(spec, input.files()));
+  return CollectMatchOutput(runner.Run(spec, input.files()));
 }
 
 Result<MatchJobOutput> RunBasicSingleJob(
@@ -210,7 +199,7 @@ Result<MatchJobOutput> RunBasicSingleJob(
     job_input[p].reserve(input[p].size());
     for (const auto& e : input[p]) job_input[p].emplace_back(0u, e);
   }
-  return CollectOutput(runner.Run(spec, job_input));
+  return CollectMatchOutput(runner.Run(spec, job_input));
 }
 
 }  // namespace lb

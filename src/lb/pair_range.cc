@@ -5,6 +5,7 @@
 #include "lb/match_kv.h"
 #include "lb/pair_enum.h"
 #include "lb/reduce_helpers.h"
+#include "lb/spill_codec.h"
 
 namespace erlb {
 namespace lb {
@@ -195,15 +196,7 @@ Result<MatchJobOutput> PairRangeStrategy::ExecutePlan(
     return std::make_unique<PairRangeReducer>(&matcher, &bdm, r);
   };
 
-  auto job_result = runner.Run(spec, input.files());
-  MatchJobOutput out;
-  for (auto& [pair, unused] : job_result.MergedOutput()) {
-    out.matches.Add(pair.first, pair.second);
-  }
-  out.comparisons =
-      job_result.metrics.counters.Get(mr::kCounterComparisons);
-  out.metrics = std::move(job_result.metrics);
-  return out;
+  return CollectMatchOutput(runner.Run(spec, input.files()));
 }
 
 Result<MatchPlan> PairRangeStrategy::BuildPlan(

@@ -2,9 +2,13 @@
 #ifndef ERLB_LB_REDUCE_HELPERS_H_
 #define ERLB_LB_REDUCE_HELPERS_H_
 
+#include <utility>
+
+#include "common/result.h"
 #include "er/entity.h"
 #include "er/match_result.h"
 #include "er/matcher.h"
+#include "lb/strategy.h"
 #include "mr/counters.h"
 #include "mr/job.h"
 
@@ -16,6 +20,22 @@ namespace lb {
 using MatchOutK = er::MatchPair;
 using MatchOutV = char;
 using MatchReduceContext = mr::ReduceContext<MatchOutK, MatchOutV>;
+
+/// Folds one executed matching job into a MatchJobOutput — shared by all
+/// three strategies. Propagates the job's I/O status (external mode)
+/// before consuming outputs.
+inline Result<MatchJobOutput> CollectMatchOutput(
+    mr::JobResult<MatchOutK, MatchOutV>&& job_result) {
+  ERLB_RETURN_NOT_OK(job_result.status);
+  MatchJobOutput out;
+  for (auto& [pair, unused] : job_result.MergedOutput()) {
+    out.matches.Add(pair.first, pair.second);
+  }
+  out.comparisons =
+      job_result.metrics.counters.Get(mr::kCounterComparisons);
+  out.metrics = std::move(job_result.metrics);
+  return out;
+}
 
 /// Name of the reduce-side buffer high-water-mark counter: the largest
 /// number of entities any reduce call had to hold in memory at once.

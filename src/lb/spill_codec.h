@@ -1,0 +1,96 @@
+// SpillCodec specializations for the matching job's composite keys and
+// value (lb/match_kv.h), enabling the out-of-core execution path for all
+// three redistribution strategies. Included by every translation unit
+// that instantiates JobRunner::Run over these types (basic.cc,
+// block_split.cc, pair_range.cc) so the engine sees one consistent
+// definition of "spillable" for them.
+#ifndef ERLB_LB_SPILL_CODEC_H_
+#define ERLB_LB_SPILL_CODEC_H_
+
+#include <string>
+
+#include "er/entity_spill.h"
+#include "lb/match_kv.h"
+#include "mr/spill.h"
+
+namespace erlb {
+namespace mr {
+
+template <>
+struct SpillCodec<lb::BasicKey> {
+  static void Encode(const lb::BasicKey& k, std::string* out) {
+    SpillCodec<std::string>::Encode(k.block_key, out);
+    SpillCodec<er::Source>::Encode(k.source, out);
+  }
+  static bool Decode(const char** p, const char* end, lb::BasicKey* k) {
+    return SpillCodec<std::string>::Decode(p, end, &k->block_key) &&
+           SpillCodec<er::Source>::Decode(p, end, &k->source);
+  }
+  static size_t ApproxBytes(const lb::BasicKey& k) {
+    return SpillCodec<std::string>::ApproxBytes(k.block_key) +
+           sizeof(er::Source);
+  }
+};
+
+template <>
+struct SpillCodec<lb::BlockSplitKey> {
+  static void Encode(const lb::BlockSplitKey& k, std::string* out) {
+    SpillCodec<uint32_t>::Encode(k.reduce_task, out);
+    SpillCodec<uint32_t>::Encode(k.block, out);
+    SpillCodec<uint32_t>::Encode(k.pi, out);
+    SpillCodec<uint32_t>::Encode(k.pj, out);
+    SpillCodec<er::Source>::Encode(k.source, out);
+  }
+  static bool Decode(const char** p, const char* end, lb::BlockSplitKey* k) {
+    return SpillCodec<uint32_t>::Decode(p, end, &k->reduce_task) &&
+           SpillCodec<uint32_t>::Decode(p, end, &k->block) &&
+           SpillCodec<uint32_t>::Decode(p, end, &k->pi) &&
+           SpillCodec<uint32_t>::Decode(p, end, &k->pj) &&
+           SpillCodec<er::Source>::Decode(p, end, &k->source);
+  }
+  static size_t ApproxBytes(const lb::BlockSplitKey&) {
+    return 4 * sizeof(uint32_t) + sizeof(er::Source);
+  }
+};
+
+template <>
+struct SpillCodec<lb::PairRangeKey> {
+  static void Encode(const lb::PairRangeKey& k, std::string* out) {
+    SpillCodec<uint32_t>::Encode(k.range, out);
+    SpillCodec<uint32_t>::Encode(k.block, out);
+    SpillCodec<er::Source>::Encode(k.source, out);
+    SpillCodec<uint64_t>::Encode(k.entity_index, out);
+  }
+  static bool Decode(const char** p, const char* end, lb::PairRangeKey* k) {
+    return SpillCodec<uint32_t>::Decode(p, end, &k->range) &&
+           SpillCodec<uint32_t>::Decode(p, end, &k->block) &&
+           SpillCodec<er::Source>::Decode(p, end, &k->source) &&
+           SpillCodec<uint64_t>::Decode(p, end, &k->entity_index);
+  }
+  static size_t ApproxBytes(const lb::PairRangeKey&) {
+    return 2 * sizeof(uint32_t) + sizeof(er::Source) + sizeof(uint64_t);
+  }
+};
+
+template <>
+struct SpillCodec<lb::MatchValue> {
+  static void Encode(const lb::MatchValue& v, std::string* out) {
+    SpillCodec<er::EntityRef>::Encode(v.entity, out);
+    SpillCodec<uint32_t>::Encode(v.partition, out);
+    SpillCodec<uint64_t>::Encode(v.entity_index, out);
+  }
+  static bool Decode(const char** p, const char* end, lb::MatchValue* v) {
+    return SpillCodec<er::EntityRef>::Decode(p, end, &v->entity) &&
+           SpillCodec<uint32_t>::Decode(p, end, &v->partition) &&
+           SpillCodec<uint64_t>::Decode(p, end, &v->entity_index);
+  }
+  static size_t ApproxBytes(const lb::MatchValue& v) {
+    return SpillCodec<er::EntityRef>::ApproxBytes(v.entity) +
+           sizeof(uint32_t) + sizeof(uint64_t);
+  }
+};
+
+}  // namespace mr
+}  // namespace erlb
+
+#endif  // ERLB_LB_SPILL_CODEC_H_

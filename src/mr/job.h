@@ -1,4 +1,5 @@
-// In-memory MapReduce runtime with Hadoop-fidelity semantics.
+// In-memory and out-of-core MapReduce runtime with Hadoop-fidelity
+// semantics.
 //
 // The paper's algorithms rely on four user-pluggable functions beyond
 // map/reduce (Section II):
@@ -26,6 +27,23 @@
 //  * Tasks run on a fixed-size worker pool in FIFO order, emulating a
 //    cluster with a fixed number of processes.
 //
+// Execution modes. The shuffle runs in one of two ways, selected by
+// ExecutionOptions (per JobRunner) and producing byte-identical output:
+//
+//  * kInMemory — every map task's sorted runs stay in RAM until the
+//    reduce phase merges them (the engine's original behavior). Peak
+//    memory grows with the whole intermediate data set.
+//  * kExternal — each map task writes its sorted, partitioned output to a
+//    length-prefixed spill file (mr/spill.h) and frees it; each reduce
+//    task streams its m file-backed runs through the loser-tree k-way
+//    merge (mr/merge.h) with one bounded I/O buffer per run. Peak memory
+//    is O(largest map-task output + workers × m × io_buffer) instead of
+//    O(total intermediate data). Requires SpillCodec specializations for
+//    the intermediate key/value types.
+//  * kAuto (default) picks kExternal when a sampled estimate of the input
+//    size exceeds spill_threshold_bytes and the types are spillable,
+//    kInMemory otherwise.
+//
 // Job wiring comes in two flavors. `JobSpec` stores part/comp/group as
 // `std::function`s — maximally flexible, one indirect call per key
 // comparison. `TypedJobSpec` additionally takes the comparator, grouping
@@ -41,18 +59,52 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "common/io_buffer.h"
 #include "common/logging.h"
+#include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "mr/counters.h"
 #include "mr/merge.h"
 #include "mr/metrics.h"
+#include "mr/spill.h"
 
 namespace erlb {
 namespace mr {
+
+/// How the shuffle moves intermediate data (see the file comment).
+enum class ExecutionMode {
+  /// Estimate the input size and spill only when it exceeds the
+  /// threshold (and the intermediate types are spillable).
+  kAuto = 0,
+  /// Keep every run in RAM (the classic path).
+  kInMemory,
+  /// Spill sorted runs to disk and stream the reduce-side merge.
+  kExternal,
+};
+
+/// Returns "auto", "in_memory" or "external".
+const char* ExecutionModeName(ExecutionMode mode);
+
+/// Out-of-core knobs of a JobRunner; defaults preserve the historical
+/// in-memory behavior for everything below 256 MiB of estimated input.
+struct ExecutionOptions {
+  ExecutionMode mode = ExecutionMode::kAuto;
+  /// kAuto switches to the external path above this estimated input size.
+  uint64_t spill_threshold_bytes = uint64_t{256} << 20;
+  /// Spill directory root; empty uses the system temp directory. Each
+  /// Run() creates (and scopes) its own unique subdirectory.
+  std::string temp_dir;
+  /// Buffer size for every spill writer and every run cursor.
+  size_t io_buffer_bytes = size_t{1} << 17;
+  /// Test seam: each map task's spill writer fails once it would exceed
+  /// this many bytes (emulated ENOSPC). 0 disables.
+  uint64_t fail_writer_after_bytes = 0;
+};
 
 /// Identity of a running task, passed to mapper/reducer factories so user
 /// code can read the configuration (the paper's `map_configure(m, r,
@@ -161,10 +213,14 @@ template <typename InK, typename InV, typename MidK, typename MidV,
 using JobSpec = TypedJobSpec<InK, InV, MidK, MidV, OutK, OutV>;
 
 /// Result of running a job: output pairs per reduce task plus metrics.
+/// `status` is non-OK when the external shuffle hit an I/O error (spill
+/// write, temp-dir creation, run read-back); outputs are then incomplete
+/// and must not be consumed.
 template <typename OutK, typename OutV>
 struct JobResult {
   std::vector<std::vector<std::pair<OutK, OutV>>> outputs_per_reduce_task;
   JobMetrics metrics;
+  Status status = Status::OK();
 
   /// Concatenates all reduce task outputs (in reduce-task order).
   std::vector<std::pair<OutK, OutV>> MergedOutput() const {
@@ -217,7 +273,9 @@ class VectorReduceContext : public ReduceContext<K, V> {
 ///
 /// `num_workers` emulates the number of process slots available in the
 /// cluster; tasks are queued in index order and executed FIFO, like
-/// Hadoop's scheduler assigning queued tasks to freed processes.
+/// Hadoop's scheduler assigning queued tasks to freed processes. One
+/// ThreadPool is constructed per Run() and reused across the map and
+/// reduce phases.
 class JobRunner {
  public:
   /// \param num_workers worker threads (process slots), >= 1.
@@ -225,19 +283,25 @@ class JobRunner {
     ERLB_CHECK(num_workers >= 1);
   }
 
+  JobRunner(size_t num_workers, ExecutionOptions options)
+      : num_workers_(num_workers), options_(std::move(options)) {
+    ERLB_CHECK(num_workers >= 1);
+    ERLB_CHECK(options_.io_buffer_bytes >= 1);
+  }
+
   size_t num_workers() const { return num_workers_; }
+  const ExecutionOptions& execution_options() const { return options_; }
 
   /// Runs `spec` over `input_partitions` (one map task per partition).
   /// `Spec` is any TypedJobSpec instantiation (including the JobSpec
-  /// alias).
+  /// alias). Check `result.status` before consuming outputs when the
+  /// runner may take the external path.
   template <typename Spec>
   JobResult<typename Spec::OutKey, typename Spec::OutValue> Run(
       const Spec& spec,
       const std::vector<std::vector<
           std::pair<typename Spec::InKey, typename Spec::InValue>>>&
           input_partitions) const {
-    using OutK = typename Spec::OutKey;
-    using OutV = typename Spec::OutValue;
     using MidK = typename Spec::MidKey;
     using MidV = typename Spec::MidValue;
     ERLB_CHECK(spec.mapper_factory != nullptr);
@@ -247,63 +311,40 @@ class JobRunner {
     ERLB_CHECK(!IsUnset(spec.group_equal));
     ERLB_CHECK(spec.num_reduce_tasks >= 1);
 
-    const uint32_t m = static_cast<uint32_t>(input_partitions.size());
-    const uint32_t r = spec.num_reduce_tasks;
-
-    JobResult<OutK, OutV> result;
-    result.metrics.map_tasks.resize(m);
-    result.metrics.reduce_tasks.resize(r);
-    result.outputs_per_reduce_task.resize(r);
-
-    Stopwatch job_watch;
-
-    // ---- Map phase ------------------------------------------------------
-    // buckets[map_task][reduce_task] -> run of intermediate pairs, sorted
-    // by comp within the run (as Hadoop sorts each spill).
-    std::vector<std::vector<std::vector<std::pair<MidK, MidV>>>> buckets(
-        m, std::vector<std::vector<std::pair<MidK, MidV>>>(r));
-
-    Stopwatch map_watch;
-    {
-      ThreadPool pool(num_workers_);
-      for (uint32_t t = 0; t < m; ++t) {
-        pool.Submit([&, t] {
-          RunMapTask(spec, input_partitions[t], m, r, t, &buckets[t],
-                     &result.metrics.map_tasks[t]);
-        });
+    constexpr bool kSpillableJob = Spillable<MidK> && Spillable<MidV>;
+    bool external = false;
+    if constexpr (kSpillableJob) {
+      switch (options_.mode) {
+        case ExecutionMode::kInMemory:
+          break;
+        case ExecutionMode::kExternal:
+          external = true;
+          break;
+        case ExecutionMode::kAuto:
+          external = EstimateInputBytes<Spec>(input_partitions) >
+                     options_.spill_threshold_bytes;
+          break;
       }
-      pool.Wait();
+    } else {
+      // Requesting the external path for a job whose intermediate types
+      // have no SpillCodec is a programming error; kAuto quietly stays in
+      // memory.
+      ERLB_CHECK(options_.mode != ExecutionMode::kExternal)
+          << "ExecutionMode::kExternal requires SpillCodec specializations "
+             "for the intermediate key/value types";
     }
-    result.metrics.map_phase_nanos = map_watch.ElapsedNanos();
 
-    // ---- Reduce phase ---------------------------------------------------
-    // Each reduce task owns (and consumes) its column of runs, so the
-    // mutable access to `buckets` is race-free.
-    Stopwatch reduce_watch;
-    {
-      ThreadPool pool(num_workers_);
-      for (uint32_t t = 0; t < r; ++t) {
-        pool.Submit([&, t] {
-          RunReduceTask(spec, &buckets, m, r, t,
-                        &result.outputs_per_reduce_task[t],
-                        &result.metrics.reduce_tasks[t]);
-        });
-      }
-      pool.Wait();
+    if constexpr (kSpillableJob) {
+      if (external) return RunExternal<Spec>(spec, input_partitions);
     }
-    result.metrics.reduce_phase_nanos = reduce_watch.ElapsedNanos();
-    result.metrics.total_duration_nanos = job_watch.ElapsedNanos();
-
-    for (const auto& tm : result.metrics.map_tasks) {
-      result.metrics.counters.Merge(tm.counters);
-    }
-    for (const auto& tm : result.metrics.reduce_tasks) {
-      result.metrics.counters.Merge(tm.counters);
-    }
-    return result;
+    return RunInMemory<Spec>(spec, input_partitions);
   }
 
  private:
+  template <typename Spec>
+  using SpecInput = std::vector<std::vector<
+      std::pair<typename Spec::InKey, typename Spec::InValue>>>;
+
   /// True iff `f` is an unset std::function; plain functors are always
   /// considered set.
   template <typename F>
@@ -315,19 +356,182 @@ class JobRunner {
     }
   }
 
+  /// Sampled spill-size estimate of the input (kAuto's decision input):
+  /// per partition, the first records are measured with ApproxSpillBytes
+  /// and extrapolated to the partition's record count.
   template <typename Spec>
-  static void RunMapTask(
-      const Spec& spec,
-      const std::vector<std::pair<typename Spec::InKey,
-                                  typename Spec::InValue>>& partition,
-      uint32_t m, uint32_t r, uint32_t task_index,
-      std::vector<std::vector<
-          std::pair<typename Spec::MidKey, typename Spec::MidValue>>>*
-          out_buckets,
-      TaskMetrics* metrics) {
+  static uint64_t EstimateInputBytes(const SpecInput<Spec>& input) {
+    constexpr size_t kSampleRecords = 64;
+    uint64_t total = 0;
+    for (const auto& partition : input) {
+      if (partition.empty()) continue;
+      size_t sample = std::min(kSampleRecords, partition.size());
+      uint64_t sampled_bytes = 0;
+      for (size_t i = 0; i < sample; ++i) {
+        sampled_bytes += ApproxSpillBytes(partition[i].first) +
+                         ApproxSpillBytes(partition[i].second);
+      }
+      total += sampled_bytes * partition.size() / sample;
+    }
+    return total;
+  }
+
+  // ---- In-memory path ---------------------------------------------------
+
+  template <typename Spec>
+  JobResult<typename Spec::OutKey, typename Spec::OutValue> RunInMemory(
+      const Spec& spec, const SpecInput<Spec>& input_partitions) const {
+    using OutK = typename Spec::OutKey;
+    using OutV = typename Spec::OutValue;
     using MidK = typename Spec::MidKey;
     using MidV = typename Spec::MidValue;
-    Stopwatch watch;
+
+    const uint32_t m = static_cast<uint32_t>(input_partitions.size());
+    const uint32_t r = spec.num_reduce_tasks;
+
+    JobResult<OutK, OutV> result;
+    result.metrics.map_tasks.resize(m);
+    result.metrics.reduce_tasks.resize(r);
+    result.outputs_per_reduce_task.resize(r);
+
+    Stopwatch job_watch;
+    ThreadPool pool(num_workers_);
+
+    // ---- Map phase ------------------------------------------------------
+    // buckets[map_task][reduce_task] -> run of intermediate pairs, sorted
+    // by comp within the run (as Hadoop sorts each spill).
+    std::vector<std::vector<std::vector<std::pair<MidK, MidV>>>> buckets(
+        m, std::vector<std::vector<std::pair<MidK, MidV>>>(r));
+
+    Stopwatch map_watch;
+    for (uint32_t t = 0; t < m; ++t) {
+      pool.Submit([&, t] {
+        RunMapTask(spec, input_partitions[t], m, r, t, &buckets[t],
+                   &result.metrics.map_tasks[t]);
+      });
+    }
+    pool.Wait();
+    result.metrics.map_phase_nanos = map_watch.ElapsedNanos();
+
+    // ---- Reduce phase ---------------------------------------------------
+    // Each reduce task owns (and consumes) its column of runs, so the
+    // mutable access to `buckets` is race-free.
+    Stopwatch reduce_watch;
+    for (uint32_t t = 0; t < r; ++t) {
+      pool.Submit([&, t] {
+        RunReduceTask(spec, &buckets, m, r, t,
+                      &result.outputs_per_reduce_task[t],
+                      &result.metrics.reduce_tasks[t]);
+      });
+    }
+    pool.Wait();
+    result.metrics.reduce_phase_nanos = reduce_watch.ElapsedNanos();
+    result.metrics.total_duration_nanos = job_watch.ElapsedNanos();
+
+    MergeTaskCounters(&result.metrics);
+    return result;
+  }
+
+  // ---- External (out-of-core) path --------------------------------------
+
+  template <typename Spec>
+  JobResult<typename Spec::OutKey, typename Spec::OutValue> RunExternal(
+      const Spec& spec, const SpecInput<Spec>& input_partitions) const {
+    using OutK = typename Spec::OutKey;
+    using OutV = typename Spec::OutValue;
+
+    const uint32_t m = static_cast<uint32_t>(input_partitions.size());
+    const uint32_t r = spec.num_reduce_tasks;
+
+    JobResult<OutK, OutV> result;
+    result.metrics.external = true;
+    result.metrics.map_tasks.resize(m);
+    result.metrics.reduce_tasks.resize(r);
+    result.outputs_per_reduce_task.resize(r);
+
+    // The spill directory lives exactly as long as this Run: the scoped
+    // dir removes it (and every spill file) on success and error paths
+    // alike.
+    auto dir = ScopedTempDir::Make(options_.temp_dir, "erlb-spill");
+    if (!dir.ok()) {
+      result.status = dir.status();
+      return result;
+    }
+
+    Stopwatch job_watch;
+    ThreadPool pool(num_workers_);
+
+    // ---- Map phase: sort, partition, spill ------------------------------
+    std::vector<SpillFile> spill_files(m);
+    std::vector<Status> map_status(m);
+    Stopwatch map_watch;
+    for (uint32_t t = 0; t < m; ++t) {
+      pool.Submit([&, t] {
+        map_status[t] = RunMapTaskExternal(
+            spec, input_partitions[t], m, r, t, dir->path(),
+            &spill_files[t], &result.metrics.map_tasks[t]);
+      });
+    }
+    pool.Wait();
+    result.metrics.map_phase_nanos = map_watch.ElapsedNanos();
+    for (uint32_t t = 0; t < m; ++t) {
+      if (!map_status[t].ok()) {
+        result.status = map_status[t];
+        return result;
+      }
+      result.metrics.spill_bytes_written +=
+          result.metrics.map_tasks[t].spill_bytes;
+    }
+
+    // ---- Reduce phase: stream the k-way merge over file cursors ---------
+    std::vector<Status> reduce_status(r);
+    Stopwatch reduce_watch;
+    for (uint32_t t = 0; t < r; ++t) {
+      pool.Submit([&, t] {
+        reduce_status[t] = RunReduceTaskExternal(
+            spec, spill_files, m, r, t,
+            &result.outputs_per_reduce_task[t],
+            &result.metrics.reduce_tasks[t]);
+      });
+    }
+    pool.Wait();
+    result.metrics.reduce_phase_nanos = reduce_watch.ElapsedNanos();
+    result.metrics.total_duration_nanos = job_watch.ElapsedNanos();
+    for (uint32_t t = 0; t < r; ++t) {
+      if (!reduce_status[t].ok()) {
+        result.status = reduce_status[t];
+        return result;
+      }
+    }
+
+    MergeTaskCounters(&result.metrics);
+    return result;
+  }
+
+  static void MergeTaskCounters(JobMetrics* metrics) {
+    for (const auto& tm : metrics->map_tasks) {
+      metrics->counters.Merge(tm.counters);
+    }
+    for (const auto& tm : metrics->reduce_tasks) {
+      metrics->counters.Merge(tm.counters);
+    }
+  }
+
+  /// Shared map-task front half: run the mapper over the partition,
+  /// stable-sort the output by comp (one "spill"), apply the optional
+  /// combiner. Fills every metric except duration/spill_bytes and returns
+  /// the task's final sorted output.
+  template <typename Spec>
+  static std::vector<
+      std::pair<typename Spec::MidKey, typename Spec::MidValue>>
+  MapSortCombine(const Spec& spec,
+                 const std::vector<std::pair<typename Spec::InKey,
+                                             typename Spec::InValue>>&
+                     partition,
+                 uint32_t m, uint32_t r, uint32_t task_index,
+                 TaskMetrics* metrics) {
+    using MidK = typename Spec::MidKey;
+    using MidV = typename Spec::MidValue;
     TaskContext ctx{m, r, task_index};
     auto mapper = spec.mapper_factory(ctx);
     ERLB_CHECK(mapper != nullptr);
@@ -346,8 +550,7 @@ class JobRunner {
                                 static_cast<int64_t>(map_ctx.out().size()));
 
     // Sort the task's output (one "spill") by comp, stably so that emission
-    // order breaks ties — then optionally combine, then scatter into the
-    // per-reduce-task runs.
+    // order breaks ties — then optionally combine.
     auto& out = map_ctx.out();
     const auto pair_less = [&spec](const std::pair<MidK, MidV>& a,
                                    const std::pair<MidK, MidV>& b) {
@@ -355,49 +558,127 @@ class JobRunner {
     };
     std::stable_sort(out.begin(), out.end(), pair_less);
 
+    if (!spec.combiner) return std::move(out);
+
     std::vector<std::pair<MidK, MidV>> combined;
-    std::vector<std::pair<MidK, MidV>>* final_out = &out;
-    if (spec.combiner) {
-      size_t i = 0;
-      while (i < out.size()) {
-        size_t j = i + 1;
-        while (j < out.size() &&
-               spec.group_equal(out[i].first, out[j].first)) {
-          ++j;
-        }
-        spec.combiner(std::span<const std::pair<MidK, MidV>>(
-                          out.data() + i, j - i),
-                      &combined);
-        i = j;
+    size_t i = 0;
+    while (i < out.size()) {
+      size_t j = i + 1;
+      while (j < out.size() && spec.group_equal(out[i].first, out[j].first)) {
+        ++j;
       }
-      // The reduce side merges runs instead of re-sorting, so each run
-      // must leave here sorted. A combiner normally re-emits its group's
-      // key and keeps the order; guard against one that doesn't.
-      if (!std::is_sorted(combined.begin(), combined.end(), pair_less)) {
-        std::stable_sort(combined.begin(), combined.end(), pair_less);
-      }
-      final_out = &combined;
+      spec.combiner(std::span<const std::pair<MidK, MidV>>(out.data() + i,
+                                                           j - i),
+                    &combined);
+      i = j;
     }
+    // The reduce side merges runs instead of re-sorting, so each run
+    // must leave here sorted. A combiner normally re-emits its group's
+    // key and keeps the order; guard against one that doesn't.
+    if (!std::is_sorted(combined.begin(), combined.end(), pair_less)) {
+      std::stable_sort(combined.begin(), combined.end(), pair_less);
+    }
+    return combined;
+  }
+
+  /// Routes every record of `final_out` to its reduce task. Fills `dest`
+  /// (per-record target) and `run_offsets` (r+1 prefix sums of run
+  /// sizes).
+  template <typename Spec>
+  static void PartitionRecords(
+      const Spec& spec,
+      const std::vector<std::pair<typename Spec::MidKey,
+                                  typename Spec::MidValue>>& final_out,
+      uint32_t r, std::vector<uint32_t>* dest,
+      std::vector<size_t>* run_offsets) {
+    const size_t n_out = final_out.size();
+    dest->resize(n_out);
+    run_offsets->assign(r + 1, 0);
+    for (size_t i = 0; i < n_out; ++i) {
+      uint32_t p = spec.partitioner(final_out[i].first, r);
+      ERLB_CHECK(p < r) << "partitioner returned " << p << " for r=" << r;
+      (*dest)[i] = p;
+      ++(*run_offsets)[p + 1];
+    }
+    for (uint32_t p = 0; p < r; ++p) {
+      (*run_offsets)[p + 1] += (*run_offsets)[p];
+    }
+  }
+
+  template <typename Spec>
+  static void RunMapTask(
+      const Spec& spec,
+      const std::vector<std::pair<typename Spec::InKey,
+                                  typename Spec::InValue>>& partition,
+      uint32_t m, uint32_t r, uint32_t task_index,
+      std::vector<std::vector<
+          std::pair<typename Spec::MidKey, typename Spec::MidValue>>>*
+          out_buckets,
+      TaskMetrics* metrics) {
+    Stopwatch watch;
+    auto final_out =
+        MapSortCombine(spec, partition, m, r, task_index, metrics);
 
     // Scatter: a counting pass sizes every run exactly, then pairs are
     // moved (not copied) into their runs. Order is preserved, so each run
     // stays sorted with emission order breaking ties.
-    const size_t n_out = final_out->size();
-    std::vector<uint32_t> dest(n_out);
-    std::vector<size_t> run_sizes(r, 0);
-    for (size_t i = 0; i < n_out; ++i) {
-      uint32_t p = spec.partitioner((*final_out)[i].first, r);
-      ERLB_CHECK(p < r) << "partitioner returned " << p << " for r=" << r;
-      dest[i] = p;
-      ++run_sizes[p];
-    }
+    std::vector<uint32_t> dest;
+    std::vector<size_t> run_offsets;
+    PartitionRecords(spec, final_out, r, &dest, &run_offsets);
     for (uint32_t p = 0; p < r; ++p) {
-      (*out_buckets)[p].reserve(run_sizes[p]);
+      (*out_buckets)[p].reserve(run_offsets[p + 1] - run_offsets[p]);
     }
-    for (size_t i = 0; i < n_out; ++i) {
-      (*out_buckets)[dest[i]].push_back(std::move((*final_out)[i]));
+    for (size_t i = 0; i < final_out.size(); ++i) {
+      (*out_buckets)[dest[i]].push_back(std::move(final_out[i]));
     }
     metrics->duration_nanos = watch.ElapsedNanos();
+  }
+
+  /// External map task: after sort/combine, writes the r runs to the
+  /// task's spill file (in reduce-task order, preserving emission order
+  /// within each run) instead of materializing them.
+  template <typename Spec>
+  Status RunMapTaskExternal(
+      const Spec& spec,
+      const std::vector<std::pair<typename Spec::InKey,
+                                  typename Spec::InValue>>& partition,
+      uint32_t m, uint32_t r, uint32_t task_index,
+      const std::string& spill_dir, SpillFile* out_file,
+      TaskMetrics* metrics) const {
+    using MidK = typename Spec::MidKey;
+    using MidV = typename Spec::MidValue;
+    Stopwatch watch;
+    auto final_out =
+        MapSortCombine(spec, partition, m, r, task_index, metrics);
+
+    std::vector<uint32_t> dest;
+    std::vector<size_t> run_offsets;
+    PartitionRecords(spec, final_out, r, &dest, &run_offsets);
+
+    // Stable counting scatter into an index order: order[] lists record
+    // indexes grouped by run, preserving sorted order within each run.
+    const size_t n_out = final_out.size();
+    std::vector<size_t> order(n_out);
+    std::vector<size_t> fill(run_offsets.begin(), run_offsets.end() - 1);
+    for (size_t i = 0; i < n_out; ++i) {
+      order[fill[dest[i]]++] = i;
+    }
+
+    SpillFileWriter<MidK, MidV> writer;
+    ERLB_RETURN_NOT_OK(writer.Open(SpillFilePath(spill_dir, task_index),
+                                   options_.io_buffer_bytes,
+                                   options_.fail_writer_after_bytes));
+    for (uint32_t p = 0; p < r; ++p) {
+      writer.BeginRun();
+      for (size_t i = run_offsets[p]; i < run_offsets[p + 1]; ++i) {
+        const auto& rec = final_out[order[i]];
+        ERLB_RETURN_NOT_OK(writer.Append(rec.first, rec.second));
+      }
+    }
+    ERLB_ASSIGN_OR_RETURN(*out_file, writer.Finish());
+    metrics->spill_bytes = static_cast<int64_t>(out_file->TotalBytes());
+    metrics->duration_nanos = watch.ElapsedNanos();
+    return Status::OK();
   }
 
   template <typename Spec>
@@ -462,7 +743,89 @@ class JobRunner {
     *output = std::move(red_ctx.out());
   }
 
+  /// External reduce task: opens a RunCursor on this task's run in every
+  /// map task's spill file and streams the loser-tree merge, buffering
+  /// only the current group. Cursor order follows map-task order, so
+  /// cross-run ties keep the same contiguity rule as the in-memory merge.
+  template <typename Spec>
+  Status RunReduceTaskExternal(
+      const Spec& spec, const std::vector<SpillFile>& spill_files,
+      uint32_t m, uint32_t r, uint32_t task_index,
+      std::vector<std::pair<typename Spec::OutKey, typename Spec::OutValue>>*
+          output,
+      TaskMetrics* metrics) const {
+    using MidK = typename Spec::MidKey;
+    using MidV = typename Spec::MidValue;
+    using OutK = typename Spec::OutKey;
+    using OutV = typename Spec::OutValue;
+    Stopwatch watch;
+    TaskContext ctx{m, r, task_index};
+    auto reducer = spec.reducer_factory(ctx);
+    ERLB_CHECK(reducer != nullptr);
+
+    // Empty runs are skipped up front (like MergeSortedRuns); dropping
+    // them preserves the relative order of the live cursors, so the
+    // tie-break still follows map-task order.
+    std::vector<RunCursor<MidK, MidV>> cursors;
+    cursors.reserve(m);
+    int64_t spill_bytes = 0;
+    for (uint32_t mt = 0; mt < m; ++mt) {
+      const RunExtent& extent = spill_files[mt].runs[task_index];
+      if (extent.records == 0) continue;
+      spill_bytes += static_cast<int64_t>(extent.bytes);
+      size_t buffer = static_cast<size_t>(std::min<uint64_t>(
+          std::max<uint64_t>(extent.bytes, 1), options_.io_buffer_bytes));
+      cursors.emplace_back();
+      ERLB_RETURN_NOT_OK(
+          cursors.back().Open(spill_files[mt].path, extent, buffer));
+    }
+
+    internal::VectorReduceContext<OutK, OutV> red_ctx;
+    std::vector<std::pair<MidK, MidV>> group;
+    int64_t input_records = 0;
+    int64_t groups = 0;
+    auto flush_group = [&] {
+      reducer->Reduce(std::span<const std::pair<MidK, MidV>>(group.data(),
+                                                             group.size()),
+                      &red_ctx);
+      ++groups;
+      group.clear();
+    };
+    LoserTreeMergeCursors(
+        std::span<RunCursor<MidK, MidV>>(cursors),
+        [&spec](const std::pair<MidK, MidV>& a,
+                const std::pair<MidK, MidV>& b) {
+          return spec.key_less(a.first, b.first);
+        },
+        [&](std::pair<MidK, MidV>&& rec) {
+          ++input_records;
+          if (!group.empty() &&
+              !spec.group_equal(group.front().first, rec.first)) {
+            flush_group();
+          }
+          group.push_back(std::move(rec));
+        });
+    // A cursor that failed mid-stream looks exhausted to the merge; the
+    // job must fail, not silently reduce a truncated run.
+    for (const auto& c : cursors) {
+      ERLB_RETURN_NOT_OK(c.status());
+    }
+    if (!group.empty()) flush_group();
+    reducer->Close(&red_ctx);
+
+    metrics->task_index = task_index;
+    metrics->input_records = input_records;
+    metrics->groups = groups;
+    metrics->output_records = static_cast<int64_t>(red_ctx.out().size());
+    metrics->counters = red_ctx.counters_ref();
+    metrics->spill_bytes = spill_bytes;
+    metrics->duration_nanos = watch.ElapsedNanos();
+    *output = std::move(red_ctx.out());
+    return Status::OK();
+  }
+
   size_t num_workers_;
+  ExecutionOptions options_;
 };
 
 }  // namespace mr

@@ -112,9 +112,96 @@ std::vector<T> MergeSortedRuns(std::span<std::vector<T>> runs,
   return std::move(cur.front());
 }
 
-/// Same contract and output as MergeSortedRuns, implemented as a
-/// single-pass tournament (loser) tree: O(N) element moves and
-/// O(N log m) comparisons. See the file comment for when to prefer it.
+/// Single-pass tournament merge over an arbitrary span of cursors — the
+/// kernel both LoserTreeMerge (in-memory vectors) and the external
+/// shuffle's file-backed RunCursors (mr/spill.h) run on. A cursor is
+/// anything with
+///   using value_type = T;
+///   bool exhausted() const;       // no more elements
+///   const T& head() const;        // current element (only if !exhausted)
+///   T Pop();                      // take head and advance
+/// Elements come out in `less` order; ties break on cursor index in span
+/// order, preserving each cursor's internal order — the cross-run
+/// stability rule of the shuffle. `consume` receives every element.
+/// O(N log m) comparisons, O(m) extra state regardless of run sizes.
+template <typename Cursor, typename Less, typename Consume>
+void LoserTreeMergeCursors(std::span<Cursor> cursors, const Less& less,
+                           const Consume& consume) {
+  const size_t m = cursors.size();
+  size_t live = 0, last_live = 0;
+  for (size_t i = 0; i < m; ++i) {
+    if (!cursors[i].exhausted()) {
+      ++live;
+      last_live = i;
+    }
+  }
+  if (live == 0) return;
+  if (live == 1) {
+    while (!cursors[last_live].exhausted()) {
+      consume(cursors[last_live].Pop());
+    }
+    return;
+  }
+
+  // Power-of-two leaf count; padding leaves index past `m` and always
+  // lose (exhausted).
+  size_t leaves = 1;
+  while (leaves < m) leaves <<= 1;
+  auto exhausted = [&](size_t c) {
+    return c >= m || cursors[c].exhausted();
+  };
+  // Strict "cursor a's head precedes cursor b's head": key order first,
+  // cursor index as the tie-break (the cross-run stability rule).
+  auto beats = [&](size_t a, size_t b) {
+    if (exhausted(a)) return false;
+    if (exhausted(b)) return true;
+    const auto& ea = cursors[a].head();
+    const auto& eb = cursors[b].head();
+    if (less(ea, eb)) return true;
+    if (less(eb, ea)) return false;
+    return a < b;
+  };
+
+  std::vector<size_t> tree(leaves, 0);
+  size_t winner = internal::BuildLoserTree(1, leaves, beats, &tree);
+  while (!exhausted(winner)) {
+    consume(cursors[winner].Pop());
+    // Replay the path from the winner's leaf to the root: the new head of
+    // that cursor fights the stored losers.
+    size_t cand = winner;
+    for (size_t node = (leaves + winner) >> 1; node >= 1; node >>= 1) {
+      if (beats(tree[node], cand)) std::swap(tree[node], cand);
+    }
+    winner = cand;
+  }
+}
+
+namespace internal {
+
+/// Adapts one in-memory sorted run to the cursor interface of
+/// LoserTreeMergeCursors.
+template <typename T>
+class VectorRunCursor {
+ public:
+  using value_type = T;
+
+  VectorRunCursor() = default;
+  explicit VectorRunCursor(std::vector<T>* run) : run_(run) {}
+
+  bool exhausted() const { return run_ == nullptr || pos_ >= run_->size(); }
+  const T& head() const { return (*run_)[pos_]; }
+  T Pop() { return std::move((*run_)[pos_++]); }
+
+ private:
+  std::vector<T>* run_ = nullptr;
+  size_t pos_ = 0;
+};
+
+}  // namespace internal
+
+/// Same contract and output as MergeSortedRuns, implemented on the
+/// tournament-tree kernel above: O(N) element moves and O(N log m)
+/// comparisons. See the file comment for when to prefer it.
 template <typename T, typename Less>
 std::vector<T> LoserTreeMerge(std::span<std::vector<T>> runs,
                               const Less& less) {
@@ -136,37 +223,13 @@ std::vector<T> LoserTreeMerge(std::span<std::vector<T>> runs,
   }
   out.reserve(total);
 
-  // Power-of-two leaf count; padding leaves index past `m` and always
-  // lose (exhausted).
-  size_t leaves = 1;
-  while (leaves < m) leaves <<= 1;
-  std::vector<size_t> pos(m, 0);
-  auto exhausted = [&](size_t r) { return r >= m || pos[r] >= runs[r].size(); };
-  // Strict "run a's head precedes run b's head": key order first, run
-  // index as the tie-break (the cross-run stability rule).
-  auto beats = [&](size_t a, size_t b) {
-    if (exhausted(a)) return false;
-    if (exhausted(b)) return true;
-    const T& ea = runs[a][pos[a]];
-    const T& eb = runs[b][pos[b]];
-    if (less(ea, eb)) return true;
-    if (less(eb, ea)) return false;
-    return a < b;
-  };
-
-  std::vector<size_t> tree(leaves, 0);
-  size_t winner = internal::BuildLoserTree(1, leaves, beats, &tree);
-  while (!exhausted(winner)) {
-    out.push_back(std::move(runs[winner][pos[winner]]));
-    ++pos[winner];
-    // Replay the path from the winner's leaf to the root: the new head of
-    // that run fights the stored losers.
-    size_t cand = winner;
-    for (size_t node = (leaves + winner) >> 1; node >= 1; node >>= 1) {
-      if (beats(tree[node], cand)) std::swap(tree[node], cand);
-    }
-    winner = cand;
+  std::vector<internal::VectorRunCursor<T>> cursors;
+  cursors.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    cursors.emplace_back(&runs[i]);
   }
+  LoserTreeMergeCursors(std::span<internal::VectorRunCursor<T>>(cursors),
+                        less, [&out](T&& e) { out.push_back(std::move(e)); });
   for (size_t i = 0; i < m; ++i) runs[i].clear();
   return out;
 }

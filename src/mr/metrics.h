@@ -21,6 +21,9 @@ struct TaskMetrics {
   int64_t groups = 0;
   /// Wall-clock nanoseconds spent executing the task body.
   int64_t duration_nanos = 0;
+  /// External mode: bytes this task spilled to disk (map tasks) or
+  /// streamed back from disk (reduce tasks). 0 in in-memory mode.
+  int64_t spill_bytes = 0;
   /// Task-local user counters.
   Counters counters;
 };
@@ -33,6 +36,11 @@ struct JobMetrics {
   int64_t total_duration_nanos = 0;
   int64_t map_phase_nanos = 0;
   int64_t reduce_phase_nanos = 0;
+  /// True iff the job ran the out-of-core (spill-to-disk) shuffle.
+  bool external = false;
+  /// External mode: total bytes of sorted runs written to spill files by
+  /// the map phase (0 in in-memory mode).
+  int64_t spill_bytes_written = 0;
   /// Job-level merged counters.
   Counters counters;
 

@@ -1,0 +1,25 @@
+#include "mr/spill.h"
+
+#include "mr/job.h"
+
+namespace erlb {
+namespace mr {
+
+std::string SpillFilePath(const std::string& dir, uint32_t task_index) {
+  return dir + "/spill-" + std::to_string(task_index) + ".run";
+}
+
+const char* ExecutionModeName(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kAuto:
+      return "auto";
+    case ExecutionMode::kInMemory:
+      return "in_memory";
+    case ExecutionMode::kExternal:
+      return "external";
+  }
+  return "unknown";
+}
+
+}  // namespace mr
+}  // namespace erlb

@@ -1,0 +1,210 @@
+// Buffered file I/O and scoped temp dirs (common/io_buffer.h): byte-exact
+// round trips across buffer boundaries, error injection, and directory
+// lifetime.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/io_buffer.h"
+
+namespace erlb {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IoBufferTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto dir = ScopedTempDir::Make();
+    ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+    dir_.emplace(std::move(dir).ValueOrDie());
+  }
+
+  std::string Path(const std::string& name) const {
+    return dir_->path() + "/" + name;
+  }
+
+  std::optional<ScopedTempDir> dir_;
+};
+
+std::string PatternData(size_t n) {
+  std::string data;
+  data.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.push_back(static_cast<char>('a' + (i * 31 + i / 7) % 26));
+  }
+  return data;
+}
+
+TEST_F(IoBufferTest, RoundTripAcrossBufferBoundaries) {
+  // A tiny 7-byte buffer forces many flushes/refills; appends of varied
+  // sizes cross the boundary in every alignment.
+  const std::string data = PatternData(10000);
+  const std::string path = Path("data.bin");
+  {
+    BufferedFileWriter w;
+    ASSERT_TRUE(w.Open(path, 7).ok());
+    size_t pos = 0;
+    size_t step = 1;
+    while (pos < data.size()) {
+      size_t n = std::min(step, data.size() - pos);
+      ASSERT_TRUE(w.Append(data.data() + pos, n).ok());
+      pos += n;
+      step = step % 23 + 1;
+    }
+    EXPECT_EQ(w.bytes_written(), data.size());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  EXPECT_EQ(fs::file_size(path), data.size());
+
+  BufferedFileReader r;
+  ASSERT_TRUE(r.Open(path, 7).ok());
+  std::string read_back(data.size(), '\0');
+  size_t pos = 0;
+  size_t step = 5;
+  while (pos < data.size()) {
+    size_t n = std::min(step, data.size() - pos);
+    ASSERT_TRUE(r.ReadExact(read_back.data() + pos, n).ok());
+    pos += n;
+    step = step % 19 + 1;
+  }
+  EXPECT_EQ(read_back, data);
+  // At EOF further reads return 0 bytes.
+  char extra;
+  auto got = r.Read(&extra, 1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 0u);
+}
+
+TEST_F(IoBufferTest, LargeAppendBypassesBuffer) {
+  const std::string data = PatternData(1 << 16);
+  const std::string path = Path("large.bin");
+  BufferedFileWriter w;
+  ASSERT_TRUE(w.Open(path, 64).ok());
+  ASSERT_TRUE(w.Append("hdr", 3).ok());
+  ASSERT_TRUE(w.Append(data.data(), data.size()).ok());  // >> buffer
+  ASSERT_TRUE(w.Close().ok());
+
+  BufferedFileReader r;
+  ASSERT_TRUE(r.Open(path, 64).ok());
+  std::string all(3 + data.size(), '\0');
+  ASSERT_TRUE(r.ReadExact(all.data(), all.size()).ok());
+  EXPECT_EQ(all.substr(0, 3), "hdr");
+  EXPECT_EQ(all.substr(3), data);
+}
+
+TEST_F(IoBufferTest, SeekRepositionsReads) {
+  const std::string data = PatternData(4096);
+  const std::string path = Path("seek.bin");
+  BufferedFileWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  ASSERT_TRUE(w.Append(data.data(), data.size()).ok());
+  ASSERT_TRUE(w.Close().ok());
+
+  BufferedFileReader r;
+  ASSERT_TRUE(r.Open(path, 128).ok());
+  char buf[16];
+  ASSERT_TRUE(r.Seek(1000).ok());
+  ASSERT_TRUE(r.ReadExact(buf, sizeof(buf)).ok());
+  EXPECT_EQ(std::string(buf, sizeof(buf)), data.substr(1000, 16));
+  // Backwards, outside the buffer.
+  ASSERT_TRUE(r.Seek(3).ok());
+  ASSERT_TRUE(r.ReadExact(buf, sizeof(buf)).ok());
+  EXPECT_EQ(std::string(buf, sizeof(buf)), data.substr(3, 16));
+  EXPECT_EQ(r.position(), 19u);
+}
+
+TEST_F(IoBufferTest, ReadExactPastEofFails) {
+  const std::string path = Path("short.bin");
+  BufferedFileWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  ASSERT_TRUE(w.Append("xyz", 3).ok());
+  ASSERT_TRUE(w.Close().ok());
+
+  BufferedFileReader r;
+  ASSERT_TRUE(r.Open(path).ok());
+  char buf[8];
+  Status s = r.ReadExact(buf, sizeof(buf));
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(IoBufferTest, InjectedFailureIsStickyAndByteExact) {
+  const std::string path = Path("fail.bin");
+  BufferedFileWriter w;
+  ASSERT_TRUE(w.Open(path, 16).ok());
+  w.InjectFailureAfter(100);
+  std::string chunk(40, 'x');
+  EXPECT_TRUE(w.Append(chunk.data(), chunk.size()).ok());   // 40
+  EXPECT_TRUE(w.Append(chunk.data(), chunk.size()).ok());   // 80
+  Status s = w.Append(chunk.data(), chunk.size());          // would be 120
+  EXPECT_FALSE(s.ok());
+  // Sticky: later appends and Close report the same failure.
+  EXPECT_FALSE(w.Append("a", 1).ok());
+  EXPECT_FALSE(w.Close().ok());
+}
+
+TEST_F(IoBufferTest, OpenMissingFileFails) {
+  BufferedFileReader r;
+  EXPECT_FALSE(r.Open(Path("nope/missing.bin")).ok());
+  BufferedFileWriter w;
+  EXPECT_FALSE(w.Open(Path("nope/missing.bin")).ok());
+}
+
+TEST(ScopedTempDirTest, CreatesAndRemovesRecursively) {
+  std::string path;
+  {
+    auto dir = ScopedTempDir::Make();
+    ASSERT_TRUE(dir.ok()) << dir.status().ToString();
+    path = dir->path();
+    EXPECT_TRUE(fs::is_directory(path));
+    // Populate with nested content; removal must still succeed.
+    ASSERT_TRUE(fs::create_directories(fs::path(path) / "a" / "b"));
+    BufferedFileWriter w;
+    ASSERT_TRUE(w.Open(path + "/a/b/f.bin").ok());
+    ASSERT_TRUE(w.Append("data", 4).ok());
+    ASSERT_TRUE(w.Close().ok());
+  }
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(ScopedTempDirTest, MakeUnderCustomBase) {
+  auto base = ScopedTempDir::Make();
+  ASSERT_TRUE(base.ok());
+  std::string inner_path;
+  {
+    auto inner = ScopedTempDir::Make(base->path(), "spill");
+    ASSERT_TRUE(inner.ok()) << inner.status().ToString();
+    inner_path = inner->path();
+    EXPECT_TRUE(fs::is_directory(inner_path));
+    EXPECT_EQ(fs::path(inner_path).parent_path(), fs::path(base->path()));
+  }
+  EXPECT_FALSE(fs::exists(inner_path));
+  EXPECT_TRUE(fs::is_directory(base->path()));
+}
+
+TEST(ScopedTempDirTest, DistinctDirsPerMake) {
+  auto a = ScopedTempDir::Make();
+  auto b = ScopedTempDir::Make();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->path(), b->path());
+}
+
+TEST(ScopedTempDirTest, MoveTransfersOwnership) {
+  auto dir = ScopedTempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  std::string path = dir->path();
+  {
+    ScopedTempDir moved = std::move(dir).ValueOrDie();
+    EXPECT_EQ(moved.path(), path);
+    EXPECT_TRUE(fs::is_directory(path));
+  }
+  EXPECT_FALSE(fs::exists(path));
+}
+
+}  // namespace
+}  // namespace erlb

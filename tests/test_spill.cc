@@ -1,0 +1,375 @@
+// Spill format (mr/spill.h): codec round trips, run files + cursors, the
+// file-backed loser-tree merge against the in-memory oracle, and the
+// engine-level guarantees of the external path — spill temp dirs are
+// removed on success AND error (injected ENOSPC), and I/O failures
+// surface as JobResult::status instead of partial output.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/io_buffer.h"
+#include "common/random.h"
+#include "er/entity_spill.h"
+#include "lb/match_kv.h"
+#include "lb/spill_codec.h"
+#include "mr/job.h"
+#include "mr/merge.h"
+#include "mr/spill.h"
+
+namespace erlb {
+namespace mr {
+namespace {
+
+namespace fs = std::filesystem;
+
+template <typename T>
+T RoundTrip(const T& v) {
+  std::string buf;
+  SpillCodec<T>::Encode(v, &buf);
+  const char* p = buf.data();
+  const char* end = p + buf.size();
+  T out{};
+  EXPECT_TRUE(SpillCodec<T>::Decode(&p, end, &out));
+  EXPECT_EQ(p, end) << "codec did not consume its own encoding";
+  return out;
+}
+
+TEST(SpillCodecTest, Primitives) {
+  EXPECT_EQ(RoundTrip<uint32_t>(0xdeadbeef), 0xdeadbeefu);
+  EXPECT_EQ(RoundTrip<int64_t>(-123456789012345), -123456789012345);
+  EXPECT_EQ(RoundTrip<double>(3.25), 3.25);
+  EXPECT_EQ(RoundTrip<std::string>("hello \"csv\"\nworld"),
+            "hello \"csv\"\nworld");
+  EXPECT_EQ(RoundTrip<std::string>(""), "");
+  auto pair = RoundTrip(std::pair<int, std::string>{7, "x"});
+  EXPECT_EQ(pair.first, 7);
+  EXPECT_EQ(pair.second, "x");
+  auto vec = RoundTrip(std::vector<std::string>{"a", "", "bcd"});
+  EXPECT_EQ(vec, (std::vector<std::string>{"a", "", "bcd"}));
+}
+
+TEST(SpillCodecTest, DecodeRejectsTruncation) {
+  std::string buf;
+  SpillCodec<std::string>::Encode("payload", &buf);
+  for (size_t cut = 0; cut < buf.size(); ++cut) {
+    const char* p = buf.data();
+    const char* end = p + cut;
+    std::string out;
+    EXPECT_FALSE(SpillCodec<std::string>::Decode(&p, end, &out))
+        << "accepted a truncation at " << cut;
+  }
+}
+
+TEST(SpillCodecTest, EntityRef) {
+  er::Entity e;
+  e.id = 42;
+  e.cluster_id = 7;
+  e.source = er::Source::kS;
+  e.fields = {"alpha", "", "gamma"};
+  er::EntityRef ref = er::MakeEntityRef(e);
+  er::EntityRef back = RoundTrip(ref);
+  EXPECT_EQ(back->id, 42u);
+  EXPECT_EQ(back->cluster_id, 7u);
+  EXPECT_EQ(back->source, er::Source::kS);
+  EXPECT_EQ(back->fields, e.fields);
+  // A real copy, not a shared pointer smuggled through.
+  EXPECT_NE(back.get(), ref.get());
+}
+
+TEST(SpillCodecTest, MatchKvTypes) {
+  lb::BasicKey bk{"block-17", er::Source::kS};
+  auto bk2 = RoundTrip(bk);
+  EXPECT_EQ(bk2.block_key, "block-17");
+  EXPECT_EQ(bk2.source, er::Source::kS);
+
+  lb::BlockSplitKey bsk{3, 9, 2, 1, er::Source::kR};
+  auto bsk2 = RoundTrip(bsk);
+  EXPECT_EQ(bsk2.reduce_task, 3u);
+  EXPECT_EQ(bsk2.block, 9u);
+  EXPECT_EQ(bsk2.pi, 2u);
+  EXPECT_EQ(bsk2.pj, 1u);
+
+  lb::PairRangeKey prk{5, 11, er::Source::kS, 123456789};
+  auto prk2 = RoundTrip(prk);
+  EXPECT_EQ(prk2.range, 5u);
+  EXPECT_EQ(prk2.block, 11u);
+  EXPECT_EQ(prk2.source, er::Source::kS);
+  EXPECT_EQ(prk2.entity_index, 123456789u);
+
+  lb::MatchValue mv{er::MakeEntityRef({10, {"t"}, 0, er::Source::kR}), 4,
+                    99};
+  auto mv2 = RoundTrip(mv);
+  EXPECT_EQ(mv2.entity->id, 10u);
+  EXPECT_EQ(mv2.partition, 4u);
+  EXPECT_EQ(mv2.entity_index, 99u);
+}
+
+TEST(SpillCodecTest, SpillableDetection) {
+  static_assert(Spillable<uint32_t>);
+  static_assert(Spillable<std::string>);
+  static_assert(Spillable<std::pair<int, std::string>>);
+  static_assert(Spillable<er::EntityRef>);
+  static_assert(Spillable<lb::BasicKey>);
+  static_assert(Spillable<lb::BlockSplitKey>);
+  static_assert(Spillable<lb::PairRangeKey>);
+  static_assert(Spillable<lb::MatchValue>);
+  struct Opaque {};
+  static_assert(!Spillable<Opaque>);
+}
+
+using Rec = std::pair<uint64_t, std::string>;
+
+std::vector<std::vector<Rec>> MakeRuns(uint32_t num_runs,
+                                       uint32_t records_per_run,
+                                       uint64_t seed) {
+  Pcg32 rng(seed);
+  std::vector<std::vector<Rec>> runs(num_runs);
+  for (auto& run : runs) {
+    for (uint32_t i = 0; i < records_per_run; ++i) {
+      std::string value = "v";
+      value += std::to_string(rng.NextBounded(1000));
+      run.push_back({rng.NextBounded(50), std::move(value)});
+    }
+    std::stable_sort(run.begin(), run.end(),
+                     [](const Rec& a, const Rec& b) {
+                       return a.first < b.first;
+                     });
+  }
+  return runs;
+}
+
+TEST(SpillFileTest, WriteAndStreamRunsBack) {
+  auto dir = ScopedTempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  auto runs = MakeRuns(5, 200, 1);
+
+  SpillFileWriter<uint64_t, std::string> writer;
+  ASSERT_TRUE(writer.Open(SpillFilePath(dir->path(), 0), 64).ok());
+  for (const auto& run : runs) {
+    writer.BeginRun();
+    for (const auto& [k, v] : run) {
+      ASSERT_TRUE(writer.Append(k, v).ok());
+    }
+  }
+  auto file = writer.Finish();
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_EQ(file->runs.size(), 5u);
+  EXPECT_EQ(fs::file_size(file->path), file->TotalBytes());
+
+  for (size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(file->runs[i].records, runs[i].size());
+    RunCursor<uint64_t, std::string> cursor;
+    ASSERT_TRUE(cursor.Open(file->path, file->runs[i], 64).ok());
+    std::vector<Rec> got;
+    while (!cursor.exhausted()) got.push_back(cursor.Pop());
+    EXPECT_TRUE(cursor.status().ok()) << cursor.status().ToString();
+    EXPECT_EQ(got, runs[i]);
+  }
+}
+
+TEST(SpillFileTest, EmptyRunsHaveZeroExtent) {
+  auto dir = ScopedTempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  SpillFileWriter<uint32_t, uint32_t> writer;
+  ASSERT_TRUE(writer.Open(SpillFilePath(dir->path(), 3), 64).ok());
+  writer.BeginRun();  // empty
+  writer.BeginRun();
+  ASSERT_TRUE(writer.Append(1, 2).ok());
+  writer.BeginRun();  // empty
+  auto file = writer.Finish();
+  ASSERT_TRUE(file.ok());
+  EXPECT_EQ(file->runs[0].records, 0u);
+  EXPECT_EQ(file->runs[0].bytes, 0u);
+  EXPECT_EQ(file->runs[1].records, 1u);
+  EXPECT_EQ(file->runs[2].records, 0u);
+}
+
+TEST(SpillFileTest, CursorReportsCorruptRecords) {
+  auto dir = ScopedTempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  // A record that claims more payload than the file holds.
+  std::string path = dir->path() + "/corrupt.run";
+  BufferedFileWriter w;
+  ASSERT_TRUE(w.Open(path).ok());
+  uint32_t len = 1000;
+  ASSERT_TRUE(w.Append(&len, sizeof(len)).ok());
+  ASSERT_TRUE(w.Append("abc", 3).ok());
+  ASSERT_TRUE(w.Close().ok());
+
+  RunExtent extent{0, sizeof(len) + 3, 1};
+  RunCursor<uint32_t, uint32_t> cursor;
+  Status s = cursor.Open(path, extent, 64);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(cursor.exhausted());
+}
+
+// The file-backed merge must produce exactly what the in-memory oracle
+// produces from the same runs: sorted by key, ties grouped by run index.
+TEST(SpillMergeTest, FileCursorsMatchInMemoryOracle) {
+  auto dir = ScopedTempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  for (uint32_t num_runs : {1u, 2u, 7u, 16u}) {
+    auto runs = MakeRuns(num_runs, 300, 100 + num_runs);
+    auto oracle_input = runs;
+    std::vector<Rec> expected = ConcatAndStableSort(
+        std::span<const std::vector<Rec>>(oracle_input),
+        [](const Rec& a, const Rec& b) { return a.first < b.first; });
+
+    SpillFileWriter<uint64_t, std::string> writer;
+    ASSERT_TRUE(
+        writer.Open(SpillFilePath(dir->path(), num_runs), 128).ok());
+    for (const auto& run : runs) {
+      writer.BeginRun();
+      for (const auto& [k, v] : run) {
+        ASSERT_TRUE(writer.Append(k, v).ok());
+      }
+    }
+    auto file = writer.Finish();
+    ASSERT_TRUE(file.ok());
+
+    std::vector<RunCursor<uint64_t, std::string>> cursors(num_runs);
+    for (uint32_t i = 0; i < num_runs; ++i) {
+      ASSERT_TRUE(cursors[i].Open(file->path, file->runs[i], 64).ok());
+    }
+    std::vector<Rec> got;
+    LoserTreeMergeCursors(
+        std::span<RunCursor<uint64_t, std::string>>(cursors),
+        [](const Rec& a, const Rec& b) { return a.first < b.first; },
+        [&got](Rec&& rec) { got.push_back(std::move(rec)); });
+    for (const auto& c : cursors) {
+      ASSERT_TRUE(c.status().ok()) << c.status().ToString();
+    }
+    EXPECT_EQ(got, expected) << num_runs << " runs";
+  }
+}
+
+// ---- Engine-level: temp-dir lifetime and error propagation --------------
+
+struct AggOut {
+  int64_t sum = 0;
+  friend bool operator==(const AggOut&, const AggOut&) = default;
+};
+
+class SumMapper : public Mapper<int, int64_t, uint32_t, int64_t> {
+ public:
+  void Map(const int& k, const int64_t& v,
+           MapContext<uint32_t, int64_t>* ctx) override {
+    ctx->Emit(static_cast<uint32_t>(k), v);
+  }
+};
+
+class SumReducer : public Reducer<uint32_t, int64_t, uint32_t, AggOut> {
+ public:
+  void Reduce(std::span<const std::pair<uint32_t, int64_t>> group,
+              ReduceContext<uint32_t, AggOut>* ctx) override {
+    AggOut out;
+    for (const auto& [k, v] : group) out.sum += v;
+    ctx->Emit(group.front().first, out);
+  }
+};
+
+JobSpec<int, int64_t, uint32_t, int64_t, uint32_t, AggOut> SumSpec(
+    uint32_t r) {
+  JobSpec<int, int64_t, uint32_t, int64_t, uint32_t, AggOut> spec;
+  spec.num_reduce_tasks = r;
+  spec.mapper_factory = [](const TaskContext&) {
+    return std::make_unique<SumMapper>();
+  };
+  spec.reducer_factory = [](const TaskContext&) {
+    return std::make_unique<SumReducer>();
+  };
+  spec.partitioner = [](const uint32_t& k, uint32_t r_) { return k % r_; };
+  spec.key_less = [](const uint32_t& a, const uint32_t& b) { return a < b; };
+  spec.group_equal = [](const uint32_t& a, const uint32_t& b) {
+    return a == b;
+  };
+  return spec;
+}
+
+std::vector<std::vector<std::pair<int, int64_t>>> SumInput(uint32_t m) {
+  Pcg32 rng(7);
+  std::vector<std::vector<std::pair<int, int64_t>>> input(m);
+  for (auto& part : input) {
+    for (int i = 0; i < 500; ++i) {
+      part.push_back({static_cast<int>(rng.NextBounded(23)),
+                      rng.NextInRange(-50, 50)});
+    }
+  }
+  return input;
+}
+
+size_t EntriesUnder(const std::string& dir) {
+  size_t n = 0;
+  for ([[maybe_unused]] const auto& e : fs::directory_iterator(dir)) ++n;
+  return n;
+}
+
+TEST(ExternalJobCleanupTest, SpillDirRemovedOnSuccess) {
+  auto base = ScopedTempDir::Make();
+  ASSERT_TRUE(base.ok());
+  ExecutionOptions options;
+  options.mode = ExecutionMode::kExternal;
+  options.temp_dir = base->path();
+  JobRunner runner(4, options);
+  auto result = runner.Run(SumSpec(5), SumInput(6));
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_TRUE(result.metrics.external);
+  EXPECT_GT(result.metrics.spill_bytes_written, 0);
+  // Every spill file and the per-run directory are gone.
+  EXPECT_EQ(EntriesUnder(base->path()), 0u);
+}
+
+TEST(ExternalJobCleanupTest, SpillDirRemovedOnInjectedWriteFailure) {
+  auto base = ScopedTempDir::Make();
+  ASSERT_TRUE(base.ok());
+  ExecutionOptions options;
+  options.mode = ExecutionMode::kExternal;
+  options.temp_dir = base->path();
+  // Each map task emits 500 records; failing after 1000 bytes hits
+  // mid-spill (emulated ENOSPC) in every map task.
+  options.fail_writer_after_bytes = 1000;
+  JobRunner runner(4, options);
+  auto result = runner.Run(SumSpec(5), SumInput(6));
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_NE(result.status.ToString().find("injected write failure"),
+            std::string::npos)
+      << result.status.ToString();
+  // The failed run's spill dir (and its partial files) were still removed.
+  EXPECT_EQ(EntriesUnder(base->path()), 0u);
+}
+
+TEST(ExternalJobCleanupTest, FailureInOneTaskOfManyStillCleansUp) {
+  auto base = ScopedTempDir::Make();
+  ASSERT_TRUE(base.ok());
+  ExecutionOptions options;
+  options.mode = ExecutionMode::kExternal;
+  options.temp_dir = base->path();
+  options.fail_writer_after_bytes = 3000;  // some tasks succeed first
+  JobRunner runner(2, options);
+  auto input = SumInput(4);
+  input[2].resize(20);  // this task stays under the limit
+  auto result = runner.Run(SumSpec(3), input);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_EQ(EntriesUnder(base->path()), 0u);
+}
+
+TEST(ExternalJobCleanupTest, UnwritableTempDirSurfacesAsStatus) {
+  ExecutionOptions options;
+  options.mode = ExecutionMode::kExternal;
+  options.temp_dir = "/proc/definitely-not-writable";
+  JobRunner runner(2, options);
+  auto result = runner.Run(SumSpec(2), SumInput(2));
+  EXPECT_FALSE(result.status.ok());
+}
+
+}  // namespace
+}  // namespace mr
+}  // namespace erlb
