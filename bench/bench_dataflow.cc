@@ -1,0 +1,103 @@
+// Dataflow-adapter overhead micro benchmark: ErPipeline now builds and
+// runs the standard stage graph (core/dataflow.h), so this bench pins
+// the cost of that indirection — graph construction alone, and the full
+// adapter run against the same jobs invoked directly (RunBdmJob +
+// BuildPlan + ExecutePlan on one runner, the pre-dataflow pipeline
+// body). The `overhead/direct_vs_adapter` ratio must stay ~1x; it is
+// gated by tools/bench_compare.py against the committed
+// BENCH_dataflow.json baseline.
+//
+//   $ ./bench_dataflow [--json <path>] [--reps N] [--min-rep-ms N]
+#include <string>
+#include <vector>
+
+#include "bdm/bdm_job.h"
+#include "bench_json.h"
+#include "common/logging.h"
+#include "core/pipeline.h"
+#include "core/stages.h"
+#include "er/blocking.h"
+#include "er/matcher.h"
+#include "gen/skew_gen.h"
+#include "lb/strategy.h"
+#include "mr/job.h"
+
+using namespace erlb;
+
+int main(int argc, char** argv) {
+  bench::MicroBench harness("bench_dataflow");
+  if (!harness.ParseArgs(argc, argv)) return 1;
+
+  gen::SkewConfig gen_config;
+  gen_config.num_entities = 1500;
+  gen_config.num_blocks = 60;
+  // Mild skew (20x largest/smallest block): enough splitting work for
+  // BlockSplit while one run stays in the tens of milliseconds — the
+  // adapter overhead being measured is per-run, not per-comparison.
+  gen_config.skew = 3.0 / gen_config.num_blocks;
+  gen_config.duplicate_fraction = 0.2;
+  gen_config.seed = 7;
+  auto entities = gen::GenerateSkewed(gen_config);
+  ERLB_CHECK(entities.ok());
+
+  const uint32_t m = 4, r = 16, workers = 4;
+  er::Partitions parts = er::SplitIntoPartitions(*entities, m);
+  er::AttributeBlocking blocking(gen::kSkewBlockField);
+  er::JaroWinklerMatcher matcher(0.85, gen::kSkewTitleField);
+
+  core::ErPipelineConfig config;
+  config.strategy = lb::StrategyKind::kBlockSplit;
+  config.num_map_tasks = m;
+  config.num_reduce_tasks = r;
+  config.num_workers = workers;
+  core::ErPipeline pipeline(config);
+
+  // The pre-dataflow pipeline body: both jobs on one directly-owned
+  // runner, no graph, no report.
+  harness.Run("run/direct_jobs", [&] {
+    mr::JobRunner runner(workers, config.execution);
+    bdm::BdmJobOptions bdm_options;
+    bdm_options.num_reduce_tasks = r;
+    auto bdm_out = bdm::RunBdmJob(parts, blocking, bdm_options, runner);
+    ERLB_CHECK(bdm_out.ok());
+    auto strategy = lb::MakeStrategy(config.strategy);
+    lb::MatchJobOptions match_options;
+    match_options.num_reduce_tasks = r;
+    auto plan = strategy->BuildPlan(bdm_out->bdm, match_options);
+    ERLB_CHECK(plan.ok());
+    auto out = strategy->ExecutePlan(*plan, *bdm_out->annotated,
+                                     bdm_out->bdm, matcher, runner);
+    ERLB_CHECK(out.ok());
+    ERLB_CHECK(out->matches.size() > 0);
+  });
+
+  // The adapter: same jobs, reached through graph build + validate +
+  // run + report assembly.
+  harness.Run("run/pipeline_adapter", [&] {
+    auto result = pipeline.DeduplicatePartitioned(parts, blocking, matcher);
+    ERLB_CHECK(result.ok());
+    ERLB_CHECK(result->matches.size() > 0);
+  });
+
+  // direct / adapter; ~1.0 means the graph machinery is free at job
+  // granularity. Gated (higher is better, so a regression = adapter
+  // getting relatively slower).
+  harness.Speedup("overhead/direct_vs_adapter", "run/direct_jobs",
+                  "run/pipeline_adapter");
+
+  // Graph construction alone (no execution): stage allocation, dataset
+  // wiring, DAG validation, input binding.
+  harness.Run("build/standard_graph", [&] {
+    auto df = core::BuildStandardDataflow(config, blocking, matcher);
+    ERLB_CHECK(df.ok());
+    core::PartitionedEntities input;
+    input.partitions = parts;
+    core::Dataset dataset(std::move(input));
+    Status bound =
+        df->AddInput(core::kDatasetPartitions, std::move(dataset));
+    ERLB_CHECK(bound.ok());
+    ERLB_CHECK(df->Validate().ok());
+  });
+
+  return harness.Finish();
+}

@@ -39,6 +39,7 @@
 #include "common/random.h"
 #include "common/stopwatch.h"
 #include "core/pipeline.h"
+#include "core/stages.h"
 #include "er/blocking.h"
 #include "er/matcher.h"
 #include "gen/skew_gen.h"
@@ -148,7 +149,10 @@ CaseResult RunShuffleCase(const CaseConfig& config, bool external) {
   return out;
 }
 
-/// One measured pipeline run; executed inside the --child process.
+/// One measured pipeline run; executed inside the --child process. Runs
+/// the standard stage graph directly and reads everything it reports —
+/// spill volume, execution path, comparisons — from the dataflow's
+/// unified per-stage report.
 CaseResult RunPipelineCase(const CaseConfig& config, bool external) {
   gen::SkewConfig gen_config;
   gen_config.num_entities = config.num_entities;
@@ -162,28 +166,38 @@ CaseResult RunPipelineCase(const CaseConfig& config, bool external) {
   auto entities = gen::GenerateSkewed(gen_config);
   ERLB_CHECK(entities.ok()) << entities.status().ToString();
 
-  core::ErPipelineBuilder builder;
-  builder.Strategy(lb::StrategyKind::kBlockSplit)
-      .MapTasks(8)
-      .ReduceTasks(32);
+  core::ErPipelineConfig pipeline_config;
+  pipeline_config.strategy = lb::StrategyKind::kBlockSplit;
+  pipeline_config.num_map_tasks = 8;
+  pipeline_config.num_reduce_tasks = 32;
   if (external) {
     // kAuto + tiny threshold: the engine must decide to spill on its own.
-    builder.ExecutionMode(mr::ExecutionMode::kAuto)
-        .SpillThresholdBytes(uint64_t{1} << 20);
+    pipeline_config.execution.mode = mr::ExecutionMode::kAuto;
+    pipeline_config.execution.spill_threshold_bytes = uint64_t{1} << 20;
   } else {
-    builder.ExecutionMode(mr::ExecutionMode::kInMemory);
+    pipeline_config.execution.mode = mr::ExecutionMode::kInMemory;
   }
-  core::ErPipeline pipeline = builder.Build();
 
   er::AttributeBlocking blocking(gen::kSkewBlockField);
   er::JaroWinklerMatcher matcher(0.9, gen::kSkewTitleField);
 
   Stopwatch watch;
-  auto result = pipeline.Deduplicate(*entities, blocking, matcher);
+  auto df = core::BuildStandardDataflow(pipeline_config, blocking, matcher);
+  ERLB_CHECK(df.ok()) << df.status().ToString();
+  core::PartitionedEntities input;
+  input.partitions =
+      er::SplitIntoPartitions(*entities, pipeline_config.num_map_tasks);
+  ERLB_CHECK(df->AddInput(core::kDatasetPartitions,
+                          core::Dataset(std::move(input)))
+                 .ok());
+  auto report = df->Run();
   double seconds = watch.ElapsedSeconds();
-  ERLB_CHECK(result.ok()) << result.status().ToString();
+  ERLB_CHECK(report.ok()) << report.status().ToString();
+
+  const core::StageReport* match = report->Find("match");
+  ERLB_CHECK(match != nullptr && match->job.has_value());
   if (external) {
-    ERLB_CHECK(result->match_metrics.external)
+    ERLB_CHECK(match->job->external)
         << "auto mode failed to select the external path";
   }
 
@@ -193,12 +207,10 @@ CaseResult RunPipelineCase(const CaseConfig& config, bool external) {
   CaseResult out;
   out.seconds = seconds;
   out.peak_rss_kb = usage.ru_maxrss;
-  out.spill_mb = static_cast<double>(
-                     result->match_metrics.spill_bytes_written +
-                     result->bdm_metrics.spill_bytes_written) /
-                 (1024.0 * 1024.0);
-  out.external = result->match_metrics.external;
-  out.comparisons = result->comparisons;
+  out.spill_mb =
+      static_cast<double>(report->TotalSpillBytes()) / (1024.0 * 1024.0);
+  out.external = match->job->external;
+  out.comparisons = report->TotalComparisons();
   return out;
 }
 

@@ -1,36 +1,169 @@
-// Deduplicate a CSV file end-to-end: stream the file through the
-// chunked, bounded-memory ingest, run the load-balanced pipeline (with
-// auto-selected out-of-core shuffle for large inputs), and write the
-// matched id pairs back out as CSV — the shape of a production batch
+// Deduplicate a CSV file end-to-end on the composable dataflow: a
+// CsvSourceStage streams the file through the chunked, bounded-memory
+// ingest, the standard BDM -> plan -> match chain runs the load-balanced
+// pipeline (auto-selecting the out-of-core shuffle for large inputs),
+// a ClusterStage closes the matches transitively, and the matched id
+// pairs are written back out as CSV — the shape of a production batch
 // job. With no arguments it generates a demo input first.
 //
 //   $ ./csv_dedup [input.csv [output.csv [strategy]]]
 //
 // Input format: header row, then one entity per row; column 0 = id,
 // remaining columns = fields (column 1 is matched on). `strategy` is
-// Basic, BlockSplit (default), or PairRange.
+// Basic, BlockSplit (default), PairRange, or "auto" — auto runs the
+// analysis subgraph first, asks the simulator-backed recommender to pick
+// the strategy from the BDM, and executes the recommended plan in a
+// second graph (simulation in the loop).
 #include <cstdio>
 
-#include "core/pipeline.h"
+#include "core/dataflow.h"
+#include "core/report.h"
+#include "core/stages.h"
 #include "common/string_util.h"
 #include "er/blocking.h"
 #include "er/entity_io.h"
 #include "er/matcher.h"
 #include "gen/product_gen.h"
+#include "sim/recommend.h"
 
 using namespace erlb;
+
+namespace {
+
+constexpr uint32_t kReduceTasks = 32;
+constexpr uint32_t kSplitRecords = 1024;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Prints the run summary shared by both modes and writes the output CSV.
+int Report(const core::Dataflow& df, const core::DataflowReport& report,
+           const std::string& input, const std::string& output) {
+  const core::StageReport* match = report.Find("match");
+  const core::StageReport* cluster = report.Find("cluster");
+  ERLB_CHECK(match != nullptr && match->job.has_value());
+  std::printf("%s", core::FormatDataflowReport(report).c_str());
+  std::printf("ingested from %s (%zu splits, %s shuffle)\n", input.c_str(),
+              match->job->map_tasks.size(),
+              match->job->external ? "external" : "in-memory");
+
+  auto matches = df.Get<er::MatchResult>(core::kDatasetMatches);
+  if (!matches.ok()) return Fail(matches.status());
+  if (auto st = er::SaveMatchesToCsv(output, **matches); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf(
+      "compared %s candidate pairs in %.2f s; wrote %s matched pairs "
+      "(%s duplicate clusters) to %s\n",
+      FormatWithCommas(report.TotalComparisons()).c_str(),
+      report.total_seconds, FormatWithCommas((*matches)->size()).c_str(),
+      cluster != nullptr
+          ? FormatWithCommas(cluster->output_records).c_str()
+          : "?",
+      output.c_str());
+  return 0;
+}
+
+/// Fixed-strategy mode: one graph — source -> standard chain -> cluster.
+int RunFixed(lb::StrategyKind strategy, const std::string& input,
+             const std::string& output, const er::CsvSchema& schema,
+             const er::BlockingFunction& blocking,
+             const er::Matcher& matcher) {
+  core::Dataflow df;
+  df.Emplace<core::CsvSourceStage>("ingest", core::kDatasetPartitions,
+                                   input, schema, kSplitRecords);
+  core::StandardGraphOptions graph;
+  graph.strategy = strategy;
+  graph.num_reduce_tasks = kReduceTasks;
+  if (auto st = core::AddStandardGraph(&df, graph, &blocking, &matcher);
+      !st.ok()) {
+    return Fail(st);
+  }
+  df.Emplace<core::ClusterStage>("cluster", core::kDatasetMatches,
+                                 core::kDatasetClusters);
+  auto report = df.Run();
+  if (!report.ok()) return Fail(report.status());
+  return Report(df, *report, input, output);
+}
+
+/// Auto mode: analysis graph -> recommender -> execution graph. The BDM
+/// and annotated store cross between the graphs as datasets, and the
+/// recommended plan enters the second graph as an input — nothing is
+/// recomputed or re-planned.
+int RunAuto(const std::string& input, const std::string& output,
+            const er::CsvSchema& schema,
+            const er::BlockingFunction& blocking,
+            const er::Matcher& matcher) {
+  core::Dataflow analysis;
+  analysis.Emplace<core::CsvSourceStage>("ingest", core::kDatasetPartitions,
+                                         input, schema, kSplitRecords);
+  core::BdmStageOptions bdm_options;
+  bdm_options.num_reduce_tasks = kReduceTasks;
+  analysis.Emplace<core::BdmStage>("bdm", core::kDatasetPartitions,
+                                   core::kDatasetBdm,
+                                   core::kDatasetAnnotated, &blocking,
+                                   bdm_options);
+  auto analysis_report = analysis.Run();
+  if (!analysis_report.ok()) return Fail(analysis_report.status());
+  std::printf("%s", core::FormatDataflowReport(*analysis_report).c_str());
+
+  auto bdm = analysis.Take<bdm::Bdm>(core::kDatasetBdm);
+  if (!bdm.ok()) return Fail(bdm.status());
+  auto annotated = analysis.Take<std::shared_ptr<bdm::AnnotatedStore>>(
+      core::kDatasetAnnotated);
+  if (!annotated.ok()) return Fail(annotated.status());
+
+  sim::ClusterConfig cluster;
+  sim::CostModel cost;
+  auto rec = sim::RecommendStrategy(*bdm, kReduceTasks, cluster, cost);
+  if (!rec.ok()) return Fail(rec.status());
+  std::printf("recommender: %s\n", rec->rationale.c_str());
+
+  core::Dataflow execution;
+  Status st = execution.AddInput(core::kDatasetBdm,
+                                 core::Dataset(std::move(*bdm)));
+  if (st.ok()) {
+    st = execution.AddInput(core::kDatasetAnnotated,
+                            core::Dataset(std::move(*annotated)));
+  }
+  if (st.ok()) {
+    st = execution.AddInput(
+        core::kDatasetPlan,
+        core::Dataset(std::make_shared<const lb::MatchPlan>(
+            rec->chosen_plan())));
+  }
+  if (!st.ok()) return Fail(st);
+  execution.Emplace<core::MatchStage>("match", core::kDatasetPlan,
+                                      core::kDatasetAnnotated,
+                                      core::kDatasetBdm,
+                                      core::kDatasetMatches, &matcher);
+  execution.Emplace<core::ClusterStage>("cluster", core::kDatasetMatches,
+                                        core::kDatasetClusters);
+  auto report = execution.Run();
+  if (!report.ok()) return Fail(report.status());
+  return Report(execution, *report, input, output);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string input = argc > 1 ? argv[1] : "/tmp/erlb_demo_products.csv";
   std::string output = argc > 2 ? argv[2] : "/tmp/erlb_demo_matches.csv";
+  bool auto_strategy = false;
   lb::StrategyKind strategy = lb::StrategyKind::kBlockSplit;
   if (argc > 3) {
-    auto parsed = lb::StrategyKindFromName(argv[3]);
-    if (!parsed.ok()) {
-      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
-      return 1;
+    if (std::string(argv[3]) == "auto") {
+      auto_strategy = true;
+    } else {
+      auto parsed = lb::StrategyKindFromName(argv[3]);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return 1;
+      }
+      strategy = *parsed;
     }
-    strategy = *parsed;
   }
 
   if (argc <= 1) {
@@ -51,36 +184,8 @@ int main(int argc, char** argv) {
   schema.id_column = 0;
   er::PrefixBlocking blocking(0, 3);
   er::EditDistanceMatcher matcher(0.8);
-  // Chunked ingest: each csv_split_records rows of the file become one
-  // bounded-memory input split, and the default kAuto execution mode
-  // spills the shuffle to disk when the input outgrows the threshold.
-  core::ErPipeline pipeline = core::ErPipelineBuilder()
-                                  .Strategy(strategy)
-                                  .ReduceTasks(32)
-                                  .CsvSplitRecords(1024)
-                                  .Build();
-
-  auto result = pipeline.DeduplicateCsv(input, schema, blocking, matcher);
-  if (!result.ok()) {
-    std::fprintf(stderr, "pipeline failed: %s\n",
-                 result.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("ingested %s entities from %s (%zu splits, %s shuffle)\n",
-              FormatWithCommas(
-                  result->match_metrics.TotalMapInputRecords())
-                  .c_str(),
-              input.c_str(), result->bdm_metrics.map_tasks.size(),
-              result->match_metrics.external ? "external" : "in-memory");
-  if (auto st = er::SaveMatchesToCsv(output, result->matches); !st.ok()) {
-    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
-    return 1;
-  }
-  std::printf(
-      "compared %s candidate pairs in %.2f s (%u blocks); wrote %s "
-      "matched pairs to %s\n",
-      FormatWithCommas(result->comparisons).c_str(),
-      result->total_seconds, result->bdm.num_blocks(),
-      FormatWithCommas(result->matches.size()).c_str(), output.c_str());
-  return 0;
+  return auto_strategy
+             ? RunAuto(input, output, schema, blocking, matcher)
+             : RunFixed(strategy, input, output, schema, blocking,
+                        matcher);
 }

@@ -1,8 +1,10 @@
 // Plan-first workflow: build a strategy's exact MatchPlan from the BDM
-// alone (no entity comparisons), inspect its per-task workload, serialize
-// it to JSON, reload it, and project the *reloaded* plan on a simulated
-// cluster — planning, inspection, caching, and simulation all share one
-// artifact.
+// alone (no entity comparisons) — as a one-stage dataflow whose report
+// carries the built plan — inspect its per-task workload, serialize it
+// to JSON, reload it, and project the *reloaded* plan on a simulated
+// cluster. Planning, inspection, caching, and simulation all share one
+// artifact, and the planning step is the same PlanStage the full
+// pipeline graph runs.
 //
 //   $ ./plan_inspect [strategy] [skew] [r] [plan.json]
 //
@@ -12,6 +14,8 @@
 
 #include "bdm/bdm.h"
 #include "common/string_util.h"
+#include "core/dataflow.h"
+#include "core/stages.h"
 #include "er/blocking.h"
 #include "gen/skew_gen.h"
 #include "lb/plan_io.h"
@@ -53,16 +57,26 @@ int main(int argc, char** argv) {
   auto bdm = bdm::Bdm::FromKeys(keys);
   if (!bdm.ok()) return 1;
 
-  // 1. Plan: the full decision record, from the BDM alone.
+  // 1. Plan: the full decision record, from the BDM alone — a one-stage
+  // dataflow (bdm dataset in, plan dataset out) whose stage report hands
+  // back the built plan.
   lb::MatchJobOptions options;
   options.num_reduce_tasks = r;
-  auto strategy = lb::MakeStrategy(kind);
-  auto plan = strategy->BuildPlan(*bdm, options);
-  if (!plan.ok()) {
-    std::fprintf(stderr, "BuildPlan: %s\n",
-                 plan.status().ToString().c_str());
+  core::Dataflow df;
+  if (auto st = df.AddInput(core::kDatasetBdm, core::Dataset(*bdm));
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
   }
+  df.Emplace<core::PlanStage>("plan", core::kDatasetBdm,
+                              core::kDatasetPlan, kind, options);
+  auto report = df.Run();
+  if (!report.ok()) {
+    std::fprintf(stderr, "plan dataflow: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<const lb::MatchPlan> plan = report->Find("plan")->plan;
   const lb::PlanStats& stats = plan->stats();
   std::printf("%s plan over %u blocks, m=%u, r=%u:\n",
               lb::StrategyName(kind), bdm->num_blocks(),

@@ -27,3 +27,16 @@ file(READ ${output} matches)
 if(NOT matches MATCHES "[0-9]")
   message(FATAL_ERROR "csv_dedup found no matches in a catalog with near-duplicates: ${matches}")
 endif()
+
+# Auto mode: analysis graph -> recommender -> execution graph. Must find
+# the same duplicates.
+set(auto_output ${WORK_DIR}/matches_auto.csv)
+execute_process(COMMAND ${EXE} ${input} ${auto_output} auto
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "csv_dedup auto exited with ${rc}")
+endif()
+file(READ ${auto_output} auto_matches)
+if(NOT auto_matches STREQUAL matches)
+  message(FATAL_ERROR "csv_dedup auto mode found different matches:\n${auto_matches}\nvs\n${matches}")
+endif()

@@ -1,151 +1,37 @@
 #include "core/multi_pass.h"
 
 #include <atomic>
-#include <charconv>
+#include <memory>
+#include <utility>
 
 #include "core/reference.h"
+#include "core/stages.h"
 
 namespace erlb {
 namespace core {
-
-namespace {
-
-// Replicas carry their pass index in an appended marker field
-// "\x01pass:<i>"; pass functions only read the original fields, so the
-// marker is invisible to them.
-constexpr char kMarkerPrefix[] = "\x01pass:";
-
-std::string MakeMarker(size_t pass) {
-  return kMarkerPrefix + std::to_string(pass);
-}
-
-/// Pass index of a replica, or -1 for an unmarked entity.
-int PassOf(const er::Entity& e) {
-  if (e.fields.empty()) return -1;
-  const std::string& last = e.fields.back();
-  constexpr size_t kPrefixLen = sizeof(kMarkerPrefix) - 1;
-  if (last.size() <= kPrefixLen ||
-      last.compare(0, kPrefixLen, kMarkerPrefix) != 0) {
-    return -1;
-  }
-  int pass = -1;
-  auto begin = last.data() + kPrefixLen;
-  auto [ptr, ec] = std::from_chars(begin, last.data() + last.size(), pass);
-  if (ec != std::errc()) return -1;
-  return pass;
-}
-
-/// Blocking adapter: key = "<pass>|<pass-key>".
-class MultiPassBlocking : public er::BlockingFunction {
- public:
-  explicit MultiPassBlocking(
-      const std::vector<const er::BlockingFunction*>* passes)
-      : passes_(passes) {}
-
-  std::string Key(const er::Entity& e) const override {
-    int pass = PassOf(e);
-    if (pass < 0 || static_cast<size_t>(pass) >= passes_->size()) {
-      return std::string();
-    }
-    std::string inner = (*passes_)[pass]->Key(e);
-    if (inner.empty()) return std::string();
-    return std::to_string(pass) + "|" + inner;
-  }
-
-  std::string Describe() const override {
-    std::string d = "multi-pass(";
-    for (size_t i = 0; i < passes_->size(); ++i) {
-      if (i) d += ", ";
-      d += (*passes_)[i]->Describe();
-    }
-    return d + ")";
-  }
-
- private:
-  const std::vector<const er::BlockingFunction*>* passes_;
-};
-
-/// Matcher adapter: suppresses pairs already covered by an earlier pass.
-class MultiPassMatcher : public er::Matcher {
- public:
-  MultiPassMatcher(const std::vector<const er::BlockingFunction*>* passes,
-                   const er::Matcher* inner,
-                   std::atomic<int64_t>* suppressed)
-      : passes_(passes), inner_(inner), suppressed_(suppressed) {}
-
-  bool Match(const er::Entity& a, const er::Entity& b) const override {
-    int pass = PassOf(a);
-    if (pass != PassOf(b)) return false;  // cannot happen within a block
-    for (int q = 0; q < pass; ++q) {
-      std::string ka = (*passes_)[q]->Key(a);
-      if (ka.empty()) continue;
-      if (ka == (*passes_)[q]->Key(b)) {
-        // Pair co-occurs in earlier pass q; it was (or will be) evaluated
-        // there — evaluating it again would duplicate work, not results.
-        suppressed_->fetch_add(1, std::memory_order_relaxed);
-        return false;
-      }
-    }
-    return inner_->Match(a, b);
-  }
-
-  double Similarity(const er::Entity& a,
-                    const er::Entity& b) const override {
-    return inner_->Similarity(a, b);
-  }
-
-  std::string Describe() const override {
-    return "multi-pass(" + inner_->Describe() + ")";
-  }
-
- private:
-  const std::vector<const er::BlockingFunction*>* passes_;
-  const er::Matcher* inner_;
-  std::atomic<int64_t>* suppressed_;
-};
-
-}  // namespace
 
 Result<MultiPassResult> DeduplicateMultiPass(
     const ErPipeline& pipeline, const std::vector<er::Entity>& entities,
     const std::vector<const er::BlockingFunction*>& passes,
     const er::Matcher& matcher) {
-  if (passes.empty()) {
-    return Status::InvalidArgument("need at least one blocking pass");
-  }
-  if (entities.empty()) {
-    return Status::InvalidArgument("input is empty");
-  }
+  const ErPipelineConfig& config = pipeline.config();
+  ERLB_RETURN_NOT_OK(config.Validate());
 
-  // Replicate: one copy per pass with a non-empty key.
-  std::vector<er::Entity> replicated;
-  replicated.reserve(entities.size() * passes.size());
-  for (const auto& e : entities) {
-    for (size_t p = 0; p < passes.size(); ++p) {
-      if (passes[p]->Key(e).empty()) continue;
-      er::Entity copy = e;
-      copy.fields.push_back(MakeMarker(p));
-      replicated.push_back(std::move(copy));
-    }
-  }
-  if (replicated.empty()) {
-    return Status::InvalidArgument(
-        "no entity has a valid key in any pass");
-  }
-
-  MultiPassBlocking blocking(&passes);
-  std::atomic<int64_t> suppressed{0};
-  MultiPassMatcher wrapped(&passes, &matcher, &suppressed);
-  ERLB_ASSIGN_OR_RETURN(
-      ErPipelineResult run,
-      pipeline.Deduplicate(replicated, blocking, wrapped));
+  Dataflow df(DataflowOptionsFrom(config));
+  std::atomic<int64_t>* suppressed =
+      df.Own(std::make_unique<std::atomic<int64_t>>(0));
+  ERLB_RETURN_NOT_OK(AddMultiPassGraph(
+      &df, StandardGraphOptionsFrom(config), config.num_map_tasks,
+      &entities, &passes, &matcher, suppressed));
+  ERLB_ASSIGN_OR_RETURN(DataflowReport report, df.Run());
 
   MultiPassResult out;
-  out.matches = std::move(run.matches);
-  out.matches.Canonicalize();
-  out.comparisons = run.comparisons;
-  out.suppressed_duplicates = suppressed.load();
-  out.total_seconds = run.total_seconds;
+  ERLB_ASSIGN_OR_RETURN(out.matches,
+                        df.Take<er::MatchResult>(kDatasetMatches));
+  out.comparisons = report.TotalComparisons();
+  out.suppressed_duplicates = suppressed->load();
+  out.total_seconds = report.total_seconds;
+  out.report = std::move(report);
   return out;
 }
 

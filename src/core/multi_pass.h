@@ -4,13 +4,15 @@
 //
 // Each entity receives one blocking key per pass (e.g. pass 0: title
 // prefix, pass 1: manufacturer). Two entities become a candidate pair if
-// they share the key of at least one pass. The implementation replicates
-// each entity once per pass with a non-empty key, namespaces keys by pass
-// ("<pass>|<key>", so equal key strings of different passes never
-// collide), and suppresses duplicate evaluation of pairs that co-occur in
-// several passes: a pair is evaluated in pass p only if the two entities
-// do not already share a key of an earlier pass q < p. All three load
-// balancing strategies work unchanged on the replicated input.
+// they share the key of at least one pass. The implementation composes
+// one standard dataflow subgraph per pass (core/stages.h
+// AddMultiPassGraph): pass p's subgraph runs over the entities with a
+// valid key in that pass, under that pass's blocking function, with a
+// matcher that suppresses duplicate evaluation of pairs already covered
+// by an earlier pass q < p; a union stage joins the per-pass matches.
+// All three load balancing strategies work unchanged inside each
+// subgraph, and every subgraph shares the graph's pool and execution
+// options (including out-of-core spilling).
 #ifndef ERLB_CORE_MULTI_PASS_H_
 #define ERLB_CORE_MULTI_PASS_H_
 
@@ -18,6 +20,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/dataflow.h"
 #include "core/pipeline.h"
 #include "er/blocking.h"
 #include "er/entity.h"
@@ -36,12 +39,15 @@ struct MultiPassResult {
   /// Matcher invocations rejected as earlier-pass duplicates.
   int64_t suppressed_duplicates = 0;
   double total_seconds = 0;
+  /// Per-stage report of the composed graph (pass<i>/... subgraphs plus
+  /// the union stage), for workload inspection and differential tests.
+  DataflowReport report;
 };
 
 /// Deduplicates `entities` under multi-pass blocking. `passes` must hold
-/// at least one blocking function; pass functions must only read the
-/// entity's original fields (the adapter appends an internal marker
-/// field to each replica).
+/// at least one blocking function. The pipeline contributes its
+/// configuration (strategy, task counts, execution mode); the run itself
+/// is one composed dataflow.
 Result<MultiPassResult> DeduplicateMultiPass(
     const ErPipeline& pipeline, const std::vector<er::Entity>& entities,
     const std::vector<const er::BlockingFunction*>& passes,

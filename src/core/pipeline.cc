@@ -1,10 +1,9 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <utility>
 
-#include "common/stopwatch.h"
-#include "lb/basic.h"
-#include "mr/job.h"
+#include "core/stages.h"
 
 namespace erlb {
 namespace core {
@@ -24,7 +23,95 @@ void SplitMapTasks(uint32_t m, size_t nr, size_t ns, uint32_t* mr,
   *ms = m - *mr;
 }
 
+/// Runs a standard dataflow and repackages its datasets and per-stage
+/// report as the legacy ErPipelineResult. `planned` says whether the
+/// graph contains a plan stage whose output belongs in the result (false
+/// for pre-built-plan runs — the caller already holds the plan).
+Result<ErPipelineResult> RunStandardDataflow(Dataflow df, bool planned) {
+  ERLB_ASSIGN_OR_RETURN(DataflowReport report, df.Run());
+
+  ErPipelineResult result;
+  ERLB_ASSIGN_OR_RETURN(result.matches,
+                        df.Take<er::MatchResult>(kDatasetMatches));
+
+  const StageReport* match = report.Find("match");
+  ERLB_CHECK(match != nullptr && match->job.has_value());
+  result.match_metrics = *match->job;
+  result.comparisons = match->comparisons;
+  result.match_seconds = match->seconds;
+
+  if (const StageReport* bdm = report.Find("bdm"); bdm != nullptr) {
+    ERLB_ASSIGN_OR_RETURN(result.bdm, df.Take<bdm::Bdm>(kDatasetBdm));
+    ERLB_CHECK(bdm->job.has_value());
+    result.bdm_metrics = *bdm->job;
+    result.skipped_entities = bdm->skipped_entities;
+    result.bdm_seconds = bdm->seconds;
+  }
+  if (planned && report.Find("plan") != nullptr) {
+    // One shared plan flows through the graph; the result hands the
+    // caller their own copy, as the legacy API did.
+    ERLB_ASSIGN_OR_RETURN(
+        std::shared_ptr<const lb::MatchPlan> plan,
+        df.Take<std::shared_ptr<const lb::MatchPlan>>(kDatasetPlan));
+    result.plan = *plan;
+  }
+  result.total_seconds = report.total_seconds;
+  return result;
+}
+
 }  // namespace
+
+Status ErPipelineConfig::Validate() const {
+  if (num_map_tasks == 0) {
+    return Status::InvalidArgument("num_map_tasks must be >= 1");
+  }
+  if (num_reduce_tasks == 0) {
+    return Status::InvalidArgument("num_reduce_tasks must be >= 1");
+  }
+  if (sub_splits == 0) {
+    return Status::InvalidArgument("sub_splits must be >= 1");
+  }
+  if (csv_split_records == 0) {
+    return Status::InvalidArgument("csv_split_records must be >= 1");
+  }
+  if (execution.io_buffer_bytes == 0) {
+    return Status::InvalidArgument(
+        "execution.io_buffer_bytes must be >= 1");
+  }
+  return Status::OK();
+}
+
+DataflowOptions DataflowOptionsFrom(const ErPipelineConfig& config) {
+  DataflowOptions options;
+  options.num_workers = config.num_workers;
+  options.execution = config.execution;
+  return options;
+}
+
+StandardGraphOptions StandardGraphOptionsFrom(
+    const ErPipelineConfig& config) {
+  StandardGraphOptions graph;
+  graph.strategy = config.strategy;
+  graph.num_reduce_tasks = config.num_reduce_tasks;
+  graph.assignment = config.assignment;
+  graph.sub_splits = config.sub_splits;
+  graph.use_combiner = config.use_combiner;
+  graph.missing_key_policy = config.missing_key_policy;
+  return graph;
+}
+
+Result<Dataflow> BuildStandardDataflow(const ErPipelineConfig& config,
+                                       const er::BlockingFunction& blocking,
+                                       const er::Matcher& matcher,
+                                       const lb::MatchPlan* prebuilt_plan) {
+  ERLB_RETURN_NOT_OK(config.Validate());
+  Dataflow df(DataflowOptionsFrom(config));
+  ERLB_RETURN_NOT_OK(AddStandardGraph(&df, StandardGraphOptionsFrom(config),
+                                      &blocking, &matcher,
+                                      /*dataset_prefix=*/"",
+                                      prebuilt_plan));
+  return df;
+}
 
 Result<ErPipelineResult> ErPipeline::Deduplicate(
     const std::vector<er::Entity>& entities,
@@ -32,9 +119,9 @@ Result<ErPipelineResult> ErPipeline::Deduplicate(
   if (entities.empty()) {
     return Status::InvalidArgument("input is empty");
   }
-  if (config_.num_map_tasks == 0) {
-    return Status::InvalidArgument("num_map_tasks must be >= 1");
-  }
+  // Validated here (not just inside BuildStandardDataflow) because the
+  // split below requires num_map_tasks >= 1.
+  ERLB_RETURN_NOT_OK(config_.Validate());
   er::Partitions parts =
       er::SplitIntoPartitions(entities, config_.num_map_tasks);
   return RunPartitioned(parts, nullptr, blocking, matcher);
@@ -49,30 +136,21 @@ Result<ErPipelineResult> ErPipeline::DeduplicatePartitioned(
 Result<ErPipelineResult> ErPipeline::DeduplicateCsv(
     const std::string& csv_path, const er::CsvSchema& schema,
     const er::BlockingFunction& blocking, const er::Matcher& matcher) const {
-  if (config_.csv_split_records == 0) {
-    return Status::InvalidArgument("csv_split_records must be >= 1");
+  // On the CSV path m follows the data (one split per
+  // csv_split_records), so a tuned num_map_tasks would be silently
+  // ignored — reject it instead. The remaining knobs are validated by
+  // BuildStandardDataflow.
+  if (config_.num_map_tasks != ErPipelineConfig::kDefaultNumMapTasks) {
+    return Status::InvalidArgument(
+        "num_map_tasks is ignored on the CSV path (each "
+        "csv_split_records rows become one map partition); leave it at "
+        "its default");
   }
-  // Chunked ingest: each bounded batch of rows becomes one input split
-  // (map partition); neither the raw file nor all rows are ever resident
-  // at once.
-  er::Partitions partitions;
-  ERLB_ASSIGN_OR_RETURN(
-      uint64_t total,
-      er::LoadEntitiesFromCsvChunked(
-          csv_path, schema, config_.csv_split_records,
-          [&partitions](std::vector<er::Entity>&& batch) {
-            std::vector<er::EntityRef> split;
-            split.reserve(batch.size());
-            for (auto& e : batch) {
-              split.push_back(er::MakeEntityRef(std::move(e)));
-            }
-            partitions.push_back(std::move(split));
-            return Status::OK();
-          }));
-  if (total == 0) {
-    return Status::InvalidArgument("input is empty: " + csv_path);
-  }
-  return RunPartitioned(partitions, nullptr, blocking, matcher);
+  ERLB_ASSIGN_OR_RETURN(Dataflow df,
+                        BuildStandardDataflow(config_, blocking, matcher));
+  df.Emplace<CsvSourceStage>("source", kDatasetPartitions, csv_path,
+                             schema, config_.csv_split_records);
+  return RunStandardDataflow(std::move(df), /*planned=*/true);
 }
 
 Result<ErPipelineResult> ErPipeline::DeduplicatePartitioned(
@@ -88,6 +166,9 @@ Result<ErPipelineResult> ErPipeline::Link(
   if (r_entities.empty() || s_entities.empty()) {
     return Status::InvalidArgument("both sources must be non-empty");
   }
+  // Validated before the tagging copies below, not just inside
+  // BuildStandardDataflow.
+  ERLB_RETURN_NOT_OK(config_.Validate());
   uint32_t mr_tasks = 0, ms_tasks = 0;
   SplitMapTasks(std::max(config_.num_map_tasks, 2u), r_entities.size(),
                 s_entities.size(), &mr_tasks, &ms_tasks);
@@ -116,80 +197,16 @@ Result<ErPipelineResult> ErPipeline::RunPartitioned(
   if (partitions.empty()) {
     return Status::InvalidArgument("need at least one partition");
   }
-  if (config_.num_reduce_tasks == 0) {
-    return Status::InvalidArgument("num_reduce_tasks must be >= 1");
-  }
-  // A pre-built plan overrides the config: it already fixes the strategy
-  // and every matching-job option.
-  const lb::StrategyKind strategy_kind =
-      prebuilt_plan != nullptr ? prebuilt_plan->strategy()
-                               : config_.strategy;
-  mr::JobRunner runner(config_.EffectiveWorkers(), config_.execution);
-
-  ErPipelineResult result;
-  Stopwatch total_watch;
-
-  if (prebuilt_plan == nullptr &&
-      strategy_kind == lb::StrategyKind::kBasic) {
-    // Single job, no BDM (Section III's straightforward approach).
-    lb::MatchJobOptions match_options;
-    match_options.num_reduce_tasks = config_.num_reduce_tasks;
-    ERLB_ASSIGN_OR_RETURN(
-        lb::MatchJobOutput out,
-        lb::RunBasicSingleJob(partitions, blocking, matcher, match_options,
-                              runner, partition_sources));
-    result.matches = std::move(out.matches);
-    result.match_metrics = std::move(out.metrics);
-    result.comparisons = out.comparisons;
-    result.match_seconds = total_watch.ElapsedSeconds();
-    result.total_seconds = result.match_seconds;
-    return result;
-  }
-
-  // ---- Job 1: BDM -------------------------------------------------------
-  Stopwatch bdm_watch;
-  bdm::BdmJobOptions bdm_options;
-  bdm_options.num_reduce_tasks = config_.num_reduce_tasks;
-  bdm_options.use_combiner = config_.use_combiner;
-  bdm_options.missing_key_policy = config_.missing_key_policy;
-  if (partition_sources != nullptr) {
-    bdm_options.partition_sources = *partition_sources;
-  }
   ERLB_ASSIGN_OR_RETURN(
-      bdm::BdmJobOutput bdm_out,
-      bdm::RunBdmJob(partitions, blocking, bdm_options, runner));
-  result.bdm = std::move(bdm_out.bdm);
-  result.bdm_metrics = std::move(bdm_out.metrics);
-  result.skipped_entities = bdm_out.skipped_entities;
-  result.bdm_seconds = bdm_watch.ElapsedSeconds();
-
-  // ---- Plan: reuse the caller's or build from the fresh BDM -------------
-  // A freshly built plan is returned in the result; a pre-built one is
-  // executed in place, not copied — the caller already holds it.
-  auto strategy = lb::MakeStrategy(strategy_kind);
-  const lb::MatchPlan* plan = prebuilt_plan;
-  if (plan == nullptr) {
-    lb::MatchJobOptions match_options;
-    match_options.num_reduce_tasks = config_.num_reduce_tasks;
-    match_options.assignment = config_.assignment;
-    match_options.sub_splits = config_.sub_splits;
-    ERLB_ASSIGN_OR_RETURN(result.plan,
-                          strategy->BuildPlan(result.bdm, match_options));
-    plan = &*result.plan;
-  }
-
-  // ---- Job 2: load-balanced matching ------------------------------------
-  Stopwatch match_watch;
-  ERLB_ASSIGN_OR_RETURN(
-      lb::MatchJobOutput out,
-      strategy->ExecutePlan(*plan, *bdm_out.annotated, result.bdm,
-                            matcher, runner));
-  result.matches = std::move(out.matches);
-  result.match_metrics = std::move(out.metrics);
-  result.comparisons = out.comparisons;
-  result.match_seconds = match_watch.ElapsedSeconds();
-  result.total_seconds = total_watch.ElapsedSeconds();
-  return result;
+      Dataflow df,
+      BuildStandardDataflow(config_, blocking, matcher, prebuilt_plan));
+  PartitionedEntities input;
+  input.partitions = partitions;
+  if (partition_sources != nullptr) input.sources = *partition_sources;
+  ERLB_RETURN_NOT_OK(
+      df.AddInput(kDatasetPartitions, Dataset(std::move(input))));
+  return RunStandardDataflow(std::move(df),
+                             /*planned=*/prebuilt_plan == nullptr);
 }
 
 namespace {

@@ -3,17 +3,24 @@
 // strategy and matches. Basic runs as a single job without preprocessing.
 // Also provides the missing-blocking-key decompositions of Section III and
 // Appendix I.
+//
+// ErPipeline is a thin adapter over the composable dataflow API
+// (core/dataflow.h, core/stages.h): every entry point builds the standard
+// stage graph with BuildStandardDataflow, runs it, and repackages the
+// graph's datasets and per-stage report as an ErPipelineResult. Callers
+// that want other topologies (clustering post-passes, multi-pass
+// subgraphs, recommendation in the loop) compose the graph directly.
 #ifndef ERLB_CORE_PIPELINE_H_
 #define ERLB_CORE_PIPELINE_H_
 
 #include <cstdint>
 #include <optional>
-#include <thread>
 #include <vector>
 
 #include "bdm/bdm.h"
 #include "bdm/bdm_job.h"
 #include "common/result.h"
+#include "core/dataflow.h"
 #include "er/blocking.h"
 #include "er/entity.h"
 #include "er/entity_io.h"
@@ -29,9 +36,13 @@ namespace core {
 
 /// Pipeline configuration.
 struct ErPipelineConfig {
+  /// Default of num_map_tasks; the CSV entry point requires the knob to
+  /// be left at this value (see Validate and DeduplicateCsv).
+  static constexpr uint32_t kDefaultNumMapTasks = 4;
+
   lb::StrategyKind strategy = lb::StrategyKind::kBlockSplit;
   /// m — number of map tasks = input partitions.
-  uint32_t num_map_tasks = 4;
+  uint32_t num_map_tasks = kDefaultNumMapTasks;
   /// r — number of reduce tasks of the matching job.
   uint32_t num_reduce_tasks = 8;
   /// Worker threads emulating cluster process slots (0 = hardware
@@ -55,10 +66,15 @@ struct ErPipelineConfig {
   uint32_t csv_split_records = 8192;
 
   uint32_t EffectiveWorkers() const {
-    if (num_workers > 0) return num_workers;
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 4 : hw;
+    return EffectiveWorkerCount(num_workers);
   }
+
+  /// Rejects contradictory knob combinations up front — zero task/split
+  /// counts, a zero I/O buffer — instead of failing (or crashing) deep
+  /// inside a job. Called by every pipeline entry point; the CSV entry
+  /// point additionally rejects a non-default num_map_tasks, which that
+  /// path would otherwise silently ignore (m follows csv_split_records).
+  Status Validate() const;
 };
 
 /// Everything a pipeline run produces.
@@ -98,10 +114,11 @@ class ErPipeline {
   /// One-source deduplication straight from a CSV file with chunked,
   /// bounded-memory ingest: the file streams through a fixed read buffer
   /// (er::LoadEntitiesFromCsvChunked) and every config.csv_split_records
-  /// rows become one map partition, like fixed-size HDFS input splits
-  /// (config.num_map_tasks is ignored). Combine with
-  /// ExecutionMode::kExternal (or a low spill threshold under kAuto) for
-  /// an end-to-end out-of-core run.
+  /// rows become one map partition, like fixed-size HDFS input splits.
+  /// m follows the data size, so config.num_map_tasks must be left at its
+  /// default — a non-default value is InvalidArgument rather than
+  /// silently ignored. Combine with ExecutionMode::kExternal (or a low
+  /// spill threshold under kAuto) for an end-to-end out-of-core run.
   Result<ErPipelineResult> DeduplicateCsv(
       const std::string& csv_path, const er::CsvSchema& schema,
       const er::BlockingFunction& blocking,
@@ -145,6 +162,31 @@ class ErPipeline {
 
   ErPipelineConfig config_;
 };
+
+struct StandardGraphOptions;  // core/stages.h
+
+/// The graph execution resources `config` implies (workers + execution
+/// knobs) — the single translation used by every entry point that turns
+/// a pipeline config into a Dataflow.
+DataflowOptions DataflowOptionsFrom(const ErPipelineConfig& config);
+
+/// Same for the standard-graph strategy/topology knobs (strategy, r,
+/// assignment, sub-splits, combiner, missing-key policy).
+StandardGraphOptions StandardGraphOptionsFrom(const ErPipelineConfig& config);
+
+/// Builds (but does not run) the standard two-job dataflow an ErPipeline
+/// with `config` executes: [bdm] -> [plan] -> [match] over the
+/// kDatasetPartitions input — or the single-job Basic graph, or the
+/// plan-is-an-input shape when `prebuilt_plan` is given (see
+/// AddStandardGraph in core/stages.h). The caller supplies the source —
+/// AddInput(kDatasetPartitions, PartitionedEntities{...}) or any stage
+/// producing that dataset — then calls Run() and reads kDatasetMatches
+/// plus the per-stage report. `blocking` and `matcher` must outlive the
+/// run. Validates `config` up front.
+Result<Dataflow> BuildStandardDataflow(
+    const ErPipelineConfig& config, const er::BlockingFunction& blocking,
+    const er::Matcher& matcher,
+    const lb::MatchPlan* prebuilt_plan = nullptr);
 
 /// Fluent construction of an ErPipeline:
 ///

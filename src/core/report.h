@@ -1,11 +1,13 @@
 // Human-readable run reports: summarizes an ErPipelineResult (jobs,
 // phases, workload distribution, counters) the way one would read a
-// Hadoop job history page.
+// Hadoop job history page, plus the per-stage view of a Dataflow run and
+// its machine-readable JSON form.
 #ifndef ERLB_CORE_REPORT_H_
 #define ERLB_CORE_REPORT_H_
 
 #include <string>
 
+#include "core/dataflow.h"
 #include "core/pipeline.h"
 
 namespace erlb {
@@ -18,6 +20,15 @@ std::string FormatRunReport(const ErPipelineResult& result,
 /// One-line summary (strategy, comparisons, matches, seconds).
 std::string FormatRunSummary(const ErPipelineResult& result,
                              const ErPipelineConfig& config);
+
+/// Formats the unified per-stage report of one Dataflow::Run — one line
+/// per stage (kind, seconds, records, job shape, spill, plan strategy).
+std::string FormatDataflowReport(const DataflowReport& report);
+
+/// The same report as a JSON document (strategy names via
+/// lb::StrategyKindToName), for archiving run telemetry next to
+/// BENCH_*.json artifacts.
+std::string DataflowReportToJson(const DataflowReport& report);
 
 }  // namespace core
 }  // namespace erlb

@@ -246,7 +246,7 @@ Result<MatchPlan::Body> ParseBody(StrategyKind strategy, const Json& body,
 std::string MatchPlanToJson(const MatchPlan& plan, int indent) {
   Json doc{Json::Object{}};
   doc.Add("format", Json(kFormat));
-  doc.Add("strategy", Json(StrategyName(plan.strategy())));
+  doc.Add("strategy", Json(StrategyKindToName(plan.strategy())));
 
   Json options{Json::Object{}};
   options.Add("num_reduce_tasks", Json(plan.options().num_reduce_tasks));

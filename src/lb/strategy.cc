@@ -10,7 +10,7 @@
 namespace erlb {
 namespace lb {
 
-const char* StrategyName(StrategyKind kind) {
+const char* StrategyKindToName(StrategyKind kind) {
   switch (kind) {
     case StrategyKind::kBasic:
       return "Basic";
@@ -34,7 +34,7 @@ Result<StrategyKind> StrategyKindFromName(std::string_view name) {
     return true;
   };
   for (StrategyKind kind : AllStrategies()) {
-    if (equals_ignore_case(name, StrategyName(kind))) return kind;
+    if (equals_ignore_case(name, StrategyKindToName(kind))) return kind;
   }
   return Status::InvalidArgument(
       "unknown strategy \"" + std::string(name) +

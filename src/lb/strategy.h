@@ -31,11 +31,19 @@
 namespace erlb {
 namespace lb {
 
-/// "Basic", "BlockSplit" or "PairRange".
-const char* StrategyName(StrategyKind kind);
+/// The canonical name of a strategy kind — "Basic", "BlockSplit" or
+/// "PairRange". This is the exact inverse of StrategyKindFromName
+/// (round-trip guaranteed) and the single spelling used by reports, plan
+/// JSON, and dataflow run reports.
+const char* StrategyKindToName(StrategyKind kind);
 
-/// Inverse of StrategyName, for CLI/config parsing. Case-insensitive;
-/// returns InvalidArgument for unknown names.
+/// Alias of StrategyKindToName kept for existing call sites.
+inline const char* StrategyName(StrategyKind kind) {
+  return StrategyKindToName(kind);
+}
+
+/// Inverse of StrategyKindToName, for CLI/config parsing.
+/// Case-insensitive; returns InvalidArgument for unknown names.
 Result<StrategyKind> StrategyKindFromName(std::string_view name);
 
 /// Output of the matching job.

@@ -58,6 +58,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <utility>
@@ -273,9 +274,11 @@ class VectorReduceContext : public ReduceContext<K, V> {
 ///
 /// `num_workers` emulates the number of process slots available in the
 /// cluster; tasks are queued in index order and executed FIFO, like
-/// Hadoop's scheduler assigning queued tasks to freed processes. One
-/// ThreadPool is constructed per Run() and reused across the map and
-/// reduce phases.
+/// Hadoop's scheduler assigning queued tasks to freed processes. By
+/// default one ThreadPool is constructed per Run() and reused across the
+/// map and reduce phases; a runner built over a shared pool (the
+/// dataflow-graph configuration, where one pool serves every job of a
+/// multi-job graph) submits to that pool instead of creating its own.
 class JobRunner {
  public:
   /// \param num_workers worker threads (process slots), >= 1.
@@ -289,8 +292,22 @@ class JobRunner {
     ERLB_CHECK(options_.io_buffer_bytes >= 1);
   }
 
+  /// A runner that executes every Run() on `shared_pool` (non-owning; the
+  /// pool must outlive the runner and is drained via Wait() between
+  /// phases, so sequential jobs may share it, concurrent ones may not).
+  /// The pool's thread count is the runner's process-slot count.
+  JobRunner(ThreadPool* shared_pool, ExecutionOptions options)
+      : num_workers_(shared_pool->num_threads()),
+        options_(std::move(options)),
+        shared_pool_(shared_pool) {
+    ERLB_CHECK(num_workers_ >= 1);
+    ERLB_CHECK(options_.io_buffer_bytes >= 1);
+  }
+
   size_t num_workers() const { return num_workers_; }
   const ExecutionOptions& execution_options() const { return options_; }
+  /// The injected pool, or nullptr when each Run() owns its pool.
+  ThreadPool* shared_pool() const { return shared_pool_; }
 
   /// Runs `spec` over `input_partitions` (one map task per partition).
   /// `Spec` is any TypedJobSpec instantiation (including the JobSpec
@@ -395,7 +412,10 @@ class JobRunner {
     result.outputs_per_reduce_task.resize(r);
 
     Stopwatch job_watch;
-    ThreadPool pool(num_workers_);
+    std::optional<ThreadPool> owned_pool;
+    ThreadPool& pool = shared_pool_ != nullptr
+                           ? *shared_pool_
+                           : owned_pool.emplace(num_workers_);
 
     // ---- Map phase ------------------------------------------------------
     // buckets[map_task][reduce_task] -> run of intermediate pairs, sorted
@@ -459,7 +479,10 @@ class JobRunner {
     }
 
     Stopwatch job_watch;
-    ThreadPool pool(num_workers_);
+    std::optional<ThreadPool> owned_pool;
+    ThreadPool& pool = shared_pool_ != nullptr
+                           ? *shared_pool_
+                           : owned_pool.emplace(num_workers_);
 
     // ---- Map phase: sort, partition, spill ------------------------------
     std::vector<SpillFile> spill_files(m);
@@ -826,6 +849,7 @@ class JobRunner {
 
   size_t num_workers_;
   ExecutionOptions options_;
+  ThreadPool* shared_pool_ = nullptr;
 };
 
 }  // namespace mr

@@ -34,7 +34,7 @@ Result<Recommendation> RecommendStrategy(const bdm::Bdm& bdm, uint32_t r,
   }
 
   std::ostringstream why;
-  why << lb::StrategyName(rec.strategy) << " projects fastest ("
+  why << lb::StrategyKindToName(rec.strategy) << " projects fastest ("
       << FormatDouble(best, 1) << " s on " << cluster.num_nodes
       << " nodes, r=" << r << "). ";
   const double basic =

@@ -306,6 +306,91 @@ TEST(MultiPassTest, EmptyPassesRejected) {
       core::DeduplicateMultiPass(pipeline, entities, {}, matcher).ok());
 }
 
+// Multi-pass × out-of-core: the composed per-pass dataflow in kExternal
+// must be byte-identical to kInMemory — matches, suppressed duplicates,
+// comparison counts, and the per-task counters of every per-pass job.
+class MultiPassExternalTest
+    : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(MultiPassExternalTest, ExternalEqualsInMemoryByteForByte) {
+  gen::SkewConfig cfg;
+  cfg.num_entities = 700;
+  cfg.num_blocks = 12;
+  cfg.skew = 0.6;
+  cfg.duplicate_fraction = 0.3;
+  cfg.seed = 91;
+  auto entities = gen::GenerateSkewed(cfg);
+  ASSERT_TRUE(entities.ok());
+  er::AttributeBlocking pass0(gen::kSkewBlockField);
+  er::PrefixBlocking pass1(gen::kSkewTitleField, 4);
+  std::vector<const er::BlockingFunction*> passes{&pass0, &pass1};
+  er::EditDistanceMatcher matcher(0.8);
+
+  auto run = [&](mr::ExecutionMode mode) {
+    core::ErPipelineConfig pcfg;
+    pcfg.strategy = GetParam();
+    pcfg.num_map_tasks = 3;
+    pcfg.num_reduce_tasks = 6;
+    pcfg.num_workers = 4;
+    pcfg.execution.mode = mode;
+    pcfg.execution.io_buffer_bytes = 512;
+    core::ErPipeline pipeline(pcfg);
+    return core::DeduplicateMultiPass(pipeline, *entities, passes,
+                                      matcher);
+  };
+  auto mem = run(mr::ExecutionMode::kInMemory);
+  auto ext = run(mr::ExecutionMode::kExternal);
+  ASSERT_TRUE(mem.ok()) << mem.status().ToString();
+  ASSERT_TRUE(ext.ok()) << ext.status().ToString();
+
+  EXPECT_GT(mem->matches.size(), 0u);
+  EXPECT_EQ(mem->matches.pairs(), ext->matches.pairs());
+  EXPECT_EQ(mem->suppressed_duplicates, ext->suppressed_duplicates);
+  EXPECT_GT(mem->suppressed_duplicates, 0);
+  EXPECT_EQ(mem->comparisons, ext->comparisons);
+
+  // Stage-by-stage: same graph shape, same per-task counters, and the
+  // external run really spilled in every MR stage.
+  ASSERT_EQ(mem->report.stages.size(), ext->report.stages.size());
+  bool spilled_somewhere = false;
+  for (size_t i = 0; i < mem->report.stages.size(); ++i) {
+    const core::StageReport& a = mem->report.stages[i];
+    const core::StageReport& b = ext->report.stages[i];
+    EXPECT_EQ(a.stage, b.stage);
+    EXPECT_EQ(a.comparisons, b.comparisons) << a.stage;
+    EXPECT_EQ(a.output_records, b.output_records) << a.stage;
+    ASSERT_EQ(a.job.has_value(), b.job.has_value());
+    if (a.job.has_value()) {
+      EXPECT_FALSE(a.job->external);
+      EXPECT_TRUE(b.job->external) << b.stage;
+      spilled_somewhere |= b.spill_bytes > 0;
+      EXPECT_EQ(a.job->counters.values(), b.job->counters.values())
+          << a.stage;
+      ASSERT_EQ(a.job->reduce_tasks.size(), b.job->reduce_tasks.size());
+      for (size_t t = 0; t < a.job->reduce_tasks.size(); ++t) {
+        EXPECT_EQ(a.job->reduce_tasks[t].input_records,
+                  b.job->reduce_tasks[t].input_records);
+        EXPECT_EQ(a.job->reduce_tasks[t].groups,
+                  b.job->reduce_tasks[t].groups);
+      }
+    }
+  }
+  EXPECT_TRUE(spilled_somewhere);
+
+  // And both agree with the brute-force reference.
+  auto reference =
+      core::ReferenceMultiPassDeduplicate(*entities, passes, matcher);
+  EXPECT_TRUE(mem->matches.SameAs(reference));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, MultiPassExternalTest,
+                         ::testing::Values(StrategyKind::kBasic,
+                                           StrategyKind::kBlockSplit,
+                                           StrategyKind::kPairRange),
+                         [](const auto& info) {
+                           return lb::StrategyKindToName(info.param);
+                         });
+
 // ---------------------------------------------------------------------
 // CSV entity I/O.
 // ---------------------------------------------------------------------

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/io_buffer.h"
 #include "core/reference.h"
+#include "er/entity_io.h"
 #include "er/evaluation.h"
 #include "gen/product_gen.h"
 #include "gen/skew_gen.h"
@@ -173,6 +175,71 @@ TEST(PipelineTest, RecallOnInjectedDuplicatesIsHigh) {
   // the 0.8 edit-similarity threshold.
   EXPECT_GT(quality.Recall(), 0.6);
   EXPECT_GT(quality.true_positives, 50u);
+}
+
+// ---- ErPipelineConfig::Validate: contradictory knobs fail up front ------
+
+TEST(PipelineConfigValidateTest, DefaultConfigIsValid) {
+  EXPECT_TRUE(ErPipelineConfig{}.Validate().ok());
+}
+
+TEST(PipelineConfigValidateTest, ZeroKnobsRejected) {
+  auto entities = SmallProducts(50, 5);
+  er::PrefixBlocking blocking(0, 3);
+  er::EditDistanceMatcher matcher(0.8);
+  auto expect_invalid = [&](ErPipelineConfig cfg, const char* what) {
+    EXPECT_TRUE(cfg.Validate().IsInvalidArgument()) << what;
+    EXPECT_NE(cfg.Validate().ToString().find(what), std::string::npos);
+    // The same rejection reaches every entry point.
+    ErPipeline pipeline(cfg);
+    EXPECT_TRUE(pipeline.Deduplicate(entities, blocking, matcher)
+                    .status()
+                    .IsInvalidArgument())
+        << what;
+  };
+  ErPipelineConfig cfg;
+  cfg.num_map_tasks = 0;
+  expect_invalid(cfg, "num_map_tasks");
+  cfg = ErPipelineConfig{};
+  cfg.num_reduce_tasks = 0;
+  expect_invalid(cfg, "num_reduce_tasks");
+  cfg = ErPipelineConfig{};
+  cfg.sub_splits = 0;
+  expect_invalid(cfg, "sub_splits");
+  cfg = ErPipelineConfig{};
+  cfg.csv_split_records = 0;
+  expect_invalid(cfg, "csv_split_records");
+  // Previously a CHECK-crash deep inside JobRunner; now a status.
+  cfg = ErPipelineConfig{};
+  cfg.execution.io_buffer_bytes = 0;
+  expect_invalid(cfg, "io_buffer_bytes");
+}
+
+TEST(PipelineConfigValidateTest, CsvPathRejectsTunedNumMapTasks) {
+  // num_map_tasks is meaningless on the CSV path (m follows
+  // csv_split_records); it used to be silently ignored — now it errors.
+  auto base = ScopedTempDir::Make();
+  ASSERT_TRUE(base.ok());
+  const std::string csv_path = base->path() + "/in.csv";
+  ASSERT_TRUE(
+      er::SaveEntitiesToCsv(csv_path, SmallProducts(20, 5)).ok());
+  er::CsvSchema schema;
+  schema.id_column = 0;
+  er::PrefixBlocking blocking(0, 3);
+  er::EditDistanceMatcher matcher(0.8);
+
+  ErPipelineConfig cfg;
+  cfg.num_map_tasks = 7;
+  ErPipeline tuned(cfg);
+  Status status =
+      tuned.DeduplicateCsv(csv_path, schema, blocking, matcher).status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.ToString().find("num_map_tasks"), std::string::npos);
+
+  // The default passes.
+  ErPipeline untouched{ErPipelineConfig{}};
+  EXPECT_TRUE(
+      untouched.DeduplicateCsv(csv_path, schema, blocking, matcher).ok());
 }
 
 TEST(PipelineTest, EmptyInputRejected) {

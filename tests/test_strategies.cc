@@ -26,6 +26,27 @@ using testing_util::PaperTwoSourcePartitions;
 using testing_util::PaperTwoSourceTags;
 using testing_util::RunStrategy;
 
+// StrategyKindToName / StrategyKindFromName are exact inverses — the
+// single spelling shared by CLI parsing, reports, and plan JSON.
+TEST(StrategyNameTest, ToNameFromNameRoundTrips) {
+  for (StrategyKind kind : lb::AllStrategies()) {
+    const char* name = lb::StrategyKindToName(kind);
+    auto parsed = lb::StrategyKindFromName(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(*parsed, kind) << name;
+    // StrategyName stays as an alias of the canonical spelling.
+    EXPECT_STREQ(lb::StrategyName(kind), name);
+  }
+}
+
+TEST(StrategyNameTest, FromNameIsCaseInsensitiveAndRejectsUnknown) {
+  auto parsed = lb::StrategyKindFromName("blocksplit");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, StrategyKind::kBlockSplit);
+  EXPECT_TRUE(
+      lb::StrategyKindFromName("NotAStrategy").status().IsInvalidArgument());
+}
+
 /// Matcher that accepts every pair — turns the match result into "the set
 /// of compared pairs", making coverage directly observable.
 er::LambdaMatcher AcceptAll() {
