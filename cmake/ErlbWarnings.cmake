@@ -4,6 +4,13 @@ add_library(erlb_warnings INTERFACE)
 
 if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
   target_compile_options(erlb_warnings INTERFACE -Wall -Wextra)
+  if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+    # Clang's static thread-safety analysis over the ERLB_GUARDED_BY /
+    # ERLB_REQUIRES annotations (src/common/annotations.h). Combined
+    # with ERLB_WERROR in the clang CI leg, an unguarded access is a
+    # build break, not a warning.
+    target_compile_options(erlb_warnings INTERFACE -Wthread-safety)
+  endif()
   if(ERLB_WERROR)
     target_compile_options(erlb_warnings INTERFACE -Werror)
   endif()

@@ -47,19 +47,19 @@ class Bdm {
   /// \param triples        reduce outputs (any order; keys may repeat per
   ///                       partition only once)
   /// \param num_partitions m, the number of input partitions
-  static Result<Bdm> FromTriples(const std::vector<BdmTriple>& triples,
+  [[nodiscard]] static Result<Bdm> FromTriples(const std::vector<BdmTriple>& triples,
                                  uint32_t num_partitions);
 
   /// Builds a two-source BDM. `partition_sources[i]` tags input partition
   /// i with its source; triples must agree with the tags.
-  static Result<Bdm> FromTriplesTwoSource(
+  [[nodiscard]] static Result<Bdm> FromTriplesTwoSource(
       const std::vector<BdmTriple>& triples,
       const std::vector<er::Source>& partition_sources);
 
   /// Convenience: computes a BDM directly from partitions + blocking keys
   /// without running the MR job (used by tests and the planner fast path).
   /// `keys[p][i]` is the blocking key of the i-th entity of partition p.
-  static Result<Bdm> FromKeys(
+  [[nodiscard]] static Result<Bdm> FromKeys(
       const std::vector<std::vector<std::string>>& keys_per_partition,
       const std::vector<er::Source>* partition_sources = nullptr);
 
@@ -70,7 +70,7 @@ class Bdm {
   uint32_t num_partitions() const { return num_partitions_; }
 
   /// Index of `key`, or NotFound. O(1) average.
-  Result<uint32_t> BlockIndex(std::string_view key) const;
+  [[nodiscard]] Result<uint32_t> BlockIndex(std::string_view key) const;
   /// True iff `key` occurs in the input.
   bool HasBlock(std::string_view key) const;
 

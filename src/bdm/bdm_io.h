@@ -16,10 +16,10 @@ namespace bdm {
 
 /// Writes `bdm` as CSV triples (with header). Two-source BDMs also
 /// persist the partition source tags (as a leading metadata row).
-Status SaveBdmToCsv(const std::string& path, const Bdm& bdm);
+[[nodiscard]] Status SaveBdmToCsv(const std::string& path, const Bdm& bdm);
 
 /// Reads a BDM written by SaveBdmToCsv.
-Result<Bdm> LoadBdmFromCsv(const std::string& path);
+[[nodiscard]] Result<Bdm> LoadBdmFromCsv(const std::string& path);
 
 }  // namespace bdm
 }  // namespace erlb

@@ -57,7 +57,7 @@ struct BdmJobOutput {
 };
 
 /// Runs Algorithm 3 over `input` (one map task per partition).
-Result<BdmJobOutput> RunBdmJob(const er::Partitions& input,
+[[nodiscard]] Result<BdmJobOutput> RunBdmJob(const er::Partitions& input,
                                const er::BlockingFunction& blocking,
                                const BdmJobOptions& options,
                                const mr::JobRunner& runner);

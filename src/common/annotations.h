@@ -1,0 +1,79 @@
+// Clang thread-safety-analysis annotations (no-ops on other compilers).
+//
+// Annotating which mutex guards which field, and which methods require or
+// acquire which lock, lets `clang -Wthread-safety` prove at compile time
+// that every access to shared state happens under the right lock — the
+// static, always-on complement to the TSan CI job. The macro names and
+// spellings follow the Clang documentation (and Abseil's macro set); on
+// GCC/MSVC they expand to nothing, so annotated code stays portable.
+//
+// Usage (see common/mutex.h for the annotated primitives):
+//
+//   class Queue {
+//    public:
+//     void Push(int v) ERLB_EXCLUDES(mu_) {
+//       MutexLock lock(&mu_);
+//       items_.push_back(v);
+//     }
+//    private:
+//     Mutex mu_;
+//     std::vector<int> items_ ERLB_GUARDED_BY(mu_);
+//   };
+//
+// The clang CI leg builds with `-Wthread-safety -Werror`, so an unguarded
+// access to `items_` fails the build (tests/static_analysis/ keeps a
+// negative-compilation fixture proving it).
+#ifndef ERLB_COMMON_ANNOTATIONS_H_
+#define ERLB_COMMON_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define ERLB_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ERLB_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define ERLB_CAPABILITY(x) ERLB_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define ERLB_SCOPED_CAPABILITY ERLB_THREAD_ANNOTATION_(scoped_lockable)
+
+/// The annotated field may only be read or written while holding `x`.
+#define ERLB_GUARDED_BY(x) ERLB_THREAD_ANNOTATION_(guarded_by(x))
+
+/// The pointee of the annotated pointer is guarded by `x` (the pointer
+/// itself is not).
+#define ERLB_PT_GUARDED_BY(x) ERLB_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Callers must hold the listed capabilities (and the function does not
+/// release them).
+#define ERLB_REQUIRES(...) \
+  ERLB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on return.
+#define ERLB_ACQUIRE(...) \
+  ERLB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (held on entry).
+#define ERLB_RELEASE(...) \
+  ERLB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns the given value,
+/// e.g. `bool TryLock() ERLB_TRY_ACQUIRE(true)`.
+#define ERLB_TRY_ACQUIRE(...) \
+  ERLB_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Callers must NOT hold the listed capabilities (deadlock prevention for
+/// self-locking methods).
+#define ERLB_EXCLUDES(...) ERLB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// The function returns a reference to the capability `x`.
+#define ERLB_RETURN_CAPABILITY(x) ERLB_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function (use sparingly,
+/// with a comment explaining why the invariant holds anyway).
+#define ERLB_NO_THREAD_SAFETY_ANALYSIS \
+  ERLB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // ERLB_COMMON_ANNOTATIONS_H_

@@ -48,13 +48,13 @@ Result<std::vector<std::vector<std::string>>> ReadCsvFile(
 /// \endcode
 class CsvChunkReader {
  public:
-  static Result<CsvChunkReader> Open(const std::string& path,
+  [[nodiscard]] static Result<CsvChunkReader> Open(const std::string& path,
                                      char delim = ',',
                                      size_t buffer_bytes = 1 << 16);
 
   /// Replaces `*rows` with up to `max_rows` parsed rows. Returns false
   /// when the file was already exhausted (rows is then empty).
-  Result<bool> NextChunk(size_t max_rows,
+  [[nodiscard]] Result<bool> NextChunk(size_t max_rows,
                          std::vector<std::vector<std::string>>* rows);
 
   /// True once the file is fully consumed.
@@ -65,7 +65,7 @@ class CsvChunkReader {
       : delim_(delim), block_(buffer_bytes) {}
 
   /// Extracts the next line into line_; false at end of input.
-  Result<bool> NextLine();
+  [[nodiscard]] Result<bool> NextLine();
 
   BufferedFileReader reader_;
   char delim_;
@@ -78,7 +78,7 @@ class CsvChunkReader {
 };
 
 /// Writes rows to `path`, overwriting. Returns IOError on failure.
-Status WriteCsvFile(const std::string& path,
+[[nodiscard]] Status WriteCsvFile(const std::string& path,
                     const std::vector<std::vector<std::string>>& rows,
                     char delim = ',');
 

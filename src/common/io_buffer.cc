@@ -24,7 +24,9 @@ Status ErrnoStatus(const std::string& what, const std::string& path) {
 // ---- BufferedFileWriter ---------------------------------------------------
 
 BufferedFileWriter::~BufferedFileWriter() {
-  if (fd_ >= 0) Close();  // best-effort; error already sticky
+  // Best-effort: a destructor cannot propagate the error, and it is
+  // already sticky in error_ for anyone who asked.
+  if (fd_ >= 0) static_cast<void>(Close());
 }
 
 BufferedFileWriter::BufferedFileWriter(BufferedFileWriter&& other) noexcept
@@ -39,7 +41,9 @@ BufferedFileWriter::BufferedFileWriter(BufferedFileWriter&& other) noexcept
 BufferedFileWriter& BufferedFileWriter::operator=(
     BufferedFileWriter&& other) noexcept {
   if (this != &other) {
-    if (fd_ >= 0) Close();
+    // Best-effort, as in the destructor: the overwritten writer's error
+    // is sticky and about to be replaced wholesale.
+    if (fd_ >= 0) static_cast<void>(Close());
     fd_ = std::exchange(other.fd_, -1);
     path_ = std::move(other.path_);
     buffer_ = std::move(other.buffer_);

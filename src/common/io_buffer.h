@@ -39,17 +39,17 @@ class BufferedFileWriter {
   BufferedFileWriter& operator=(BufferedFileWriter&& other) noexcept;
 
   /// Creates (or truncates) `path` for writing. `buffer_bytes` >= 1.
-  Status Open(const std::string& path, size_t buffer_bytes = 1 << 17);
+  [[nodiscard]] Status Open(const std::string& path, size_t buffer_bytes = 1 << 17);
 
   /// Appends `n` bytes. Once any Append/Flush fails, every later call
   /// returns the same error (the writer is sticky-failed).
-  Status Append(const void* data, size_t n);
+  [[nodiscard]] Status Append(const void* data, size_t n);
 
   /// Flushes the user-space buffer to the OS.
-  Status Flush();
+  [[nodiscard]] Status Flush();
 
   /// Flush + close. Returns the first error encountered, if any.
-  Status Close();
+  [[nodiscard]] Status Close();
 
   bool is_open() const { return fd_ >= 0; }
   const std::string& path() const { return path_; }
@@ -62,7 +62,7 @@ class BufferedFileWriter {
   void InjectFailureAfter(uint64_t bytes) { fail_after_bytes_ = bytes; }
 
  private:
-  Status WriteRaw(const char* data, size_t n);
+  [[nodiscard]] Status WriteRaw(const char* data, size_t n);
 
   int fd_ = -1;
   std::string path_;
@@ -85,25 +85,25 @@ class BufferedFileReader {
   BufferedFileReader& operator=(BufferedFileReader&& other) noexcept;
 
   /// Opens `path` for reading. `buffer_bytes` >= 1.
-  Status Open(const std::string& path, size_t buffer_bytes = 1 << 17);
+  [[nodiscard]] Status Open(const std::string& path, size_t buffer_bytes = 1 << 17);
 
   /// Repositions the next Read at absolute `offset` (drops the buffer
   /// unless the target is already buffered).
-  Status Seek(uint64_t offset);
+  [[nodiscard]] Status Seek(uint64_t offset);
 
   /// Reads up to `n` bytes into `data`; returns the count actually read
   /// (< n only at end of file).
-  Result<size_t> Read(void* data, size_t n);
+  [[nodiscard]] Result<size_t> Read(void* data, size_t n);
 
   /// Reads exactly `n` bytes; end of file before `n` bytes is an IOError.
-  Status ReadExact(void* data, size_t n);
+  [[nodiscard]] Status ReadExact(void* data, size_t n);
 
   bool is_open() const { return fd_ >= 0; }
   const std::string& path() const { return path_; }
   /// Absolute offset of the next byte Read will return.
   uint64_t position() const { return buffer_offset_ + buffer_pos_; }
 
-  Status Close();
+  [[nodiscard]] Status Close();
 
  private:
   int fd_ = -1;
@@ -120,7 +120,7 @@ class ScopedTempDir {
   /// Creates a fresh directory `<base>/erlb-<pid>-<seq>-<rand>`; empty
   /// `base` uses the system temp directory. The base is created first if
   /// missing.
-  static Result<ScopedTempDir> Make(const std::string& base = "",
+  [[nodiscard]] static Result<ScopedTempDir> Make(const std::string& base = "",
                                     const std::string& prefix = "erlb");
 
   ScopedTempDir(const ScopedTempDir&) = delete;

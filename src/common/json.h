@@ -83,7 +83,7 @@ class Json {
   std::string Dump(int indent = -1) const;
 
   /// Parses a complete JSON document (trailing garbage is an error).
-  static Result<Json> Parse(std::string_view text);
+  [[nodiscard]] static Result<Json> Parse(std::string_view text);
 
   friend bool operator==(const Json& a, const Json& b) {
     return a.value_ == b.value_;

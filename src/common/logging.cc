@@ -2,12 +2,21 @@
 
 #include <atomic>
 
+#include "common/mutex.h"
 #include "common/status.h"
 
 namespace erlb {
 
 namespace {
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Serializes the final write of each log line: worker threads log
+/// concurrently, and without this, two messages (or a message and its
+/// newline) can interleave on stderr.
+Mutex& SinkMutex() {
+  static Mutex mu;
+  return mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -45,7 +54,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line, bool fatal)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::cerr << stream_.str() << std::endl;
+    stream_ << '\n';
+    const std::string line = stream_.str();
+    MutexLock lock(&SinkMutex());
+    std::cerr << line << std::flush;
   }
   if (fatal_) std::abort();
 }

@@ -1,0 +1,90 @@
+// Annotated mutex primitives: drop-in std::mutex semantics plus Clang
+// thread-safety capability annotations (common/annotations.h).
+//
+// Every mutex in the tree goes through these wrappers — raw std::mutex /
+// std::lock_guard / std::condition_variable outside this header is a
+// tools/lint_erlb.py error — so that `clang -Wthread-safety` can check
+// lock discipline on every build:
+//
+//   Mutex      a capability; fields it protects carry ERLB_GUARDED_BY.
+//   MutexLock  RAII scoped lock (std::lock_guard equivalent).
+//   CondVar    condition variable; Wait(&mu) must be called with `mu`
+//              held and holds it again on return, like
+//              std::condition_variable::wait on the owning unique_lock.
+//
+// The wrappers compile to exactly the std primitives (no extra state, no
+// virtual calls); TSan-preset tests assert the semantics stay identical.
+#ifndef ERLB_COMMON_MUTEX_H_
+#define ERLB_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.h"
+
+namespace erlb {
+
+class CondVar;
+
+/// A std::mutex annotated as a thread-safety capability.
+class ERLB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ERLB_ACQUIRE() { mu_.lock(); }
+  void Unlock() ERLB_RELEASE() { mu_.unlock(); }
+  bool TryLock() ERLB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex (std::lock_guard semantics).
+class ERLB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ERLB_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() ERLB_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with an erlb::Mutex.
+///
+/// Wait() atomically releases `mu`, blocks, and reacquires `mu` before
+/// returning — the caller must hold `mu` (via MutexLock) and, as with any
+/// condition variable, re-check its predicate in a loop:
+///
+///   MutexLock lock(&mu_);
+///   while (!done_) cv_.Wait(&mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken). `mu` is held on entry
+  /// and on return.
+  void Wait(Mutex* mu) ERLB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    // The outer MutexLock still owns the mutex; keep it locked here.
+    lock.release();
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace erlb
+
+#endif  // ERLB_COMMON_MUTEX_H_

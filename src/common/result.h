@@ -20,7 +20,7 @@ namespace erlb {
 ///   Bdm bdm = std::move(r).ValueOrDie();
 /// \endcode
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding a value.
   Result(T value) : var_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -37,7 +37,7 @@ class Result {
   bool ok() const { return std::holds_alternative<T>(var_); }
 
   /// The status; OK iff a value is present.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     return ok() ? Status::OK() : std::get<Status>(var_);
   }
 

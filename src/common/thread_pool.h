@@ -3,12 +3,13 @@
 #ifndef ERLB_COMMON_THREAD_POOL_H_
 #define ERLB_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace erlb {
 
@@ -28,22 +29,24 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task. Thread-safe.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) ERLB_EXCLUDES(mu_);
 
   /// Blocks until all submitted tasks have completed.
-  void Wait();
+  void Wait() ERLB_EXCLUDES(mu_);
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() ERLB_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar task_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ ERLB_GUARDED_BY(mu_);
+  size_t in_flight_ ERLB_GUARDED_BY(mu_) = 0;
+  bool shutdown_ ERLB_GUARDED_BY(mu_) = false;
+  // Written only by the constructor and joined by the destructor; no
+  // worker touches it, so it needs no guard.
   std::vector<std::thread> workers_;
 };
 

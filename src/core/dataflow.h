@@ -152,7 +152,7 @@ class Stage {
   const std::vector<std::string>& inputs() const { return inputs_; }
   const std::vector<std::string>& outputs() const { return outputs_; }
 
-  virtual Status Run(DataflowContext* ctx) = 0;
+  [[nodiscard]] virtual Status Run(DataflowContext* ctx) = 0;
 
  protected:
   explicit Stage(std::string name) : name_(std::move(name)) {}
@@ -217,7 +217,7 @@ class Dataflow {
 
   /// Provides an externally produced dataset (graph input). Fails if the
   /// name is already bound.
-  Status AddInput(std::string dataset, Dataset value);
+  [[nodiscard]] Status AddInput(std::string dataset, Dataset value);
 
   /// Transfers ownership of a helper object (wrapped matcher, filter,
   /// counter) to the graph; it lives as long as the Dataflow.
@@ -232,14 +232,14 @@ class Dataflow {
   /// once (externally or by one stage), every consumed dataset produced
   /// somewhere, and an acyclic dependency order. Run() validates
   /// implicitly; call this to fail fast while composing.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   /// Executes the graph once: validates, creates the shared pool and (for
   /// spillable modes) the graph-scoped temp dir (both released when Run
   /// returns — every spill file lives inside it), runs stages in
   /// dependency order, and returns the per-stage report. A Dataflow is
   /// single-shot; a second Run is FailedPrecondition.
-  Result<DataflowReport> Run();
+  [[nodiscard]] Result<DataflowReport> Run();
 
   /// A dataset by name, or nullptr if absent (or not yet produced).
   const Dataset* Find(std::string_view name) const;
@@ -247,7 +247,7 @@ class Dataflow {
   /// Typed dataset access; InvalidArgument on missing name or type
   /// mismatch.
   template <typename T>
-  Result<const T*> Get(std::string_view dataset) const {
+  [[nodiscard]] Result<const T*> Get(std::string_view dataset) const {
     const Dataset* found = Find(dataset);
     if (found == nullptr) {
       return Status::InvalidArgument("dataflow: no dataset named \"" +
@@ -264,7 +264,7 @@ class Dataflow {
 
   /// Moves a dataset out of the graph (it becomes empty in place).
   template <typename T>
-  Result<T> Take(std::string_view dataset) {
+  [[nodiscard]] Result<T> Take(std::string_view dataset) {
     auto it = datasets_.find(dataset);
     if (it == datasets_.end()) {
       return Status::InvalidArgument("dataflow: no dataset named \"" +
@@ -285,7 +285,7 @@ class Dataflow {
   friend class DataflowContext;
 
   /// Validates and returns the stages in one executable order.
-  Result<std::vector<Stage*>> ExecutionOrder() const;
+  [[nodiscard]] Result<std::vector<Stage*>> ExecutionOrder() const;
 
   DataflowOptions options_;
   std::vector<std::unique_ptr<Stage>> stages_;
@@ -302,13 +302,13 @@ class DataflowContext {
   /// Typed input dataset; InvalidArgument if `name` is not one of the
   /// stage's declared inputs or holds a different type.
   template <typename T>
-  Result<const T*> In(std::string_view name) const {
+  [[nodiscard]] Result<const T*> In(std::string_view name) const {
     ERLB_RETURN_NOT_OK(CheckDeclared(stage_->inputs(), name, "input"));
     return dataflow_->Get<T>(name);
   }
 
   /// Emits a declared output dataset.
-  Status Out(std::string_view name, Dataset value);
+  [[nodiscard]] Status Out(std::string_view name, Dataset value);
 
   /// The shared runner: one pool + one ExecutionOptions for the whole
   /// graph.
@@ -327,7 +327,7 @@ class DataflowContext {
         runner_(runner),
         report_(report) {}
 
-  static Status CheckDeclared(const std::vector<std::string>& declared,
+  [[nodiscard]] static Status CheckDeclared(const std::vector<std::string>& declared,
                               std::string_view name, const char* what);
 
   Dataflow* dataflow_;

@@ -48,7 +48,7 @@ struct MultiPassResult {
 /// at least one blocking function. The pipeline contributes its
 /// configuration (strategy, task counts, execution mode); the run itself
 /// is one composed dataflow.
-Result<MultiPassResult> DeduplicateMultiPass(
+[[nodiscard]] Result<MultiPassResult> DeduplicateMultiPass(
     const ErPipeline& pipeline, const std::vector<er::Entity>& entities,
     const std::vector<const er::BlockingFunction*>& passes,
     const er::Matcher& matcher);

@@ -74,7 +74,7 @@ struct ErPipelineConfig {
   /// inside a job. Called by every pipeline entry point; the CSV entry
   /// point additionally rejects a non-default num_map_tasks, which that
   /// path would otherwise silently ignore (m follows csv_split_records).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Everything a pipeline run produces.
@@ -106,7 +106,7 @@ class ErPipeline {
   const ErPipelineConfig& config() const { return config_; }
 
   /// One-source deduplication of `entities`.
-  Result<ErPipelineResult> Deduplicate(
+  [[nodiscard]] Result<ErPipelineResult> Deduplicate(
       const std::vector<er::Entity>& entities,
       const er::BlockingFunction& blocking,
       const er::Matcher& matcher) const;
@@ -119,14 +119,14 @@ class ErPipeline {
   /// default — a non-default value is InvalidArgument rather than
   /// silently ignored. Combine with ExecutionMode::kExternal (or a low
   /// spill threshold under kAuto) for an end-to-end out-of-core run.
-  Result<ErPipelineResult> DeduplicateCsv(
+  [[nodiscard]] Result<ErPipelineResult> DeduplicateCsv(
       const std::string& csv_path, const er::CsvSchema& schema,
       const er::BlockingFunction& blocking,
       const er::Matcher& matcher) const;
 
   /// Same, over pre-partitioned input (entities already wrapped and split
   /// into m partitions; config.num_map_tasks is ignored).
-  Result<ErPipelineResult> DeduplicatePartitioned(
+  [[nodiscard]] Result<ErPipelineResult> DeduplicatePartitioned(
       const er::Partitions& partitions,
       const er::BlockingFunction& blocking,
       const er::Matcher& matcher) const;
@@ -140,7 +140,7 @@ class ErPipeline {
   /// must be >= 1). The plan's BDM fingerprint must match the BDM
   /// computed for `partitions` (InvalidArgument otherwise). The result's
   /// `plan` field is left empty — the caller already holds the plan.
-  Result<ErPipelineResult> DeduplicatePartitioned(
+  [[nodiscard]] Result<ErPipelineResult> DeduplicatePartitioned(
       const er::Partitions& partitions,
       const er::BlockingFunction& blocking, const er::Matcher& matcher,
       const lb::MatchPlan& plan) const;
@@ -148,13 +148,13 @@ class ErPipeline {
   /// Two-source linkage R×S (Appendix I). Sources are tagged internally;
   /// map tasks are divided between the sources proportionally to size
   /// (each partition holds one source only, the MultipleInputs layout).
-  Result<ErPipelineResult> Link(const std::vector<er::Entity>& r_entities,
+  [[nodiscard]] Result<ErPipelineResult> Link(const std::vector<er::Entity>& r_entities,
                                 const std::vector<er::Entity>& s_entities,
                                 const er::BlockingFunction& blocking,
                                 const er::Matcher& matcher) const;
 
  private:
-  Result<ErPipelineResult> RunPartitioned(
+  [[nodiscard]] Result<ErPipelineResult> RunPartitioned(
       const er::Partitions& partitions,
       const std::vector<er::Source>* partition_sources,
       const er::BlockingFunction& blocking, const er::Matcher& matcher,
@@ -183,7 +183,7 @@ StandardGraphOptions StandardGraphOptionsFrom(const ErPipelineConfig& config);
 /// producing that dataset — then calls Run() and reads kDatasetMatches
 /// plus the per-stage report. `blocking` and `matcher` must outlive the
 /// run. Validates `config` up front.
-Result<Dataflow> BuildStandardDataflow(
+[[nodiscard]] Result<Dataflow> BuildStandardDataflow(
     const ErPipelineConfig& config, const er::BlockingFunction& blocking,
     const er::Matcher& matcher,
     const lb::MatchPlan* prebuilt_plan = nullptr);
@@ -267,14 +267,14 @@ class ErPipelineBuilder {
 /// Section III: deduplication when some entities lack a blocking key.
 /// match_B(R) = match_B(R−R∅) ∪ match_⊥(R−R∅, R∅) ∪ match_⊥(R∅):
 /// entities without key are compared against everything.
-Result<er::MatchResult> DeduplicateWithMissingKeys(
+[[nodiscard]] Result<er::MatchResult> DeduplicateWithMissingKeys(
     const ErPipeline& pipeline, const std::vector<er::Entity>& entities,
     const er::BlockingFunction& blocking, const er::Matcher& matcher);
 
 /// Appendix I: linkage with missing keys,
 /// match_B(R,S) = match_B(R−R∅, S−S∅) ∪ match_⊥(R, S∅)
 ///                ∪ match_⊥(R∅, S−S∅).
-Result<er::MatchResult> LinkWithMissingKeys(
+[[nodiscard]] Result<er::MatchResult> LinkWithMissingKeys(
     const ErPipeline& pipeline, const std::vector<er::Entity>& r_entities,
     const std::vector<er::Entity>& s_entities,
     const er::BlockingFunction& blocking, const er::Matcher& matcher);

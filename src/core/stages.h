@@ -55,7 +55,7 @@ class CsvSourceStage : public Stage {
                  std::string csv_path, er::CsvSchema schema,
                  uint32_t split_records);
   const char* kind() const override { return "csv_source"; }
-  Status Run(DataflowContext* ctx) override;
+  [[nodiscard]] Status Run(DataflowContext* ctx) override;
 
  private:
   std::string out_;
@@ -76,7 +76,7 @@ class EntitySourceStage : public Stage {
                     const std::vector<er::Entity>* entities,
                     uint32_t num_partitions, Filter filter = nullptr);
   const char* kind() const override { return "entity_source"; }
-  Status Run(DataflowContext* ctx) override;
+  [[nodiscard]] Status Run(DataflowContext* ctx) override;
 
  private:
   std::string out_;
@@ -101,7 +101,7 @@ class BdmStage : public Stage {
            std::string out_annotated, const er::BlockingFunction* blocking,
            BdmStageOptions options);
   const char* kind() const override { return "bdm"; }
-  Status Run(DataflowContext* ctx) override;
+  [[nodiscard]] Status Run(DataflowContext* ctx) override;
 
  private:
   std::string in_;
@@ -119,7 +119,7 @@ class PlanStage : public Stage {
   PlanStage(std::string name, std::string in_bdm, std::string out_plan,
             lb::StrategyKind strategy, lb::MatchJobOptions options);
   const char* kind() const override { return "plan"; }
-  Status Run(DataflowContext* ctx) override;
+  [[nodiscard]] Status Run(DataflowContext* ctx) override;
 
  private:
   std::string in_;
@@ -137,7 +137,7 @@ class MatchStage : public Stage {
              std::string in_annotated, std::string in_bdm,
              std::string out_matches, const er::Matcher* matcher);
   const char* kind() const override { return "match"; }
-  Status Run(DataflowContext* ctx) override;
+  [[nodiscard]] Status Run(DataflowContext* ctx) override;
 
  private:
   std::string in_plan_;
@@ -157,7 +157,7 @@ class BasicMatchStage : public Stage {
                   const er::BlockingFunction* blocking,
                   const er::Matcher* matcher, lb::MatchJobOptions options);
   const char* kind() const override { return "basic_match"; }
-  Status Run(DataflowContext* ctx) override;
+  [[nodiscard]] Status Run(DataflowContext* ctx) override;
 
  private:
   std::string in_;
@@ -174,7 +174,7 @@ class ClusterStage : public Stage {
   ClusterStage(std::string name, std::string in_matches,
                std::string out_clusters);
   const char* kind() const override { return "cluster"; }
-  Status Run(DataflowContext* ctx) override;
+  [[nodiscard]] Status Run(DataflowContext* ctx) override;
 
  private:
   std::string in_;
@@ -188,7 +188,7 @@ class UnionMatchesStage : public Stage {
   UnionMatchesStage(std::string name, std::vector<std::string> in_matches,
                     std::string out_matches);
   const char* kind() const override { return "union"; }
-  Status Run(DataflowContext* ctx) override;
+  [[nodiscard]] Status Run(DataflowContext* ctx) override;
 
  private:
   std::vector<std::string> ins_;
@@ -221,7 +221,7 @@ struct StandardGraphOptions {
 /// plan stage is skipped and a copy of the plan is bound as the plan
 /// dataset; the plan then decides the matching job's strategy. Basic
 /// without a pre-built plan composes as its single-job form.
-Status AddStandardGraph(Dataflow* df, const StandardGraphOptions& options,
+[[nodiscard]] Status AddStandardGraph(Dataflow* df, const StandardGraphOptions& options,
                         const er::BlockingFunction* blocking,
                         const er::Matcher* matcher,
                         const std::string& dataset_prefix = "",
@@ -236,7 +236,7 @@ Status AddStandardGraph(Dataflow* df, const StandardGraphOptions& options,
 /// duplicate evaluations across all passes. A distinct `name_prefix`
 /// per call lets several multi-pass subgraphs coexist in one graph.
 /// `entities` and `passes` are not owned and must outlive Run().
-Status AddMultiPassGraph(Dataflow* df, const StandardGraphOptions& options,
+[[nodiscard]] Status AddMultiPassGraph(Dataflow* df, const StandardGraphOptions& options,
                          uint32_t num_map_tasks,
                          const std::vector<er::Entity>* entities,
                          const std::vector<const er::BlockingFunction*>* passes,

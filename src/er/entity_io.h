@@ -30,7 +30,7 @@ struct CsvSchema {
 
 /// Loads entities from a CSV file. Rows with too few columns yield
 /// InvalidArgument; an unparsable id yields InvalidArgument.
-Result<std::vector<Entity>> LoadEntitiesFromCsv(const std::string& path,
+[[nodiscard]] Result<std::vector<Entity>> LoadEntitiesFromCsv(const std::string& path,
                                                 const CsvSchema& schema);
 
 /// Streaming loader: reads `path` through a bounded read buffer
@@ -40,20 +40,20 @@ Result<std::vector<Entity>> LoadEntitiesFromCsv(const std::string& path,
 /// the load and is returned. Returns the total number of entities
 /// delivered. LoadEntitiesFromCsv is this loader draining into one
 /// vector.
-Result<uint64_t> LoadEntitiesFromCsvChunked(
+[[nodiscard]] Result<uint64_t> LoadEntitiesFromCsvChunked(
     const std::string& path, const CsvSchema& schema, size_t chunk_rows,
     const std::function<Status(std::vector<Entity>&&)>& sink);
 
 /// Writes entities as CSV: id, then each field. Includes a header row.
-Status SaveEntitiesToCsv(const std::string& path,
+[[nodiscard]] Status SaveEntitiesToCsv(const std::string& path,
                          const std::vector<Entity>& entities);
 
 /// Writes a match result as CSV with columns id1,id2 (canonical order).
-Status SaveMatchesToCsv(const std::string& path,
+[[nodiscard]] Status SaveMatchesToCsv(const std::string& path,
                         const MatchResult& matches);
 
 /// Reads a match result written by SaveMatchesToCsv.
-Result<MatchResult> LoadMatchesFromCsv(const std::string& path);
+[[nodiscard]] Result<MatchResult> LoadMatchesFromCsv(const std::string& path);
 
 }  // namespace er
 }  // namespace erlb

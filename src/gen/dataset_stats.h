@@ -31,7 +31,7 @@ struct DatasetStats {
 };
 
 /// Computes stats by building a (single-partition) BDM over `entities`.
-Result<DatasetStats> ComputeDatasetStats(
+[[nodiscard]] Result<DatasetStats> ComputeDatasetStats(
     const std::vector<er::Entity>& entities,
     const er::BlockingFunction& blocking);
 

@@ -41,7 +41,7 @@ struct ProductConfig {
 };
 
 /// Generates the dataset. fields[0] = title ("<brand> <category> <model>").
-Result<std::vector<er::Entity>> GenerateProducts(const ProductConfig& cfg);
+[[nodiscard]] Result<std::vector<er::Entity>> GenerateProducts(const ProductConfig& cfg);
 
 /// The deterministic brand vocabulary used by the generator (exposed for
 /// tests). All entries are lowercase with pairwise distinct 3-prefixes.

@@ -32,7 +32,7 @@ struct PublicationConfig {
 
 /// Generates the dataset. fields[0] = title, fields[1] = venue,
 /// fields[2] = year.
-Result<std::vector<er::Entity>> GeneratePublications(
+[[nodiscard]] Result<std::vector<er::Entity>> GeneratePublications(
     const PublicationConfig& cfg);
 
 }  // namespace gen

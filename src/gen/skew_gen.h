@@ -46,7 +46,7 @@ double ExpectedBlockSize(const SkewConfig& config, uint32_t k);
 /// Generates the dataset. Every block receives at least one entity; the
 /// realized sizes follow round-robin largest-remainder apportionment of
 /// e^(−s·k) weights, so Σ sizes == num_entities exactly.
-Result<std::vector<er::Entity>> GenerateSkewed(const SkewConfig& config);
+[[nodiscard]] Result<std::vector<er::Entity>> GenerateSkewed(const SkewConfig& config);
 
 }  // namespace gen
 }  // namespace erlb

@@ -16,11 +16,11 @@ class BasicStrategy : public Strategy {
  public:
   StrategyKind kind() const override { return StrategyKind::kBasic; }
 
-  Result<MatchPlan> BuildPlan(const bdm::Bdm& bdm,
+  [[nodiscard]] Result<MatchPlan> BuildPlan(const bdm::Bdm& bdm,
                               const MatchJobOptions& options)
       const override;
 
-  Result<MatchJobOutput> ExecutePlan(const MatchPlan& plan,
+  [[nodiscard]] Result<MatchJobOutput> ExecutePlan(const MatchPlan& plan,
                                      const bdm::AnnotatedStore& input,
                                      const bdm::Bdm& bdm,
                                      const er::Matcher& matcher,
@@ -31,7 +31,7 @@ class BasicStrategy : public Strategy {
 /// Paper-faithful Basic execution: one MR job whose map computes the
 /// blocking key from the raw entity — no preprocessing job, no BDM.
 /// `partition_sources` (optional) enables the two-source baseline.
-Result<MatchJobOutput> RunBasicSingleJob(
+[[nodiscard]] Result<MatchJobOutput> RunBasicSingleJob(
     const er::Partitions& input, const er::BlockingFunction& blocking,
     const er::Matcher& matcher, const MatchJobOptions& options,
     const mr::JobRunner& runner,

@@ -15,11 +15,11 @@ class BlockSplitStrategy : public Strategy {
  public:
   StrategyKind kind() const override { return StrategyKind::kBlockSplit; }
 
-  Result<MatchPlan> BuildPlan(const bdm::Bdm& bdm,
+  [[nodiscard]] Result<MatchPlan> BuildPlan(const bdm::Bdm& bdm,
                               const MatchJobOptions& options)
       const override;
 
-  Result<MatchJobOutput> ExecutePlan(const MatchPlan& plan,
+  [[nodiscard]] Result<MatchJobOutput> ExecutePlan(const MatchPlan& plan,
                                      const bdm::AnnotatedStore& input,
                                      const bdm::Bdm& bdm,
                                      const er::Matcher& matcher,

@@ -53,7 +53,7 @@ class BlockSplitPlan {
  public:
   /// Builds the plan. `r` >= 1, `sub_splits` >= 1; m · sub_splits must
   /// fit in 16 bits. Handles both one- and two-source BDMs.
-  static Result<BlockSplitPlan> Build(const bdm::Bdm& bdm, uint32_t r,
+  [[nodiscard]] static Result<BlockSplitPlan> Build(const bdm::Bdm& bdm, uint32_t r,
                                       TaskAssignment assignment =
                                           TaskAssignment::kGreedyLpt,
                                       uint32_t sub_splits = 1);
@@ -62,7 +62,7 @@ class BlockSplitPlan {
   /// the already-assigned match tasks plus the per-block split decisions.
   /// Derived lookup structures (task → reduce task, per-entity emission
   /// counts, reduce loads) are rebuilt; no BDM is needed.
-  static Result<BlockSplitPlan> Restore(std::vector<MatchTask> tasks,
+  [[nodiscard]] static Result<BlockSplitPlan> Restore(std::vector<MatchTask> tasks,
                                         std::vector<bool> split,
                                         std::vector<uint64_t>
                                             block_comparisons,

@@ -39,7 +39,7 @@ struct MatchJobOptions {
 /// Rejects option combinations no strategy can plan for
 /// (`num_reduce_tasks == 0`, `sub_splits == 0`). Called up front by every
 /// BuildPlan/RunMatchJob entry point.
-Status ValidateMatchJobOptions(const MatchJobOptions& options);
+[[nodiscard]] Status ValidateMatchJobOptions(const MatchJobOptions& options);
 
 /// Exact aggregate workload distribution of a (hypothetical) matching job
 /// run, derived from the BDM without touching entities. This is the cheap
@@ -162,7 +162,7 @@ class MatchPlan {
   /// Verifies this plan was built for `strategy` over a BDM identical in
   /// shape to `bdm` — the execution-time guard for cached/deserialized
   /// plans.
-  Status ValidateFor(StrategyKind strategy, const bdm::Bdm& bdm) const;
+  [[nodiscard]] Status ValidateFor(StrategyKind strategy, const bdm::Bdm& bdm) const;
 
  private:
   StrategyKind strategy_ = StrategyKind::kBasic;

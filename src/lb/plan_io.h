@@ -21,11 +21,11 @@ namespace lb {
 std::string MatchPlanToJson(const MatchPlan& plan, int indent = 2);
 
 /// Parses a document written by MatchPlanToJson.
-Result<MatchPlan> MatchPlanFromJson(std::string_view json);
+[[nodiscard]] Result<MatchPlan> MatchPlanFromJson(std::string_view json);
 
 /// File convenience wrappers.
-Status SaveMatchPlan(const std::string& path, const MatchPlan& plan);
-Result<MatchPlan> LoadMatchPlan(const std::string& path);
+[[nodiscard]] Status SaveMatchPlan(const std::string& path, const MatchPlan& plan);
+[[nodiscard]] Result<MatchPlan> LoadMatchPlan(const std::string& path);
 
 }  // namespace lb
 }  // namespace erlb

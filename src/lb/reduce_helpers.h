@@ -24,7 +24,7 @@ using MatchReduceContext = mr::ReduceContext<MatchOutK, MatchOutV>;
 /// Folds one executed matching job into a MatchJobOutput — shared by all
 /// three strategies. Propagates the job's I/O status (external mode)
 /// before consuming outputs.
-inline Result<MatchJobOutput> CollectMatchOutput(
+[[nodiscard]] inline Result<MatchJobOutput> CollectMatchOutput(
     mr::JobResult<MatchOutK, MatchOutV>&& job_result) {
   ERLB_RETURN_NOT_OK(job_result.status);
   MatchJobOutput out;

@@ -44,7 +44,7 @@ inline const char* StrategyName(StrategyKind kind) {
 
 /// Inverse of StrategyKindToName, for CLI/config parsing.
 /// Case-insensitive; returns InvalidArgument for unknown names.
-Result<StrategyKind> StrategyKindFromName(std::string_view name);
+[[nodiscard]] Result<StrategyKind> StrategyKindFromName(std::string_view name);
 
 /// Output of the matching job.
 struct MatchJobOutput {
@@ -63,27 +63,27 @@ class Strategy {
   /// Computes the full per-task decision record for `options` from `bdm`
   /// alone — per-map-task emit counts, per-reduce-task input records and
   /// comparison counts, and the strategy-specific body execution consumes.
-  virtual Result<MatchPlan> BuildPlan(const bdm::Bdm& bdm,
+  [[nodiscard]] virtual Result<MatchPlan> BuildPlan(const bdm::Bdm& bdm,
                                       const MatchJobOptions& options)
       const = 0;
 
   /// Runs the matching job over `input` (the Π'i files written by the BDM
   /// job) exactly as `plan` prescribes. `plan` must have been built (or
   /// deserialized) for this strategy and for `bdm`; nothing is re-planned.
-  virtual Result<MatchJobOutput> ExecutePlan(
+  [[nodiscard]] virtual Result<MatchJobOutput> ExecutePlan(
       const MatchPlan& plan, const bdm::AnnotatedStore& input,
       const bdm::Bdm& bdm, const er::Matcher& matcher,
       const mr::JobRunner& runner) const = 0;
 
   /// Convenience: BuildPlan + ExecutePlan in one call.
-  Result<MatchJobOutput> RunMatchJob(const bdm::AnnotatedStore& input,
+  [[nodiscard]] Result<MatchJobOutput> RunMatchJob(const bdm::AnnotatedStore& input,
                                      const bdm::Bdm& bdm,
                                      const er::Matcher& matcher,
                                      const MatchJobOptions& options,
                                      const mr::JobRunner& runner) const;
 
   /// Convenience: the aggregate projection of BuildPlan.
-  Result<PlanStats> Plan(const bdm::Bdm& bdm,
+  [[nodiscard]] Result<PlanStats> Plan(const bdm::Bdm& bdm,
                          const MatchJobOptions& options) const;
 };
 

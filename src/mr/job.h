@@ -661,7 +661,7 @@ class JobRunner {
   /// task's spill file (in reduce-task order, preserving emission order
   /// within each run) instead of materializing them.
   template <typename Spec>
-  Status RunMapTaskExternal(
+  [[nodiscard]] Status RunMapTaskExternal(
       const Spec& spec,
       const std::vector<std::pair<typename Spec::InKey,
                                   typename Spec::InValue>>& partition,
@@ -771,7 +771,7 @@ class JobRunner {
   /// only the current group. Cursor order follows map-task order, so
   /// cross-run ties keep the same contiguity rule as the in-memory merge.
   template <typename Spec>
-  Status RunReduceTaskExternal(
+  [[nodiscard]] Status RunReduceTaskExternal(
       const Spec& spec, const std::vector<SpillFile>& spill_files,
       uint32_t m, uint32_t r, uint32_t task_index,
       std::vector<std::pair<typename Spec::OutKey, typename Spec::OutValue>>*

@@ -201,7 +201,7 @@ template <typename K, typename V>
   requires Spillable<K> && Spillable<V>
 class SpillFileWriter {
  public:
-  Status Open(const std::string& path, size_t buffer_bytes,
+  [[nodiscard]] Status Open(const std::string& path, size_t buffer_bytes,
               uint64_t inject_failure_after_bytes = 0) {
     file_.path = path;
     Status s = writer_.Open(path, buffer_bytes);
@@ -220,7 +220,7 @@ class SpillFileWriter {
   }
 
   /// Appends one record to the current run.
-  Status Append(const K& key, const V& value) {
+  [[nodiscard]] Status Append(const K& key, const V& value) {
     scratch_.clear();
     SpillCodec<K>::Encode(key, &scratch_);
     SpillCodec<V>::Encode(value, &scratch_);
@@ -243,7 +243,7 @@ class SpillFileWriter {
   }
 
   /// Flushes, closes, and returns the extents.
-  Result<SpillFile> Finish() {
+  [[nodiscard]] Result<SpillFile> Finish() {
     Status s = writer_.Close();
     if (!s.ok()) return s;
     return std::move(file_);
@@ -272,7 +272,7 @@ class RunCursor {
 
   RunCursor() = default;
 
-  Status Open(const std::string& path, const RunExtent& extent,
+  [[nodiscard]] Status Open(const std::string& path, const RunExtent& extent,
               size_t buffer_bytes) {
     remaining_ = extent.records;
     status_ = reader_.Open(path, buffer_bytes);

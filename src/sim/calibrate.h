@@ -45,7 +45,7 @@ struct Calibration {
 /// Measures matcher and blocking costs over `entities` and returns a
 /// CostModel whose pair/record costs reflect them (scaled by
 /// slot_slowdown). Requires at least one block with >= 2 entities.
-Result<Calibration> CalibrateCostModel(
+[[nodiscard]] Result<Calibration> CalibrateCostModel(
     const std::vector<er::Entity>& entities,
     const er::BlockingFunction& blocking, const er::Matcher& matcher,
     const CalibrationOptions& options);

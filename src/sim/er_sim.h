@@ -42,7 +42,7 @@ struct ErSimResult {
 /// \param cost       cost model
 /// \param assignment BlockSplit match-task assignment (ablation knob)
 /// \param sub_splits BlockSplit sub-split factor (extension knob)
-Result<ErSimResult> SimulateEr(
+[[nodiscard]] Result<ErSimResult> SimulateEr(
     lb::StrategyKind strategy, const bdm::Bdm& bdm, uint32_t r,
     const ClusterConfig& cluster, const CostModel& cost,
     lb::TaskAssignment assignment = lb::TaskAssignment::kGreedyLpt,
@@ -52,7 +52,7 @@ Result<ErSimResult> SimulateEr(
 /// entry point: whoever holds a plan (from Strategy::BuildPlan, a cache,
 /// or plan_io) projects it on a cluster without re-planning. The plan must
 /// have been built for `bdm`.
-Result<ErSimResult> SimulateMatchPlan(const lb::MatchPlan& plan,
+[[nodiscard]] Result<ErSimResult> SimulateMatchPlan(const lb::MatchPlan& plan,
                                       const bdm::Bdm& bdm,
                                       const ClusterConfig& cluster,
                                       const CostModel& cost);

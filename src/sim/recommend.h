@@ -41,7 +41,7 @@ struct Recommendation {
 /// Projects all three strategies on `cluster`/`cost` for the dataset
 /// described by `bdm` and returns the fastest, with rationale. `r` is the
 /// matching job's reduce task count.
-Result<Recommendation> RecommendStrategy(const bdm::Bdm& bdm, uint32_t r,
+[[nodiscard]] Result<Recommendation> RecommendStrategy(const bdm::Bdm& bdm, uint32_t r,
                                          const ClusterConfig& cluster,
                                          const CostModel& cost);
 

@@ -1,0 +1,34 @@
+// Negative-compilation fixture: reads an ERLB_GUARDED_BY field without
+// holding its mutex. Built (expected to FAIL) by the
+// static_analysis_guarded_by_negcomp ctest entry under Clang with
+// -Wthread-safety -Werror=thread-safety-analysis — proving the
+// annotation layer actually detects an unguarded access. If this file
+// ever compiles under those flags, the thread-safety gate is dead.
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    erlb::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  // BUG (intentional): reads value_ without mu_. -Wthread-safety reports
+  // "reading variable 'value_' requires holding mutex 'mu_'".
+  int Read() { return value_; }
+
+ private:
+  erlb::Mutex mu_;
+  int value_ ERLB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Read();
+}

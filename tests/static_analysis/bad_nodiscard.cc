@@ -1,0 +1,17 @@
+// Negative-compilation fixture: ignores a [[nodiscard]] Status. Built
+// (expected to FAIL) by the static_analysis_nodiscard_negcomp ctest
+// entry with -Werror=unused-result on GCC and Clang alike — proving the
+// [[nodiscard]] error-model layer actually detects a dropped Status. If
+// this file ever compiles under that flag, the contract gate is dead.
+#include "common/status.h"
+
+namespace {
+
+erlb::Status MightFail() { return erlb::Status::IOError("disk on fire"); }
+
+}  // namespace
+
+int main() {
+  MightFail();  // BUG (intentional): the Status is silently dropped.
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Positive control for the static-analysis gates: correct use of the
+// annotated mutex wrappers and the Status contract. Always built (and
+// run as a smoke test) with -Wthread-safety under Clang, so a false
+// positive in the annotations or wrappers breaks the build loudly —
+// the complement of the bad_*.cc expected-to-fail fixtures.
+#include <thread>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() ERLB_EXCLUDES(mu_) {
+    erlb::MutexLock lock(&mu_);
+    ++value_;
+    changed_.NotifyAll();
+  }
+
+  int WaitFor(int target) ERLB_EXCLUDES(mu_) {
+    erlb::MutexLock lock(&mu_);
+    while (value_ < target) changed_.Wait(&mu_);
+    return value_;
+  }
+
+ private:
+  erlb::Mutex mu_;
+  erlb::CondVar changed_;
+  int value_ ERLB_GUARDED_BY(mu_) = 0;
+};
+
+erlb::Status MightFail(bool fail) {
+  if (fail) return erlb::Status::Internal("requested failure");
+  return erlb::Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] { c.Increment(); });
+  }
+  const int seen = c.WaitFor(kThreads);
+  for (auto& t : threads) t.join();
+
+  erlb::Status st = MightFail(false);
+  if (!st.ok() || seen != kThreads) return 1;
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Semantics of the annotated mutex wrappers (common/mutex.h): identical
+// to the std primitives they wrap. The whole suite also runs under the
+// TSan preset, which verifies the mutual-exclusion and happens-before
+// claims dynamically — the annotations only verify them statically.
+#include "common/mutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace erlb {
+namespace {
+
+TEST(MutexTest, MutualExclusionAcrossThreads) {
+  Mutex mu;
+  int64_t counter = 0;  // deliberately non-atomic; the mutex protects it
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(&mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, int64_t{kThreads} * kIncrements);
+}
+
+TEST(MutexTest, TryLockFailsWhileHeldAndSucceedsAfter) {
+  Mutex mu;
+  mu.Lock();
+  std::atomic<bool> try_result{true};
+  std::thread other([&] { try_result.store(mu.TryLock()); });
+  other.join();
+  EXPECT_FALSE(try_result.load());
+  mu.Unlock();
+
+  std::thread again([&] {
+    bool locked = mu.TryLock();
+    try_result.store(locked);
+    if (locked) mu.Unlock();
+  });
+  again.join();
+  EXPECT_TRUE(try_result.load());
+}
+
+TEST(MutexTest, MutexLockReleasesOnScopeExit) {
+  Mutex mu;
+  { MutexLock lock(&mu); }
+  // Released: TryLock from this thread must succeed.
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(CondVarTest, WaitReacquiresMutexAndSeesPredicate) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = 0;
+
+  std::thread waiter([&] {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(&mu);
+    // The mutex is held again here; reading the guarded state is safe.
+    observed = 42;
+  });
+
+  // Give the waiter a chance to actually block (not required for
+  // correctness — Wait handles the already-signaled case via the loop).
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  {
+    MutexLock lock(&mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int woken = 0;
+  constexpr int kWaiters = 6;
+
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(&mu);
+      while (!go) cv.Wait(&mu);
+      ++woken;
+    });
+  }
+  {
+    MutexLock lock(&mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(woken, kWaiters);
+}
+
+TEST(CondVarTest, PingPongHandoff) {
+  // Two threads alternate turns through one CondVar — exercises the
+  // release-block-reacquire cycle of Wait repeatedly in both directions.
+  Mutex mu;
+  CondVar cv;
+  int turn = 0;
+  std::vector<int> sequence;
+  constexpr int kRounds = 50;
+
+  auto player = [&](int me) {
+    for (int i = 0; i < kRounds; ++i) {
+      MutexLock lock(&mu);
+      while (turn != me) cv.Wait(&mu);
+      sequence.push_back(me);
+      turn = 1 - me;
+      cv.NotifyOne();
+    }
+  };
+  std::thread a(player, 0);
+  std::thread b(player, 1);
+  a.join();
+  b.join();
+
+  ASSERT_EQ(sequence.size(), 2u * kRounds);
+  for (size_t i = 0; i < sequence.size(); ++i) {
+    EXPECT_EQ(sequence[i], static_cast<int>(i % 2)) << "at index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace erlb

@@ -4,9 +4,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <set>
 #include <thread>
+
+#include "common/mutex.h"
 
 namespace erlb {
 namespace {
@@ -69,17 +70,38 @@ TEST(ThreadPoolTest, MultipleWaitCycles) {
 
 TEST(ThreadPoolTest, UsesMultipleThreads) {
   ThreadPool pool(4);
-  std::mutex mu;
+  Mutex mu;
   std::set<std::thread::id> ids;
   for (int i = 0; i < 32; ++i) {
     pool.Submit([&] {
       std::this_thread::sleep_for(std::chrono::milliseconds(5));
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(&mu);
       ids.insert(std::this_thread::get_id());
     });
   }
   pool.Wait();
   EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(ThreadPoolTest, WaitCoversTasksSubmittedByRunningTasks) {
+  // Wait()'s predicate is queue-empty AND nothing in flight: a running
+  // task that submits a follow-up keeps in_flight_ > 0 until the
+  // follow-up is queued, so Wait cannot return between the two. Pins the
+  // recursive-submission property the (coming) work-stealing runner must
+  // preserve.
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&pool, &count] {
+      count.fetch_add(1);
+      pool.Submit([&pool, &count] {
+        count.fetch_add(1);
+        pool.Submit([&count] { count.fetch_add(1); });
+      });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 48);
 }
 
 TEST(ThreadPoolTest, DestructorJoinsCleanly) {
