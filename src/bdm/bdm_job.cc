@@ -1,6 +1,5 @@
 #include "bdm/bdm_job.h"
 
-#include <atomic>
 #include <tuple>
 
 #include "common/string_util.h"
@@ -29,20 +28,24 @@ bool BdmKeyEqual(const BdmKey& a, const BdmKey& b) {
          std::tie(b.block_key, b.source, b.partition);
 }
 
+// Skipped / missing-key tallies live in the task counters (not shared
+// atomics): counters are assigned per attempt, merged into the job
+// counters, and persisted in checkpoint manifests — so retried and
+// resumed tasks report exactly what an uninterrupted run reports.
+constexpr char kCounterSkipped[] = "bdm.skipped_entities";
+constexpr char kCounterMissingKey[] = "bdm.missing_key_entities";
+
 class BdmMapper : public mr::Mapper<uint32_t, er::EntityRef, BdmKey,
                                     uint64_t> {
  public:
   BdmMapper(const er::BlockingFunction* blocking, AnnotatedStore* side,
             uint32_t partition, er::Source source,
-            MissingKeyPolicy missing_policy, std::atomic<uint64_t>* skipped,
-            std::atomic<bool>* missing_key_error)
+            MissingKeyPolicy missing_policy)
       : blocking_(blocking),
         side_(side),
         partition_(partition),
         source_(source),
-        missing_policy_(missing_policy),
-        skipped_(skipped),
-        missing_key_error_(missing_key_error) {}
+        missing_policy_(missing_policy) {}
 
   void Map(const uint32_t& /*key*/, const er::EntityRef& entity,
            mr::MapContext<BdmKey, uint64_t>* ctx) override {
@@ -50,10 +53,10 @@ class BdmMapper : public mr::Mapper<uint32_t, er::EntityRef, BdmKey,
     if (key.empty()) {
       switch (missing_policy_) {
         case MissingKeyPolicy::kError:
-          missing_key_error_->store(true);
+          ctx->counters()->Increment(kCounterMissingKey, 1);
           return;
         case MissingKeyPolicy::kSkip:
-          skipped_->fetch_add(1);
+          ctx->counters()->Increment(kCounterSkipped, 1);
           return;
         case MissingKeyPolicy::kBottom:
           key = er::kBottomKey;
@@ -71,8 +74,6 @@ class BdmMapper : public mr::Mapper<uint32_t, er::EntityRef, BdmKey,
   uint32_t partition_;
   er::Source source_;
   MissingKeyPolicy missing_policy_;
-  std::atomic<uint64_t>* skipped_;
-  std::atomic<bool>* missing_key_error_;
 };
 
 class BdmReducer
@@ -134,22 +135,54 @@ Result<BdmJobOutput> RunBdmJob(const er::Partitions& input,
   }
 
   auto side = std::make_shared<AnnotatedStore>(m);
-  std::atomic<uint64_t> skipped{0};
-  std::atomic<bool> missing_key_error{false};
 
   mr::JobSpec<uint32_t, er::EntityRef, BdmKey, uint64_t, uint32_t, BdmTriple>
       spec;
   spec.num_reduce_tasks = options.num_reduce_tasks;
   const auto& opts = options;
-  spec.mapper_factory = [&blocking, side, &opts, &skipped,
-                         &missing_key_error,
+  spec.mapper_factory = [&blocking, side, &opts,
                          two_source](const mr::TaskContext& ctx) {
+    // A fresh attempt starts from an empty side slot so retried tasks
+    // stay self-contained (no duplicated annotations).
+    side->mutable_files()[ctx.task_index].clear();
     er::Source src = two_source ? opts.partition_sources[ctx.task_index]
                                 : er::Source::kR;
     return std::make_unique<BdmMapper>(&blocking, side.get(),
                                        ctx.task_index, src,
-                                       opts.missing_key_policy, &skipped,
-                                       &missing_key_error);
+                                       opts.missing_key_policy);
+  };
+  // The annotated partition is Algorithm 3's "additional output" to
+  // DFS: durable alongside the spill file, so a resumed job restores it
+  // instead of re-running the task.
+  spec.encode_side_output = [side](uint32_t task_index) {
+    std::string out;
+    const auto& file = side->File(task_index);
+    mr::SpillCodec<uint64_t>::Encode(file.size(), &out);
+    for (const auto& [key, entity] : file) {
+      mr::SpillCodec<std::string>::Encode(key, &out);
+      mr::SpillCodec<er::EntityRef>::Encode(entity, &out);
+    }
+    return out;
+  };
+  spec.decode_side_output = [side](uint32_t task_index,
+                                   std::string_view bytes) {
+    const char* p = bytes.data();
+    const char* end = p + bytes.size();
+    uint64_t n = 0;
+    if (!mr::SpillCodec<uint64_t>::Decode(&p, end, &n)) return false;
+    auto& slot = side->mutable_files()[task_index];
+    slot.clear();
+    slot.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      std::string key;
+      er::EntityRef entity;
+      if (!mr::SpillCodec<std::string>::Decode(&p, end, &key) ||
+          !mr::SpillCodec<er::EntityRef>::Decode(&p, end, &entity)) {
+        return false;
+      }
+      slot.emplace_back(std::move(key), std::move(entity));
+    }
+    return p == end;
   };
   spec.reducer_factory = [](const mr::TaskContext&) {
     return std::make_unique<BdmReducer>();
@@ -179,7 +212,7 @@ Result<BdmJobOutput> RunBdmJob(const er::Partitions& input,
 
   auto job_result = runner.Run(spec, job_input);
   ERLB_RETURN_NOT_OK(job_result.status);
-  if (missing_key_error.load()) {
+  if (job_result.metrics.counters.Get(kCounterMissingKey) > 0) {
     return Status::InvalidArgument(
         "entity without blocking key under MissingKeyPolicy::kError "
         "(blocking: " +
@@ -200,7 +233,8 @@ Result<BdmJobOutput> RunBdmJob(const er::Partitions& input,
   }
   out.annotated = std::move(side);
   out.metrics = std::move(job_result.metrics);
-  out.skipped_entities = skipped.load();
+  out.skipped_entities = static_cast<uint64_t>(
+      out.metrics.counters.Get(kCounterSkipped));
   return out;
 }
 

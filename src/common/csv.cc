@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/fault.h"
+
 namespace erlb {
 
 std::vector<std::string> ParseCsvLine(std::string_view line, char delim) {
@@ -130,6 +132,7 @@ Result<bool> CsvChunkReader::NextChunk(
     size_t max_rows, std::vector<std::vector<std::string>>* rows) {
   rows->clear();
   if (done_) return false;
+  ERLB_FAULT_POINT("csv.read_chunk");
   while (rows->size() < max_rows) {
     ERLB_ASSIGN_OR_RETURN(bool more, NextLine());
     if (!more) {

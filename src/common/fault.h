@@ -1,0 +1,131 @@
+// Deterministic fault injection for robustness testing.
+//
+// Code that can fail in production declares named fault sites:
+//
+//   Status BufferedFileWriter::WriteRaw(...) {
+//     ERLB_FAULT_POINT("io.write");   // returns injected Status, if armed
+//     ...
+//   }
+//
+// Tests (or the ERLB_FAULT environment variable, for child processes
+// driven by tools/crash_harness.py) arm a site to fire on its N-th hit:
+//
+//   FaultInjector::Global().Arm("spill.finish",
+//                               {.kind = FaultKind::kError, .trigger_hit = 3});
+//
+// Disarmed sites cost one relaxed atomic load — safe to leave in hot
+// paths. Every site name must appear in kRegisteredFaultSites (fault.cc);
+// tools/lint_erlb.py cross-checks uniqueness and registration so the
+// fault-sweep test (tests/test_fault_sweep.cc) provably covers all sites.
+#ifndef ERLB_COMMON_FAULT_H_
+#define ERLB_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/status.h"
+
+namespace erlb {
+
+/// What an armed fault site does when it triggers.
+enum class FaultKind {
+  kError,  // return an injected non-OK Status from the enclosing function
+  kDelay,  // sleep delay_ms, then continue normally
+  kAbort,  // std::abort() — simulates a hard crash with core/ASan report
+  kKill,   // raise(SIGKILL) — uncatchable death, as the crash harness needs
+};
+
+/// Configuration for one armed site.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kError;
+  // Fire on the trigger_hit-th hit of the site (1-based): 1 = first hit.
+  uint64_t trigger_hit = 1;
+  // If true, kError keeps firing on every hit >= trigger_hit; otherwise
+  // the site fires once and disarms itself.
+  bool repeat = false;
+  // Sleep duration for kDelay.
+  uint64_t delay_ms = 0;
+  // Status code injected by kError.
+  StatusCode code = StatusCode::kUnavailable;
+};
+
+/// Process-wide registry of fault sites. Thread-safe; the disarmed fast
+/// path is a single relaxed atomic load.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Called by ERLB_FAULT_POINT. Returns non-OK iff the site is armed
+  /// with kError and this hit triggers. kDelay sleeps; kAbort/kKill do
+  /// not return.
+  [[nodiscard]] Status Hit(std::string_view site) {
+    if (armed_count_.load(std::memory_order_relaxed) == 0) {
+      return Status::OK();
+    }
+    return HitSlow(site);
+  }
+
+  /// Arms `site` with `spec`. Fails if `site` is not registered.
+  [[nodiscard]] Status Arm(std::string_view site, const FaultSpec& spec);
+
+  /// Disarms `site` (hit counters are kept).
+  void Disarm(std::string_view site);
+
+  /// Disarms everything and zeroes all hit counters (test isolation).
+  void Reset();
+
+  /// Lifetime hits of `site` (counted only while any site is armed —
+  /// the disarmed fast path does not track).
+  [[nodiscard]] uint64_t HitCount(std::string_view site) const;
+
+  /// All site names compiled into this binary, sorted.
+  [[nodiscard]] static std::vector<std::string_view> RegisteredSites();
+  [[nodiscard]] static bool IsRegisteredSite(std::string_view site);
+
+  /// Parses a comma-separated spec list and arms each entry:
+  ///   "task.map=kill@2,spill.finish=error@1,io.write=delay:50@3"
+  /// Grammar per entry: <site>=<kind>[@<trigger_hit>] with kind one of
+  /// error | error-repeat | abort | kill | delay:<ms>. Default trigger 1.
+  [[nodiscard]] Status ConfigureFromString(std::string_view config);
+
+  /// Reads the ERLB_FAULT environment variable (if set) through
+  /// ConfigureFromString. Returns OK when the variable is unset.
+  [[nodiscard]] Status ConfigureFromEnv();
+
+ private:
+  FaultInjector() = default;
+
+  [[nodiscard]] Status HitSlow(std::string_view site);
+
+  struct SiteState {
+    FaultSpec spec;
+    bool armed = false;
+    uint64_t hits = 0;
+  };
+
+  // Number of currently armed sites; the fast-path gate. Relaxed is
+  // enough: arming happens-before the faulted operation via the test's
+  // own sequencing, and a stale zero only skips counting, never injects.
+  std::atomic<uint64_t> armed_count_{0};
+
+  mutable Mutex mu_;
+  std::map<std::string, SiteState, std::less<>> sites_ ERLB_GUARDED_BY(mu_);
+};
+
+/// Declares a fault site. Must be used inside a function returning
+/// Status or Result<T> (Result is implicitly constructible from Status).
+#define ERLB_FAULT_POINT(site)                                        \
+  do {                                                                \
+    ::erlb::Status _fault_st = ::erlb::FaultInjector::Global().Hit(site); \
+    if (!_fault_st.ok()) return _fault_st;                            \
+  } while (0)
+
+}  // namespace erlb
+
+#endif  // ERLB_COMMON_FAULT_H_

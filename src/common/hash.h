@@ -1,0 +1,119 @@
+// Dependency-free 64-bit hashes for corruption detection — bit flips
+// and truncation, not adversaries. FNV-1a for small inputs (input
+// signatures, side-output checksums); StreamChecksum for bulk spill
+// data, where FNV's one-multiply-per-byte dependency chain is too slow.
+#ifndef ERLB_COMMON_HASH_H_
+#define ERLB_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace erlb {
+
+inline constexpr uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+/// Incremental FNV-1a over a byte range; feed the previous return value
+/// as `state` to hash discontiguous buffers as one stream.
+inline uint64_t Fnv1aHash(const void* data, size_t len,
+                          uint64_t state = kFnv1aOffsetBasis) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    state ^= bytes[i];
+    state *= kFnv1aPrime;
+  }
+  return state;
+}
+
+inline uint64_t Fnv1aHash(std::string_view s,
+                          uint64_t state = kFnv1aOffsetBasis) {
+  return Fnv1aHash(s.data(), s.size(), state);
+}
+
+/// Mixes a fixed-width integer into the hash (little-endian byte order,
+/// explicitly serialized so the signature is stable across platforms).
+inline uint64_t Fnv1aHashU64(uint64_t value,
+                             uint64_t state = kFnv1aOffsetBasis) {
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>(value >> (8 * i));
+  }
+  return Fnv1aHash(bytes, sizeof(bytes), state);
+}
+
+/// Streaming checksum for bulk data (spill runs): one multiply + rotate
+/// per 8-byte word instead of per byte, ~8x the throughput of FNV-1a on
+/// large buffers. Chunk-boundary invariant — Update(a); Update(b) gives
+/// the same digest as Update(a+b) — so writer and reader may feed the
+/// stream in different pieces. Words are read in native byte order: the
+/// digest is stable on one host (all spill files are transient and
+/// machine-local) but not portable across endianness.
+class StreamChecksum {
+ public:
+  void Update(const void* data, size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    total_ += len;
+    if (tail_len_ > 0) {
+      while (tail_len_ < 8 && len > 0) {
+        tail_[tail_len_++] = *p++;
+        --len;
+      }
+      if (tail_len_ < 8) return;
+      Mix(LoadWord(tail_));
+      tail_len_ = 0;
+    }
+    for (; len >= 8; p += 8, len -= 8) {
+      Mix(LoadWord(p));
+    }
+    for (; len > 0; --len) {
+      tail_[tail_len_++] = *p++;
+    }
+  }
+
+  /// The digest of everything fed so far; Update may continue after.
+  uint64_t Digest() const {
+    uint64_t t = 0;
+    for (size_t i = 0; i < tail_len_; ++i) {
+      t |= static_cast<uint64_t>(tail_[i]) << (8 * i);
+    }
+    // The tail is folded with a different multiplier than Mix uses and
+    // the length is mixed in, so "abc" + empty tail and "ab" + tail "c"
+    // at other boundaries cannot collide trivially.
+    uint64_t h = state_ ^ (t * kMul2) ^ total_;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 33;
+    return h;
+  }
+
+  void Reset() { *this = StreamChecksum(); }
+
+ private:
+  static constexpr uint64_t kMul1 = 0x9e3779b97f4a7c15ULL;
+  static constexpr uint64_t kMul2 = 0xc2b2ae3d27d4eb4fULL;
+
+  static uint64_t LoadWord(const unsigned char* p) {
+    uint64_t w;
+    std::memcpy(&w, p, sizeof(w));
+    return w;
+  }
+
+  static uint64_t Rotl(uint64_t x, int r) {
+    return (x << r) | (x >> (64 - r));
+  }
+
+  void Mix(uint64_t word) { state_ = Rotl(state_ ^ (word * kMul1), 27) * kMul2; }
+
+  uint64_t state_ = 0x9368b5c7a3f1d20bULL;
+  uint64_t total_ = 0;
+  unsigned char tail_[8] = {};
+  size_t tail_len_ = 0;
+};
+
+}  // namespace erlb
+
+#endif  // ERLB_COMMON_HASH_H_

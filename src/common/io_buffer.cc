@@ -1,15 +1,19 @@
 #include "common/io_buffer.h"
 
 #include <fcntl.h>
+#include <signal.h>  // NOLINT(modernize-deprecated-headers): POSIX kill()
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <random>
 #include <utility>
+
+#include "common/fault.h"
 
 namespace erlb {
 
@@ -72,6 +76,12 @@ Status BufferedFileWriter::Open(const std::string& path,
 }
 
 Status BufferedFileWriter::WriteRaw(const char* data, size_t n) {
+  // The fault site sits on the flush path, not per Append: record
+  // appends are the engine's hottest loop, and a buffered append that
+  // never reaches the OS cannot fail for real either. Injected faults
+  // behave like a real write error: sticky via the callers' error_
+  // handling, so a half-written file can never be silently finalized.
+  ERLB_FAULT_POINT("io.write");
   while (n > 0) {
     ssize_t w = ::write(fd_, data, n);
     if (w < 0) {
@@ -124,6 +134,15 @@ Status BufferedFileWriter::Flush() {
     return s;
   }
   buffered_ = 0;
+  return Status::OK();
+}
+
+Status BufferedFileWriter::Sync() {
+  ERLB_RETURN_NOT_OK(Flush());
+  if (::fsync(fd_) != 0) {
+    error_ = ErrnoStatus("fsync failed for", path_);
+    return error_;
+  }
   return Status::OK();
 }
 
@@ -209,7 +228,11 @@ Result<size_t> BufferedFileReader::Read(void* data, size_t n) {
       total += take;
       continue;
     }
-    // Refill. Large remaining reads go straight to the destination.
+    // Refill. The fault site sits here rather than on every Read call:
+    // reads served from the buffer are the hot path and cannot fail for
+    // real, so the injection models what a syscall can do.
+    ERLB_FAULT_POINT("io.read");
+    // Large remaining reads go straight to the destination.
     buffer_offset_ += buffer_len_;
     buffer_pos_ = 0;
     buffer_len_ = 0;
@@ -308,6 +331,70 @@ ScopedTempDir::~ScopedTempDir() {
   if (path_.empty()) return;
   std::error_code ec;
   std::filesystem::remove_all(path_, ec);  // best-effort
+}
+
+// ---- SweepStaleTempDirs ---------------------------------------------------
+
+namespace {
+
+// Parses the pid from "<prefix>-<pid>-..." names produced by
+// ScopedTempDir::Make. Returns -1 when the name does not fit the format.
+int64_t ParseTempDirPid(std::string_view name, std::string_view prefix) {
+  if (name.size() <= prefix.size() + 1) return -1;
+  if (name.substr(0, prefix.size()) != prefix) return -1;
+  if (name[prefix.size()] != '-') return -1;
+  std::string_view rest = name.substr(prefix.size() + 1);
+  int64_t pid = 0;
+  size_t digits = 0;
+  while (digits < rest.size() && rest[digits] >= '0' && rest[digits] <= '9') {
+    pid = pid * 10 + (rest[digits] - '0');
+    ++digits;
+  }
+  if (digits == 0 || digits >= rest.size() || rest[digits] != '-') return -1;
+  return pid;
+}
+
+}  // namespace
+
+Result<int> SweepStaleTempDirs(const std::string& base,
+                               const std::string& prefix,
+                               int64_t max_age_seconds) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (!fs::is_directory(base, ec) || ec) return 0;
+  const auto now = fs::file_time_type::clock::now();
+  int removed = 0;
+  for (const auto& entry : fs::directory_iterator(base, ec)) {
+    if (ec) break;
+    std::error_code entry_ec;
+    if (!entry.is_directory(entry_ec) || entry_ec) continue;
+    const std::string name = entry.path().filename().string();
+    // Only `<prefix>-...` names are in scope — the base may be a shared
+    // temp dir full of directories this library does not own.
+    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0 ||
+        name[prefix.size()] != '-') {
+      continue;
+    }
+    const int64_t pid = ParseTempDirPid(name, prefix);
+    if (pid == static_cast<int64_t>(::getpid())) continue;
+    bool stale = false;
+    if (pid > 0) {
+      // A pid we can parse: stale iff that process is gone. EPERM means
+      // the process exists but belongs to someone else — leave it.
+      stale = ::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH;
+    }
+    if (!stale && pid < 0) {
+      // Unparseable names carry no liveness signal; only age decides.
+      const auto age = now - fs::last_write_time(entry.path(), entry_ec);
+      if (entry_ec) continue;
+      stale = age > std::chrono::seconds(max_age_seconds);
+    }
+    if (!stale) continue;
+    std::error_code rm_ec;
+    fs::remove_all(entry.path(), rm_ec);
+    if (!rm_ec) ++removed;
+  }
+  return removed;
 }
 
 }  // namespace erlb

@@ -48,6 +48,10 @@ class BufferedFileWriter {
   /// Flushes the user-space buffer to the OS.
   [[nodiscard]] Status Flush();
 
+  /// Flush + fsync: on OK return the bytes are durable on disk. Needed
+  /// by the checkpoint commit protocol (write temp + Sync + rename).
+  [[nodiscard]] Status Sync();
+
   /// Flush + close. Returns the first error encountered, if any.
   [[nodiscard]] Status Close();
 
@@ -138,6 +142,17 @@ class ScopedTempDir {
 
   std::string path_;  // empty after move-out
 };
+
+/// Removes orphaned `<prefix>-<pid>-...` directories under `base` left
+/// behind by processes that died before their ScopedTempDir destructor
+/// ran (SIGKILL, std::abort). A directory is swept when its embedded pid
+/// no longer names a live process, or — for unparseable/foreign names —
+/// when it is older than `max_age_seconds`. Directories owned by live
+/// pids (including this process) are never touched. Returns the number
+/// of directories removed; a missing `base` is OK (0).
+[[nodiscard]] Result<int> SweepStaleTempDirs(const std::string& base,
+                                             const std::string& prefix,
+                                             int64_t max_age_seconds = 3600);
 
 }  // namespace erlb
 

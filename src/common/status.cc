@@ -22,8 +22,23 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
+}
+
+bool IsRetryableStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIOError:
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
 }
 
 Status::Status(StatusCode code, std::string message)

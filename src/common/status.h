@@ -22,6 +22,8 @@ enum class StatusCode : int {
   kInternal = 6,
   kIOError = 7,
   kNotImplemented = 8,
+  kUnavailable = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a human-readable name for a status code, e.g. "InvalidArgument".
@@ -75,6 +77,12 @@ class [[nodiscard]] Status {
   [[nodiscard]] static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  [[nodiscard]] static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   /// True iff the status represents success.
   bool ok() const { return rep_ == nullptr; }
@@ -97,6 +105,11 @@ class [[nodiscard]] Status {
     return code() == StatusCode::kFailedPrecondition;
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -109,6 +122,13 @@ class [[nodiscard]] Status {
   // nullptr means OK; avoids allocation on the hot success path.
   std::unique_ptr<Rep> rep_;
 };
+
+/// True for transient failure categories a task scheduler may retry:
+/// I/O errors (spill disk hiccups), Unavailable (injected faults,
+/// resource pressure), and DeadlineExceeded (attempt timeout). Logic
+/// errors (InvalidArgument, Internal, ...) are never retried — re-running
+/// deterministic code on the same input cannot fix them.
+[[nodiscard]] bool IsRetryableStatus(const Status& status);
 
 /// Propagates a non-OK status to the caller.
 #define ERLB_RETURN_NOT_OK(expr)                 \

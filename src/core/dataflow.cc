@@ -1,12 +1,31 @@
 #include "core/dataflow.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <set>
 
 #include "common/stopwatch.h"
 
 namespace erlb {
 namespace core {
+
+namespace {
+
+// Stage names become checkpoint subdirectory names; multi-pass graphs
+// use names like "pass-0/bdm", so anything outside the portable
+// filename alphabet is flattened to '_'.
+std::string StageCheckpointDirName(std::string_view stage_name) {
+  std::string out(stage_name);
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
 
 const char* Dataset::TypeName() const {
   struct Namer {
@@ -156,17 +175,41 @@ Result<DataflowReport> Dataflow::Run() {
   mr::ExecutionOptions execution = options_.execution;
   std::optional<ScopedTempDir> spill_dir;
   if (execution.mode != mr::ExecutionMode::kInMemory) {
+    // Reclaim spill roots orphaned by earlier processes that died before
+    // their ScopedTempDir destructor ran (SIGKILL mid-run), then scope
+    // our own. Sweeping is best-effort; a failed sweep never fails the
+    // run.
+    std::string sweep_base = execution.temp_dir;
+    if (sweep_base.empty()) {
+      std::error_code ec;
+      auto system_tmp = std::filesystem::temp_directory_path(ec);
+      if (!ec) sweep_base = system_tmp.string();
+    }
+    if (!sweep_base.empty()) {
+      static_cast<void>(SweepStaleTempDirs(sweep_base, "erlb-dataflow"));
+    }
     ERLB_ASSIGN_OR_RETURN(
         spill_dir,
         ScopedTempDir::Make(execution.temp_dir, "erlb-dataflow"));
     execution.temp_dir = spill_dir->path();
   }
-  mr::JobRunner runner(&pool, execution);
+  // With a checkpoint root configured, each stage runs under its own
+  // runner whose checkpoint directory (and manifest identity) is scoped
+  // by the stage name — a restarted graph re-executes stages in the same
+  // deterministic order, so stage k finds stage k's manifests.
+  const std::string checkpoint_root = execution.checkpoint.dir;
 
   Stopwatch total_watch;
   DataflowReport full_report;
   full_report.stages.reserve(order.size());
   for (Stage* stage : order) {
+    mr::ExecutionOptions stage_execution = execution;
+    if (!checkpoint_root.empty()) {
+      stage_execution.checkpoint.dir =
+          checkpoint_root + "/" + StageCheckpointDirName(stage->name());
+      stage_execution.checkpoint.identity += "|stage=" + stage->name();
+    }
+    mr::JobRunner runner(&pool, stage_execution);
     StageReport report;
     report.stage = stage->name();
     report.kind = stage->kind();
@@ -191,6 +234,12 @@ Result<DataflowReport> Dataflow::Run() {
     full_report.stages.push_back(std::move(report));
   }
   full_report.total_seconds = total_watch.ElapsedSeconds();
+  // A fully successful run retires its checkpoints — they exist to
+  // survive crashes, not to cache results across distinct runs.
+  if (!checkpoint_root.empty() && !execution.checkpoint.keep_on_success) {
+    std::error_code ec;
+    std::filesystem::remove_all(checkpoint_root, ec);
+  }
   return full_report;
 }
 

@@ -234,11 +234,17 @@ class Dataflow {
   /// implicitly; call this to fail fast while composing.
   [[nodiscard]] Status Validate() const;
 
-  /// Executes the graph once: validates, creates the shared pool and (for
-  /// spillable modes) the graph-scoped temp dir (both released when Run
-  /// returns — every spill file lives inside it), runs stages in
-  /// dependency order, and returns the per-stage report. A Dataflow is
-  /// single-shot; a second Run is FailedPrecondition.
+  /// Executes the graph once: validates, sweeps spill roots orphaned by
+  /// crashed processes, creates the shared pool and (for spillable
+  /// modes) the graph-scoped temp dir (both released when Run returns —
+  /// every spill file lives inside it), runs stages in dependency order,
+  /// and returns the per-stage report. When
+  /// options().execution.checkpoint.dir is set, each stage's external
+  /// jobs write durable checkpoints under
+  /// `<dir>/<stage>/job-<k>` and a rerun of the same graph over the same
+  /// input resumes past committed map tasks; the checkpoint root is
+  /// removed after a fully successful run (unless keep_on_success). A
+  /// Dataflow is single-shot; a second Run is FailedPrecondition.
   [[nodiscard]] Result<DataflowReport> Run();
 
   /// A dataset by name, or nullptr if absent (or not yet produced).
@@ -310,8 +316,10 @@ class DataflowContext {
   /// Emits a declared output dataset.
   [[nodiscard]] Status Out(std::string_view name, Dataset value);
 
-  /// The shared runner: one pool + one ExecutionOptions for the whole
-  /// graph.
+  /// This stage's runner: every stage shares one pool and one set of
+  /// execution knobs, but when a checkpoint root is configured the
+  /// runner's checkpoint directory is scoped per stage (see
+  /// Dataflow::Run).
   const mr::JobRunner& runner() const { return *runner_; }
 
   /// This stage's report entry (seconds and kind are filled by the

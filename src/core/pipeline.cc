@@ -78,6 +78,13 @@ Status ErPipelineConfig::Validate() const {
     return Status::InvalidArgument(
         "execution.io_buffer_bytes must be >= 1");
   }
+  if (!execution.checkpoint.dir.empty() &&
+      execution.mode == mr::ExecutionMode::kInMemory) {
+    return Status::InvalidArgument(
+        "execution.checkpoint.dir requires a spillable execution mode "
+        "(kExternal or kAuto); kInMemory jobs have no durable spill "
+        "output to checkpoint");
+  }
   return Status::OK();
 }
 

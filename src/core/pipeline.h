@@ -247,6 +247,14 @@ class ErPipelineBuilder {
     config_.execution.temp_dir = std::move(dir);
     return *this;
   }
+  /// Durable checkpoint root for the run's external jobs: a rerun with
+  /// the same config over the same input resumes past committed map
+  /// tasks (see mr/checkpoint.h). Requires a spillable execution mode —
+  /// Validate() rejects the combination with kInMemory.
+  ErPipelineBuilder& CheckpointDir(std::string dir) {
+    config_.execution.checkpoint.dir = std::move(dir);
+    return *this;
+  }
   ErPipelineBuilder& IoBufferBytes(size_t bytes) {
     config_.execution.io_buffer_bytes = bytes;
     return *this;

@@ -97,6 +97,14 @@ std::string FormatDataflowReport(const DataflowReport& report) {
       out << ", job m=" << s.job->map_tasks.size()
           << " r=" << s.job->reduce_tasks.size()
           << (s.job->external ? " external" : " in-memory");
+      if (s.job->checkpointed) out << " checkpointed";
+      if (s.job->task_retries > 0) {
+        out << ", " << FormatWithCommas(s.job->task_retries) << " retries";
+      }
+      if (s.job->map_tasks_resumed > 0) {
+        out << ", " << FormatWithCommas(s.job->map_tasks_resumed)
+            << " map tasks resumed";
+      }
     }
     if (s.spill_bytes > 0) {
       out << ", spilled " << FormatWithCommas(s.spill_bytes) << " B";
@@ -140,6 +148,9 @@ std::string DataflowReportToJson(const DataflowReport& report) {
                                   s.job->reduce_tasks.size())));
       job.Add("external", Json(s.job->external));
       job.Add("map_output_pairs", Json(s.job->TotalMapOutputPairs()));
+      job.Add("checkpointed", Json(s.job->checkpointed));
+      job.Add("task_retries", Json(s.job->task_retries));
+      job.Add("map_tasks_resumed", Json(s.job->map_tasks_resumed));
       stage.Add("job", std::move(job));
     }
     if (s.spill_bytes > 0) stage.Add("spill_bytes", Json(s.spill_bytes));

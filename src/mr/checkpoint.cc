@@ -1,0 +1,333 @@
+#include "mr/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/hash.h"
+#include "common/io_buffer.h"
+#include "common/json.h"
+
+namespace erlb {
+namespace mr {
+
+namespace {
+
+constexpr int kManifestVersion = 1;
+constexpr char kManifestName[] = "manifest.json";
+
+// rename() persistence requires an fsync of the containing directory;
+// without it a power cut can forget the rename even though the data
+// blocks survived. Best-effort: some filesystems reject O_RDONLY fsync
+// on directories.
+void SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  static_cast<void>(::fsync(fd));
+  static_cast<void>(::close(fd));
+}
+
+Json CountersToJson(const Counters& counters) {
+  Json::Object obj;
+  for (const auto& [name, value] : counters.values()) {
+    obj.emplace_back(name, Json(value));
+  }
+  return Json(std::move(obj));
+}
+
+bool CountersFromJson(const Json& json, Counters* counters) {
+  if (!json.is_object()) return false;
+  for (const auto& [name, value] : json.AsObject()) {
+    if (!value.is_integer()) return false;
+    counters->Increment(name, value.AsInt64());
+  }
+  return true;
+}
+
+// Reads an integer member or fails; keeps the parse paranoid because a
+// manifest survives process boundaries.
+bool GetInt(const Json& obj, std::string_view key, int64_t* out) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr || !v->is_integer()) return false;
+  *out = v->AsInt64();
+  return true;
+}
+
+bool GetUint(const Json& obj, std::string_view key, uint64_t* out) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr || !v->is_integer()) return false;
+  *out = v->AsUint64();
+  return true;
+}
+
+}  // namespace
+
+Status VerifySpillFileFooters(const SpillFile& file,
+                              size_t io_buffer_bytes) {
+  BufferedFileReader reader;
+  ERLB_RETURN_NOT_OK(reader.Open(file.path, io_buffer_bytes));
+  uint64_t expected_offset = 0;
+  for (const RunExtent& run : file.runs) {
+    if (run.offset != expected_offset) {
+      return Status::IOError("checkpointed run layout mismatch in " +
+                             file.path);
+    }
+    ERLB_RETURN_NOT_OK(reader.Seek(run.offset + run.bytes));
+    char buf[kRunFooterBytes];
+    ERLB_RETURN_NOT_OK(reader.ReadExact(buf, sizeof(buf)));
+    RunFooter footer;
+    if (!DecodeRunFooter(buf, &footer) || footer.records != run.records) {
+      return Status::IOError("checkpointed run footer mismatch in " +
+                             file.path);
+    }
+    expected_offset = run.offset + run.bytes + kRunFooterBytes;
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<JobCheckpoint>> JobCheckpoint::Open(
+    const std::string& dir, uint64_t signature, uint32_t num_map_tasks,
+    uint32_t num_reduce_tasks, bool resume) {
+  ERLB_FAULT_POINT("checkpoint.load");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint dir " + dir + ": " +
+                           ec.message());
+  }
+  std::unique_ptr<JobCheckpoint> checkpoint(
+      new JobCheckpoint(dir, signature, num_map_tasks, num_reduce_tasks));
+  if (resume) {
+    // Manifest damage is not an error: an unreadable or mismatched
+    // manifest means "nothing usable to resume", and the job proceeds
+    // from scratch, overwriting as it goes.
+    ERLB_RETURN_NOT_OK(checkpoint->LoadManifest());
+  }
+  return checkpoint;
+}
+
+Status JobCheckpoint::LoadManifest() {
+  const std::string manifest_path =
+      dir_ + "/" + kManifestName;
+  std::ifstream in(manifest_path, std::ios::binary);
+  if (!in) return Status::OK();  // no previous manifest
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = Json::Parse(buf.str());
+  if (!parsed.ok()) return Status::OK();
+  const Json& root = *parsed;
+  int64_t version = 0;
+  uint64_t signature = 0;
+  int64_t m = 0;
+  int64_t r = 0;
+  if (!GetInt(root, "version", &version) || version != kManifestVersion ||
+      !GetUint(root, "signature", &signature) || signature != signature_ ||
+      !GetInt(root, "map_tasks", &m) ||
+      m != static_cast<int64_t>(num_map_tasks_) ||
+      !GetInt(root, "reduce_tasks", &r) ||
+      r != static_cast<int64_t>(num_reduce_tasks_)) {
+    return Status::OK();  // different job or input; start fresh
+  }
+  const Json* completed = root.Find("completed");
+  if (completed == nullptr || !completed->is_array()) return Status::OK();
+
+  MutexLock lock(&mu_);
+  for (const Json& entry : completed->AsArray()) {
+    if (!entry.is_object()) continue;
+    int64_t task = -1;
+    if (!GetInt(entry, "task", &task) || task < 0 ||
+        task >= static_cast<int64_t>(num_map_tasks_)) {
+      continue;
+    }
+    const Json* path = entry.Find("path");
+    const Json* runs = entry.Find("runs");
+    if (path == nullptr || !path->is_string() || runs == nullptr ||
+        !runs->is_array() ||
+        runs->AsArray().size() != num_reduce_tasks_) {
+      continue;
+    }
+    DoneTask done;
+    done.file.path = dir_ + "/" + path->AsString();
+    bool runs_ok = true;
+    for (const Json& run : runs->AsArray()) {
+      if (!run.is_array() || run.AsArray().size() != 3 ||
+          !run.AsArray()[0].is_integer() || !run.AsArray()[1].is_integer() ||
+          !run.AsArray()[2].is_integer()) {
+        runs_ok = false;
+        break;
+      }
+      RunExtent extent;
+      extent.offset = run.AsArray()[0].AsUint64();
+      extent.bytes = run.AsArray()[1].AsUint64();
+      extent.records = run.AsArray()[2].AsUint64();
+      done.file.runs.push_back(extent);
+    }
+    if (!runs_ok) continue;
+    TaskMetrics& tm = done.metrics;
+    tm.task_index = static_cast<uint32_t>(task);
+    const Json* counters = entry.Find("counters");
+    if (!GetInt(entry, "input_records", &tm.input_records) ||
+        !GetInt(entry, "output_records", &tm.output_records) ||
+        !GetInt(entry, "duration_nanos", &tm.duration_nanos) ||
+        !GetInt(entry, "spill_bytes", &tm.spill_bytes) ||
+        !GetInt(entry, "attempts", &tm.attempts) || counters == nullptr ||
+        !CountersFromJson(*counters, &tm.counters)) {
+      continue;
+    }
+    tm.resumed = true;
+    const Json* side_path = entry.Find("side_path");
+    if (side_path != nullptr) {
+      if (!side_path->is_string() ||
+          !GetUint(entry, "side_bytes", &done.side.bytes) ||
+          !GetUint(entry, "side_checksum", &done.side.checksum)) {
+        continue;
+      }
+      done.side.path = dir_ + "/" + side_path->AsString();
+    }
+    // Trust nothing until the bytes on disk agree with the manifest: a
+    // task whose file is torn, truncated, or from another epoch simply
+    // re-executes.
+    if (!VerifySpillFileFooters(done.file, size_t{1} << 16).ok()) continue;
+    done_[static_cast<uint32_t>(task)] = std::move(done);
+  }
+  return Status::OK();
+}
+
+Status JobCheckpoint::WriteManifestLocked() {
+  Json::Array completed;
+  for (const auto& [task, done] : done_) {
+    Json entry{Json::Object{}};
+    entry.Add("task", Json(task));
+    // Paths are stored relative to the checkpoint dir so the directory
+    // can be archived or moved between runs.
+    std::string rel = done.file.path;
+    if (rel.rfind(dir_ + "/", 0) == 0) rel = rel.substr(dir_.size() + 1);
+    entry.Add("path", Json(rel));
+    entry.Add("input_records", Json(done.metrics.input_records));
+    entry.Add("output_records", Json(done.metrics.output_records));
+    entry.Add("duration_nanos", Json(done.metrics.duration_nanos));
+    entry.Add("spill_bytes", Json(done.metrics.spill_bytes));
+    entry.Add("attempts", Json(done.metrics.attempts));
+    entry.Add("counters", CountersToJson(done.metrics.counters));
+    if (!done.side.path.empty()) {
+      std::string side_rel = done.side.path;
+      if (side_rel.rfind(dir_ + "/", 0) == 0) {
+        side_rel = side_rel.substr(dir_.size() + 1);
+      }
+      entry.Add("side_path", Json(side_rel));
+      entry.Add("side_bytes", Json(done.side.bytes));
+      entry.Add("side_checksum", Json(done.side.checksum));
+    }
+    Json::Array runs;
+    for (const RunExtent& run : done.file.runs) {
+      runs.push_back(Json(Json::Array{Json(run.offset), Json(run.bytes),
+                                      Json(run.records)}));
+    }
+    entry.Add("runs", Json(std::move(runs)));
+    completed.push_back(std::move(entry));
+  }
+  Json root{Json::Object{}};
+  root.Add("version", Json(kManifestVersion));
+  root.Add("signature", Json(signature_));
+  root.Add("map_tasks", Json(num_map_tasks_));
+  root.Add("reduce_tasks", Json(num_reduce_tasks_));
+  root.Add("completed", Json(std::move(completed)));
+  const std::string text = root.Dump(2);
+
+  const std::string final_path = dir_ + "/" + kManifestName;
+  const std::string tmp_path = final_path + ".tmp";
+  BufferedFileWriter writer;
+  ERLB_RETURN_NOT_OK(writer.Open(tmp_path, size_t{1} << 16));
+  ERLB_RETURN_NOT_OK(writer.Append(text.data(), text.size()));
+  ERLB_RETURN_NOT_OK(writer.Sync());
+  ERLB_RETURN_NOT_OK(writer.Close());
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::IOError("cannot publish manifest " + final_path + ": " +
+                           ec.message());
+  }
+  SyncDir(dir_);
+  return Status::OK();
+}
+
+bool JobCheckpoint::IsMapTaskDone(uint32_t task) const {
+  MutexLock lock(&mu_);
+  return done_.find(task) != done_.end();
+}
+
+SpillFile JobCheckpoint::CompletedSpill(uint32_t task) const {
+  MutexLock lock(&mu_);
+  auto it = done_.find(task);
+  return it == done_.end() ? SpillFile{} : it->second.file;
+}
+
+TaskMetrics JobCheckpoint::CompletedMetrics(uint32_t task) const {
+  MutexLock lock(&mu_);
+  auto it = done_.find(task);
+  return it == done_.end() ? TaskMetrics{} : it->second.metrics;
+}
+
+Result<std::string> JobCheckpoint::CompletedSideOutput(
+    uint32_t task) const {
+  SideOutputFile side;
+  {
+    MutexLock lock(&mu_);
+    auto it = done_.find(task);
+    if (it == done_.end() || it->second.side.path.empty()) {
+      return Status::NotFound("no committed side output for map task " +
+                              std::to_string(task));
+    }
+    side = it->second.side;
+  }
+  std::ifstream in(side.path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot read side output " + side.path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string bytes = std::move(buf).str();
+  if (bytes.size() != side.bytes ||
+      Fnv1aHash(bytes.data(), bytes.size()) != side.checksum) {
+    return Status::IOError("side output " + side.path +
+                           " does not match its manifest checksum");
+  }
+  return bytes;
+}
+
+Status JobCheckpoint::CommitMapTask(uint32_t task,
+                                    const std::string& tmp_path,
+                                    const SpillFile& file,
+                                    const TaskMetrics& metrics,
+                                    const std::string& side_tmp_path,
+                                    const SideOutputFile& side) {
+  ERLB_FAULT_POINT("checkpoint.commit");
+  // Publish the bytes first, then the metadata: a crash in between
+  // leaves orphan spill/side files the next run overwrites, never a
+  // manifest entry pointing at missing data.
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, file.path, ec);
+  if (ec) {
+    return Status::IOError("cannot publish spill file " + file.path + ": " +
+                           ec.message());
+  }
+  if (!side_tmp_path.empty()) {
+    std::filesystem::rename(side_tmp_path, side.path, ec);
+    if (ec) {
+      return Status::IOError("cannot publish side output " + side.path +
+                             ": " + ec.message());
+    }
+  }
+  SyncDir(dir_);
+  MutexLock lock(&mu_);
+  done_[task] = DoneTask{file, metrics, side};
+  return WriteManifestLocked();
+}
+
+}  // namespace mr
+}  // namespace erlb

@@ -1,0 +1,155 @@
+// Durable map-phase checkpoints for external-mode jobs.
+//
+// A checkpointed job writes every map task's spill file under a caller-
+// supplied directory instead of a scoped temp dir, and records committed
+// tasks in a JSON manifest:
+//
+//   <dir>/manifest.json          the manifest (rewritten atomically)
+//   <dir>/spill-<t>.run          map task t's committed spill file
+//   <dir>/side-<t>.dat           task t's side output, when the job's
+//                                spec declares encode_side_output
+//
+// The commit protocol makes a task's output all-or-nothing across
+// SIGKILL at any instruction:
+//
+//   1. the task writes  spill-<t>.run.tmp  and fsyncs it,
+//   2. rename(tmp, final)            — atomic publish of the bytes,
+//   3. the manifest is rewritten to  manifest.json.tmp, fsynced, and
+//      renamed over manifest.json    — atomic publish of the metadata.
+//
+// A crash between 2 and 3 leaves a complete spill file that the manifest
+// does not mention; the restarted job simply redoes that task (the
+// writer truncates on open). A restarted job Opens the same directory:
+// the manifest is validated against the job's input signature and shape
+// (m, r), and every recorded run is re-verified against its on-disk
+// RunFooter before the task is skipped — so torn or stale files degrade
+// to re-execution, never to corrupt output. Committed per-task metrics
+// (including user counters) ride along in the manifest, which is what
+// keeps a resumed job's aggregate counters byte-identical to an
+// uninterrupted run.
+#ifndef ERLB_MR_CHECKPOINT_H_
+#define ERLB_MR_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "mr/metrics.h"
+#include "mr/spill.h"
+
+namespace erlb {
+namespace mr {
+
+/// Checkpoint knobs of an external-mode job (ExecutionOptions.checkpoint).
+struct CheckpointOptions {
+  /// Root directory for durable spill files + manifests; empty disables
+  /// checkpointing (the default: spills live in a scoped temp dir).
+  std::string dir;
+  /// Validate and reuse a manifest left by a previous process. When
+  /// false the directory is always started fresh.
+  bool resume = true;
+  /// Opaque input-identity string mixed into the manifest signature
+  /// (e.g. the serialized BdmFingerprint of the plan driving the job),
+  /// guarding against resuming onto different input.
+  std::string identity;
+  /// Dataflow-level runs only: retain the checkpoint directory after a
+  /// fully successful run instead of retiring it. Useful for debugging
+  /// the manifests; a retained checkpoint is revalidated (and reused or
+  /// overwritten) by the next run.
+  bool keep_on_success = false;
+};
+
+/// A map task's durable side-output file ("additional output" beyond
+/// the spill stream, e.g. the BDM job's annotated partition). Empty
+/// path means the task committed no side output.
+struct SideOutputFile {
+  std::string path;
+  uint64_t bytes = 0;
+  /// FNV-1a over the file contents, verified before a resumed job
+  /// trusts the bytes.
+  uint64_t checksum = 0;
+};
+
+/// One job's durable checkpoint state. Thread-safe: map tasks commit
+/// concurrently from worker threads.
+class JobCheckpoint {
+ public:
+  /// Opens (creating if needed) the checkpoint directory for a job with
+  /// the given input signature and shape. When `resume` and a valid
+  /// manifest for the same signature/m/r exists, previously committed
+  /// tasks (with footers intact on disk) are loaded; any mismatch or
+  /// damage degrades to an empty checkpoint, never an error-out.
+  [[nodiscard]] static Result<std::unique_ptr<JobCheckpoint>> Open(
+      const std::string& dir, uint64_t signature, uint32_t num_map_tasks,
+      uint32_t num_reduce_tasks, bool resume);
+
+  /// True iff map task `task` has a committed, verified spill file.
+  [[nodiscard]] bool IsMapTaskDone(uint32_t task) const;
+
+  /// Committed extents / metrics of a done task (IsMapTaskDone must
+  /// hold). Returned by value: commits from other workers may rehash the
+  /// table concurrently.
+  [[nodiscard]] SpillFile CompletedSpill(uint32_t task) const;
+  [[nodiscard]] TaskMetrics CompletedMetrics(uint32_t task) const;
+
+  /// Publishes task `task`: atomically renames `tmp_path` to
+  /// `file.path` (and `side_tmp_path` to `side.path` when the task
+  /// carries side output — pass an empty `side_tmp_path` otherwise),
+  /// records extents + metrics, and durably rewrites the manifest.
+  [[nodiscard]] Status CommitMapTask(uint32_t task,
+                                     const std::string& tmp_path,
+                                     const SpillFile& file,
+                                     const TaskMetrics& metrics,
+                                     const std::string& side_tmp_path = "",
+                                     const SideOutputFile& side = {});
+
+  /// Reads back a done task's committed side-output bytes, verifying
+  /// size and checksum. NotFound when the task committed none (a job
+  /// whose spec expects side output then re-executes the task);
+  /// IOError on damage.
+  [[nodiscard]] Result<std::string> CompletedSideOutput(uint32_t task) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct DoneTask {
+    SpillFile file;
+    TaskMetrics metrics;
+    SideOutputFile side;
+  };
+
+  JobCheckpoint(std::string dir, uint64_t signature, uint32_t num_map_tasks,
+                uint32_t num_reduce_tasks)
+      : dir_(std::move(dir)),
+        signature_(signature),
+        num_map_tasks_(num_map_tasks),
+        num_reduce_tasks_(num_reduce_tasks) {}
+
+  [[nodiscard]] Status LoadManifest();
+  [[nodiscard]] Status WriteManifestLocked() ERLB_REQUIRES(mu_);
+
+  const std::string dir_;
+  const uint64_t signature_;
+  const uint32_t num_map_tasks_;
+  const uint32_t num_reduce_tasks_;
+
+  mutable Mutex mu_;
+  std::map<uint32_t, DoneTask> done_ ERLB_GUARDED_BY(mu_);
+};
+
+/// Verifies that every run recorded in `file` sits inside the on-disk
+/// file with an intact footer (magic, record count, and offset layout) —
+/// the cheap structural check used before trusting a checkpointed spill
+/// file. Does not decode records.
+[[nodiscard]] Status VerifySpillFileFooters(const SpillFile& file,
+                                            size_t io_buffer_bytes);
+
+}  // namespace mr
+}  // namespace erlb
+
+#endif  // ERLB_MR_CHECKPOINT_H_

@@ -55,20 +55,26 @@
 #define ERLB_MR_JOB_H_
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
+#include "common/hash.h"
 #include "common/io_buffer.h"
 #include "common/logging.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "mr/checkpoint.h"
 #include "mr/counters.h"
 #include "mr/merge.h"
 #include "mr/metrics.h"
@@ -105,6 +111,23 @@ struct ExecutionOptions {
   /// Test seam: each map task's spill writer fails once it would exceed
   /// this many bytes (emulated ENOSPC). 0 disables.
   uint64_t fail_writer_after_bytes = 0;
+  /// Per-task attempt budget: a task whose attempt fails with a
+  /// retryable Status (IsRetryableStatus: IOError, Unavailable,
+  /// DeadlineExceeded) is re-executed up to this many times in total.
+  /// 1 (the default) preserves the historical fail-fast behavior; logic
+  /// errors are never retried regardless of the budget.
+  uint32_t max_task_attempts = 1;
+  /// Sleep before the first re-attempt, doubling per further attempt
+  /// (exponential backoff). 0 retries immediately.
+  uint64_t retry_backoff_ms = 0;
+  /// Per-attempt wall-clock budget. Task threads cannot be preempted, so
+  /// this is enforced post hoc: an attempt that finishes past the
+  /// deadline has its result discarded and counts as a DeadlineExceeded
+  /// failure (retryable). 0 disables.
+  uint64_t task_attempt_timeout_ms = 0;
+  /// Durable checkpoint configuration (mr/checkpoint.h). Only external-
+  /// mode jobs checkpoint; the in-memory fast path is unaffected.
+  CheckpointOptions checkpoint;
 };
 
 /// Identity of a running task, passed to mapper/reducer factories so user
@@ -205,6 +228,22 @@ struct TypedJobSpec {
                      std::vector<std::pair<MidK, MidV>>*)>
       combiner;
 
+  /// Optional durable "additional output" hooks for checkpointed
+  /// external jobs. A mapper that writes outside the emitted KV stream
+  /// (e.g. the BDM job's annotated partitions — Algorithm 3's extra DFS
+  /// files) must provide both, or a resumed job would skip the side
+  /// effect along with the task. `encode_side_output` is called after a
+  /// map task's successful attempt; its bytes are committed
+  /// (checksummed) with the task's spill file. `decode_side_output` is
+  /// called instead of re-execution when a completed task is restored
+  /// from a manifest; returning false (corrupt bytes) re-executes the
+  /// task. Jobs without map-side effects leave both unset. The factory
+  /// should also reset any side state for its task, keeping retried
+  /// attempts self-contained.
+  std::function<std::string(uint32_t task_index)> encode_side_output;
+  std::function<bool(uint32_t task_index, std::string_view bytes)>
+      decode_side_output;
+
   uint32_t num_reduce_tasks = 1;
 };
 
@@ -267,6 +306,59 @@ class VectorReduceContext : public ReduceContext<K, V> {
   std::vector<std::pair<K, V>> out_;
   Counters counters_;
 };
+
+// Single definition points for the task-lifecycle fault sites: every map
+// (reduce) attempt, in-memory and external alike, passes through exactly
+// one ERLB_FAULT_POINT occurrence of its site (the lint requires site
+// literals to be unique across the tree).
+[[nodiscard]] inline Status MapTaskFaultPoint() {
+  ERLB_FAULT_POINT("task.map");
+  return Status::OK();
+}
+
+[[nodiscard]] inline Status ReduceTaskFaultPoint() {
+  ERLB_FAULT_POINT("task.reduce");
+  return Status::OK();
+}
+
+/// Runs `attempt` under the options' retry policy: up to
+/// max_task_attempts tries, exponential backoff between them, retrying
+/// only retryable codes. Attempts must be self-contained (clear their
+/// outputs on entry) so a re-run is byte-identical to a first run.
+/// `metrics->attempts` records the tries consumed.
+template <typename Attempt>
+[[nodiscard]] Status RunTaskWithRetry(const ExecutionOptions& options,
+                                      TaskMetrics* metrics,
+                                      Attempt&& attempt) {
+  const uint32_t max_attempts = std::max<uint32_t>(1, options.max_task_attempts);
+  uint64_t backoff_ms = options.retry_backoff_ms;
+  Status last;
+  for (uint32_t a = 1;; ++a) {
+    metrics->attempts = a;
+    Stopwatch attempt_watch;
+    last = attempt();
+    if (last.ok() && options.task_attempt_timeout_ms > 0 &&
+        attempt_watch.ElapsedNanos() >
+            static_cast<int64_t>(options.task_attempt_timeout_ms) *
+                1'000'000) {
+      // The thread cannot be interrupted mid-attempt; over-deadline
+      // results are discarded after the fact. Deterministic tasks
+      // produce the same bytes on the retry, so correctness is
+      // unaffected — the budget bounds how long a straggler can pin a
+      // worker slot before the scheduler gives up on the job.
+      last = Status::DeadlineExceeded("task attempt exceeded " +
+                                      std::to_string(
+                                          options.task_attempt_timeout_ms) +
+                                      "ms deadline");
+    }
+    if (last.ok()) return last;
+    if (a >= max_attempts || !IsRetryableStatus(last)) return last;
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+  }
+}
 
 }  // namespace internal
 
@@ -423,30 +515,47 @@ class JobRunner {
     std::vector<std::vector<std::vector<std::pair<MidK, MidV>>>> buckets(
         m, std::vector<std::vector<std::pair<MidK, MidV>>>(r));
 
+    std::vector<Status> map_status(m);
     Stopwatch map_watch;
     for (uint32_t t = 0; t < m; ++t) {
       pool.Submit([&, t] {
-        RunMapTask(spec, input_partitions[t], m, r, t, &buckets[t],
-                   &result.metrics.map_tasks[t]);
+        map_status[t] = internal::RunTaskWithRetry(
+            options_, &result.metrics.map_tasks[t], [&, t] {
+              return RunMapTask(spec, input_partitions[t], m, r, t,
+                                &buckets[t], &result.metrics.map_tasks[t]);
+            });
       });
     }
     pool.Wait();
     result.metrics.map_phase_nanos = map_watch.ElapsedNanos();
+    for (uint32_t t = 0; t < m; ++t) {
+      if (!map_status[t].ok()) {
+        result.status = map_status[t];
+        return result;
+      }
+    }
 
     // ---- Reduce phase ---------------------------------------------------
     // Each reduce task owns (and consumes) its column of runs, so the
     // mutable access to `buckets` is race-free.
+    std::vector<Status> reduce_status(r);
     Stopwatch reduce_watch;
     for (uint32_t t = 0; t < r; ++t) {
       pool.Submit([&, t] {
-        RunReduceTask(spec, &buckets, m, r, t,
-                      &result.outputs_per_reduce_task[t],
-                      &result.metrics.reduce_tasks[t]);
+        reduce_status[t] = RunReduceTaskWithRetry(
+            spec, &buckets, m, r, t, &result.outputs_per_reduce_task[t],
+            &result.metrics.reduce_tasks[t]);
       });
     }
     pool.Wait();
     result.metrics.reduce_phase_nanos = reduce_watch.ElapsedNanos();
     result.metrics.total_duration_nanos = job_watch.ElapsedNanos();
+    for (uint32_t t = 0; t < r; ++t) {
+      if (!reduce_status[t].ok()) {
+        result.status = reduce_status[t];
+        return result;
+      }
+    }
 
     MergeTaskCounters(&result.metrics);
     return result;
@@ -469,13 +578,37 @@ class JobRunner {
     result.metrics.reduce_tasks.resize(r);
     result.outputs_per_reduce_task.resize(r);
 
-    // The spill directory lives exactly as long as this Run: the scoped
-    // dir removes it (and every spill file) on success and error paths
-    // alike.
-    auto dir = ScopedTempDir::Make(options_.temp_dir, "erlb-spill");
-    if (!dir.ok()) {
-      result.status = dir.status();
-      return result;
+    // Without checkpointing the spill directory lives exactly as long as
+    // this Run: the scoped dir removes it (and every spill file) on
+    // success and error paths alike. With a checkpoint dir configured,
+    // spills are durable under <checkpoint.dir>/job-<seq> and survive the
+    // process — a restarted job with the same input resumes from them.
+    std::optional<ScopedTempDir> scoped_dir;
+    std::unique_ptr<JobCheckpoint> checkpoint;
+    std::string spill_dir;
+    if (!options_.checkpoint.dir.empty()) {
+      result.metrics.checkpointed = true;
+      const uint32_t seq =
+          checkpoint_seq_.fetch_add(1, std::memory_order_relaxed);
+      spill_dir = options_.checkpoint.dir + "/job-" + std::to_string(seq);
+      auto cp = JobCheckpoint::Open(
+          spill_dir,
+          ComputeInputSignature<Spec>(input_partitions, r,
+                                      options_.checkpoint.identity),
+          m, r, options_.checkpoint.resume);
+      if (!cp.ok()) {
+        result.status = cp.status();
+        return result;
+      }
+      checkpoint = std::move(*cp);
+    } else {
+      auto dir = ScopedTempDir::Make(options_.temp_dir, "erlb-spill");
+      if (!dir.ok()) {
+        result.status = dir.status();
+        return result;
+      }
+      scoped_dir.emplace(std::move(*dir));
+      spill_dir = scoped_dir->path();
     }
 
     Stopwatch job_watch;
@@ -489,10 +622,34 @@ class JobRunner {
     std::vector<Status> map_status(m);
     Stopwatch map_watch;
     for (uint32_t t = 0; t < m; ++t) {
+      if (checkpoint != nullptr && checkpoint->IsMapTaskDone(t)) {
+        // Committed by a previous process: restore the extents, the
+        // task's recorded metrics (counters included), and any durable
+        // side output instead of re-executing — this is what keeps a
+        // resumed job's aggregate counters and side effects
+        // byte-identical to an uninterrupted run. A task whose side
+        // bytes are missing or corrupt falls through and re-executes.
+        bool restored = true;
+        if (spec.decode_side_output) {
+          auto side_bytes = checkpoint->CompletedSideOutput(t);
+          restored = side_bytes.ok() &&
+                     spec.decode_side_output(t, *side_bytes);
+        }
+        if (restored) {
+          spill_files[t] = checkpoint->CompletedSpill(t);
+          result.metrics.map_tasks[t] = checkpoint->CompletedMetrics(t);
+          ++result.metrics.map_tasks_resumed;
+          continue;
+        }
+      }
       pool.Submit([&, t] {
-        map_status[t] = RunMapTaskExternal(
-            spec, input_partitions[t], m, r, t, dir->path(),
-            &spill_files[t], &result.metrics.map_tasks[t]);
+        map_status[t] = internal::RunTaskWithRetry(
+            options_, &result.metrics.map_tasks[t], [&, t] {
+              return RunMapTaskExternal(
+                  spec, input_partitions[t], m, r, t, spill_dir,
+                  checkpoint.get(), &spill_files[t],
+                  &result.metrics.map_tasks[t]);
+            });
       });
     }
     pool.Wait();
@@ -511,10 +668,13 @@ class JobRunner {
     Stopwatch reduce_watch;
     for (uint32_t t = 0; t < r; ++t) {
       pool.Submit([&, t] {
-        reduce_status[t] = RunReduceTaskExternal(
-            spec, spill_files, m, r, t,
-            &result.outputs_per_reduce_task[t],
-            &result.metrics.reduce_tasks[t]);
+        reduce_status[t] = internal::RunTaskWithRetry(
+            options_, &result.metrics.reduce_tasks[t], [&, t] {
+              return RunReduceTaskExternal(
+                  spec, spill_files, m, r, t,
+                  &result.outputs_per_reduce_task[t],
+                  &result.metrics.reduce_tasks[t]);
+            });
       });
     }
     pool.Wait();
@@ -534,10 +694,45 @@ class JobRunner {
   static void MergeTaskCounters(JobMetrics* metrics) {
     for (const auto& tm : metrics->map_tasks) {
       metrics->counters.Merge(tm.counters);
+      metrics->task_retries += std::max<int64_t>(0, tm.attempts - 1);
     }
     for (const auto& tm : metrics->reduce_tasks) {
       metrics->counters.Merge(tm.counters);
+      metrics->task_retries += std::max<int64_t>(0, tm.attempts - 1);
     }
+  }
+
+  /// Cheap input-identity fingerprint for the checkpoint manifest: job
+  /// shape (m, r), the caller-supplied identity string, every partition's
+  /// record count, and — when the input types are spillable — the encoded
+  /// first and last record of each partition. Collisions only matter if
+  /// an operator points two different inputs at the same checkpoint dir
+  /// AND they agree on all of the above; the per-run checksums still
+  /// guard the actual bytes read back.
+  template <typename Spec>
+  static uint64_t ComputeInputSignature(const SpecInput<Spec>& input,
+                                        uint32_t r,
+                                        const std::string& identity) {
+    using InK = typename Spec::InKey;
+    using InV = typename Spec::InValue;
+    uint64_t h = Fnv1aHashU64(input.size());
+    h = Fnv1aHashU64(r, h);
+    h = Fnv1aHash(identity, h);
+    std::string scratch;
+    for (const auto& partition : input) {
+      h = Fnv1aHashU64(partition.size(), h);
+      if constexpr (Spillable<InK> && Spillable<InV>) {
+        if (!partition.empty()) {
+          scratch.clear();
+          SpillCodec<InK>::Encode(partition.front().first, &scratch);
+          SpillCodec<InV>::Encode(partition.front().second, &scratch);
+          SpillCodec<InK>::Encode(partition.back().first, &scratch);
+          SpillCodec<InV>::Encode(partition.back().second, &scratch);
+          h = Fnv1aHash(scratch, h);
+        }
+      }
+    }
+    return h;
   }
 
   /// Shared map-task front half: run the mapper over the partition,
@@ -629,7 +824,7 @@ class JobRunner {
   }
 
   template <typename Spec>
-  static void RunMapTask(
+  [[nodiscard]] static Status RunMapTask(
       const Spec& spec,
       const std::vector<std::pair<typename Spec::InKey,
                                   typename Spec::InValue>>& partition,
@@ -638,6 +833,9 @@ class JobRunner {
           std::pair<typename Spec::MidKey, typename Spec::MidValue>>>*
           out_buckets,
       TaskMetrics* metrics) {
+    ERLB_RETURN_NOT_OK(internal::MapTaskFaultPoint());
+    // Self-contained per attempt: a retry starts from empty runs.
+    for (auto& run : *out_buckets) run.clear();
     Stopwatch watch;
     auto final_out =
         MapSortCombine(spec, partition, m, r, task_index, metrics);
@@ -655,21 +853,25 @@ class JobRunner {
       (*out_buckets)[dest[i]].push_back(std::move(final_out[i]));
     }
     metrics->duration_nanos = watch.ElapsedNanos();
+    return Status::OK();
   }
 
   /// External map task: after sort/combine, writes the r runs to the
   /// task's spill file (in reduce-task order, preserving emission order
-  /// within each run) instead of materializing them.
+  /// within each run) instead of materializing them. With a checkpoint
+  /// the bytes go to `<file>.tmp`, are fsynced by Finish, and are
+  /// atomically published (rename + durable manifest) by CommitMapTask.
   template <typename Spec>
   [[nodiscard]] Status RunMapTaskExternal(
       const Spec& spec,
       const std::vector<std::pair<typename Spec::InKey,
                                   typename Spec::InValue>>& partition,
       uint32_t m, uint32_t r, uint32_t task_index,
-      const std::string& spill_dir, SpillFile* out_file,
-      TaskMetrics* metrics) const {
+      const std::string& spill_dir, JobCheckpoint* checkpoint,
+      SpillFile* out_file, TaskMetrics* metrics) const {
     using MidK = typename Spec::MidKey;
     using MidV = typename Spec::MidValue;
+    ERLB_RETURN_NOT_OK(internal::MapTaskFaultPoint());
     Stopwatch watch;
     auto final_out =
         MapSortCombine(spec, partition, m, r, task_index, metrics);
@@ -687,29 +889,88 @@ class JobRunner {
       order[fill[dest[i]]++] = i;
     }
 
+    const std::string final_path = SpillFilePath(spill_dir, task_index);
+    const std::string write_path =
+        checkpoint != nullptr ? final_path + ".tmp" : final_path;
     SpillFileWriter<MidK, MidV> writer;
-    ERLB_RETURN_NOT_OK(writer.Open(SpillFilePath(spill_dir, task_index),
-                                   options_.io_buffer_bytes,
+    ERLB_RETURN_NOT_OK(writer.Open(write_path, options_.io_buffer_bytes,
                                    options_.fail_writer_after_bytes));
     for (uint32_t p = 0; p < r; ++p) {
-      writer.BeginRun();
+      ERLB_RETURN_NOT_OK(writer.BeginRun());
       for (size_t i = run_offsets[p]; i < run_offsets[p + 1]; ++i) {
         const auto& rec = final_out[order[i]];
         ERLB_RETURN_NOT_OK(writer.Append(rec.first, rec.second));
       }
     }
-    ERLB_ASSIGN_OR_RETURN(*out_file, writer.Finish());
+    ERLB_ASSIGN_OR_RETURN(*out_file,
+                          writer.Finish(/*sync=*/checkpoint != nullptr));
     metrics->spill_bytes = static_cast<int64_t>(out_file->TotalBytes());
     metrics->duration_nanos = watch.ElapsedNanos();
+    if (checkpoint != nullptr) {
+      // Side output ("additional output" written outside the KV stream)
+      // is committed alongside the spill file so a resumed job can
+      // replay the side effect without re-executing the task.
+      std::string side_tmp;
+      SideOutputFile side;
+      if (spec.encode_side_output) {
+        std::string side_bytes = spec.encode_side_output(task_index);
+        side.path = spill_dir + "/side-" + std::to_string(task_index) +
+                    ".dat";
+        side.bytes = side_bytes.size();
+        side.checksum = Fnv1aHash(side_bytes.data(), side_bytes.size());
+        side_tmp = side.path + ".tmp";
+        BufferedFileWriter side_writer;
+        ERLB_RETURN_NOT_OK(
+            side_writer.Open(side_tmp, options_.io_buffer_bytes));
+        ERLB_RETURN_NOT_OK(
+            side_writer.Append(side_bytes.data(), side_bytes.size()));
+        ERLB_RETURN_NOT_OK(side_writer.Sync());
+        ERLB_RETURN_NOT_OK(side_writer.Close());
+      }
+      out_file->path = final_path;
+      ERLB_RETURN_NOT_OK(checkpoint->CommitMapTask(
+          task_index, write_path, *out_file, *metrics, side_tmp, side));
+    }
     return Status::OK();
+  }
+
+  /// In-memory reduce task under the retry policy. The task's column of
+  /// runs is moved out of `buckets` once; when the options allow more
+  /// than one attempt, each attempt merges a copy so the inputs survive
+  /// a failed try (byte-identical re-execution).
+  template <typename Spec>
+  [[nodiscard]] Status RunReduceTaskWithRetry(
+      const Spec& spec,
+      std::vector<std::vector<std::vector<
+          std::pair<typename Spec::MidKey, typename Spec::MidValue>>>>*
+          buckets,
+      uint32_t m, uint32_t r, uint32_t task_index,
+      std::vector<std::pair<typename Spec::OutKey, typename Spec::OutValue>>*
+          output,
+      TaskMetrics* metrics) const {
+    using MidK = typename Spec::MidKey;
+    using MidV = typename Spec::MidValue;
+    std::vector<std::vector<std::pair<MidK, MidV>>> runs;
+    runs.reserve(m);
+    for (uint32_t mt = 0; mt < m; ++mt) {
+      runs.push_back(std::move((*buckets)[mt][task_index]));
+    }
+    const bool single_shot =
+        options_.max_task_attempts <= 1 && options_.task_attempt_timeout_ms == 0;
+    return internal::RunTaskWithRetry(options_, metrics, [&]() -> Status {
+      ERLB_RETURN_NOT_OK(internal::ReduceTaskFaultPoint());
+      RunReduceTask(spec, single_shot ? std::move(runs) : runs, m, r,
+                    task_index, output, metrics);
+      return Status::OK();
+    });
   }
 
   template <typename Spec>
   static void RunReduceTask(
       const Spec& spec,
-      std::vector<std::vector<std::vector<
-          std::pair<typename Spec::MidKey, typename Spec::MidValue>>>>*
-          buckets,
+      std::vector<std::vector<
+          std::pair<typename Spec::MidKey, typename Spec::MidValue>>>
+          runs,
       uint32_t m, uint32_t r, uint32_t task_index,
       std::vector<std::pair<typename Spec::OutKey, typename Spec::OutValue>>*
           output,
@@ -723,16 +984,11 @@ class JobRunner {
     auto reducer = spec.reducer_factory(ctx);
     ERLB_CHECK(reducer != nullptr);
 
-    // Gather this task's column of per-map-task runs (each sorted by comp)
-    // and k-way merge them, breaking cross-run ties on map-task index:
-    // equal keys remain grouped by origin map task (Hadoop merge
-    // contiguity; see file comment), and the sequence is identical to
-    // stable-sorting the concatenated runs.
-    std::vector<std::vector<std::pair<MidK, MidV>>> runs;
-    runs.reserve(m);
-    for (uint32_t mt = 0; mt < m; ++mt) {
-      runs.push_back(std::move((*buckets)[mt][task_index]));
-    }
+    // k-way merge this task's column of per-map-task runs (each sorted
+    // by comp), breaking cross-run ties on map-task index: equal keys
+    // remain grouped by origin map task (Hadoop merge contiguity; see
+    // file comment), and the sequence is identical to stable-sorting the
+    // concatenated runs.
     std::vector<std::pair<MidK, MidV>> run = MergeSortedRuns(
         std::span<std::vector<std::pair<MidK, MidV>>>(runs),
         [&spec](const std::pair<MidK, MidV>& a,
@@ -781,6 +1037,7 @@ class JobRunner {
     using MidV = typename Spec::MidValue;
     using OutK = typename Spec::OutKey;
     using OutV = typename Spec::OutValue;
+    ERLB_RETURN_NOT_OK(internal::ReduceTaskFaultPoint());
     Stopwatch watch;
     TaskContext ctx{m, r, task_index};
     auto reducer = spec.reducer_factory(ctx);
@@ -850,6 +1107,11 @@ class JobRunner {
   size_t num_workers_;
   ExecutionOptions options_;
   ThreadPool* shared_pool_ = nullptr;
+  /// Sequence number of checkpointed Run()s through this runner: job k
+  /// checkpoints under `<checkpoint.dir>/job-<k>`. Jobs run sequentially
+  /// in deterministic order, so a restarted process assigns the same
+  /// directory to the same job and finds its own manifest.
+  mutable std::atomic<uint32_t> checkpoint_seq_{0};
 };
 
 }  // namespace mr

@@ -24,6 +24,12 @@ struct TaskMetrics {
   /// External mode: bytes this task spilled to disk (map tasks) or
   /// streamed back from disk (reduce tasks). 0 in in-memory mode.
   int64_t spill_bytes = 0;
+  /// Execution attempts consumed (1 = first try succeeded; >1 means the
+  /// task was retried after a retryable failure or blown deadline).
+  int64_t attempts = 1;
+  /// True iff the task was not executed at all: its spill output was
+  /// restored from a durable checkpoint of a previous process.
+  bool resumed = false;
   /// Task-local user counters.
   Counters counters;
 };
@@ -41,6 +47,13 @@ struct JobMetrics {
   /// External mode: total bytes of sorted runs written to spill files by
   /// the map phase (0 in in-memory mode).
   int64_t spill_bytes_written = 0;
+  /// Total extra attempts across all tasks (sum of attempts - 1).
+  int64_t task_retries = 0;
+  /// Map tasks skipped because a checkpoint manifest already held their
+  /// committed spill output.
+  int64_t map_tasks_resumed = 0;
+  /// True iff the job ran with a durable checkpoint directory.
+  bool checkpointed = false;
   /// Job-level merged counters.
   Counters counters;
 

@@ -6,10 +6,11 @@
 // r runs back to back, one per reduce task, each run sorted by the job's
 // key order:
 //
-//   file   := run_0 run_1 ... run_{r-1}
+//   file   := (run_0 footer_0) (run_1 footer_1) ... (run_{r-1} footer_{r-1})
 //   run    := record*
 //   record := u32 payload_length | payload          (little-endian)
 //   payload:= SpillCodec<K>::Encode ++ SpillCodec<V>::Encode
+//   footer := u32 magic "RUNF" | u64 records | u64 fnv1a(run bytes)
 //
 // The per-run extents (offset, bytes, records) stay in memory in a
 // SpillFile — the analogue of Hadoop's spill.index — so reduce task t can
@@ -36,6 +37,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/fault.h"
+#include "common/hash.h"
 #include "common/io_buffer.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -168,20 +171,52 @@ size_t ApproxSpillBytes(const T& v) {
 // ---- Run extents ----------------------------------------------------------
 
 /// Byte range and record count of one run inside a spill file (the
-/// in-memory analogue of one Hadoop spill.index entry).
+/// in-memory analogue of one Hadoop spill.index entry). `bytes` counts
+/// record data only; on disk every run is followed by a RunFooter.
 struct RunExtent {
   uint64_t offset = 0;
   uint64_t bytes = 0;
   uint64_t records = 0;
 };
 
+/// Trailer written after every run's records: magic + record count +
+/// FNV-1a checksum over the run's bytes (length prefixes included). Lets
+/// a reader detect truncation and bit flips without trusting the
+/// in-memory extents — which is what makes checkpointed spill files safe
+/// to resume from after a crash.
+struct RunFooter {
+  uint64_t records = 0;
+  uint64_t checksum = 0;
+};
+
+inline constexpr uint32_t kRunFooterMagic = 0x464E5552;  // "RUNF" LE
+inline constexpr size_t kRunFooterBytes =
+    sizeof(uint32_t) + 2 * sizeof(uint64_t);
+
+inline void EncodeRunFooter(const RunFooter& footer, char out[]) {
+  std::memcpy(out, &kRunFooterMagic, sizeof(kRunFooterMagic));
+  std::memcpy(out + 4, &footer.records, sizeof(footer.records));
+  std::memcpy(out + 12, &footer.checksum, sizeof(footer.checksum));
+}
+
+[[nodiscard]] inline bool DecodeRunFooter(const char in[], RunFooter* footer) {
+  uint32_t magic = 0;
+  std::memcpy(&magic, in, sizeof(magic));
+  if (magic != kRunFooterMagic) return false;
+  std::memcpy(&footer->records, in + 4, sizeof(footer->records));
+  std::memcpy(&footer->checksum, in + 12, sizeof(footer->checksum));
+  return true;
+}
+
 /// One map task's spill output: the file path plus its r run extents.
 struct SpillFile {
   std::string path;
   std::vector<RunExtent> runs;
 
+  /// On-disk size of the file: record bytes of every run plus the
+  /// per-run footers (RunExtent::bytes counts records only).
   uint64_t TotalBytes() const {
-    uint64_t n = 0;
+    uint64_t n = runs.size() * kRunFooterBytes;
     for (const auto& r : runs) n += r.bytes;
     return n;
   }
@@ -203,6 +238,7 @@ class SpillFileWriter {
  public:
   [[nodiscard]] Status Open(const std::string& path, size_t buffer_bytes,
               uint64_t inject_failure_after_bytes = 0) {
+    ERLB_FAULT_POINT("spill.open");
     file_.path = path;
     Status s = writer_.Open(path, buffer_bytes);
     if (!s.ok()) return s;
@@ -212,38 +248,55 @@ class SpillFileWriter {
     return Status::OK();
   }
 
-  /// Starts the next run (in reduce-task order).
-  void BeginRun() {
+  /// Starts the next run (in reduce-task order), sealing the previous
+  /// run with its footer.
+  [[nodiscard]] Status BeginRun() {
+    ERLB_RETURN_NOT_OK(SealCurrentRun());
     RunExtent e;
     e.offset = writer_.bytes_written();
     file_.runs.push_back(e);
+    run_hash_.Reset();
+    in_run_ = true;
+    return Status::OK();
   }
 
   /// Appends one record to the current run.
   [[nodiscard]] Status Append(const K& key, const V& value) {
-    scratch_.clear();
+    ERLB_FAULT_POINT("spill.append");
+    // The length prefix is patched into the scratch buffer so the whole
+    // record is one contiguous write and one checksum update — this is
+    // the engine's hottest loop.
+    scratch_.assign(sizeof(uint32_t), '\0');
     SpillCodec<K>::Encode(key, &scratch_);
     SpillCodec<V>::Encode(value, &scratch_);
+    const size_t payload = scratch_.size() - sizeof(uint32_t);
     // The u32 framing caps one record at 4 GiB; a larger payload would
     // wrap the prefix and corrupt the file, so fail loudly instead.
-    if (scratch_.size() > std::numeric_limits<uint32_t>::max()) {
+    if (payload > std::numeric_limits<uint32_t>::max()) {
       return Status::InvalidArgument(
           "spill record exceeds the 4 GiB framing limit (" +
-          std::to_string(scratch_.size()) + " bytes)");
+          std::to_string(payload) + " bytes)");
     }
-    uint32_t len = static_cast<uint32_t>(scratch_.size());
-    Status s = writer_.Append(&len, sizeof(len));
+    uint32_t len = static_cast<uint32_t>(payload);
+    std::memcpy(scratch_.data(), &len, sizeof(len));
+    Status s = writer_.Append(scratch_.data(), scratch_.size());
     if (!s.ok()) return s;
-    s = writer_.Append(scratch_.data(), scratch_.size());
-    if (!s.ok()) return s;
+    run_hash_.Update(scratch_.data(), scratch_.size());
     RunExtent& run = file_.runs.back();
     run.bytes = writer_.bytes_written() - run.offset;
     ++run.records;
     return Status::OK();
   }
 
-  /// Flushes, closes, and returns the extents.
-  [[nodiscard]] Result<SpillFile> Finish() {
+  /// Seals the last run, flushes (durably if `sync`), closes, and
+  /// returns the extents. Checkpointed spill files pass sync = true so
+  /// the bytes are on disk before the atomic rename publishes them.
+  [[nodiscard]] Result<SpillFile> Finish(bool sync = false) {
+    ERLB_FAULT_POINT("spill.finish");
+    ERLB_RETURN_NOT_OK(SealCurrentRun());
+    if (sync) {
+      ERLB_RETURN_NOT_OK(writer_.Sync());
+    }
     Status s = writer_.Close();
     if (!s.ok()) return s;
     return std::move(file_);
@@ -252,9 +305,20 @@ class SpillFileWriter {
   uint64_t bytes_written() const { return writer_.bytes_written(); }
 
  private:
+  [[nodiscard]] Status SealCurrentRun() {
+    if (!in_run_) return Status::OK();
+    in_run_ = false;
+    const RunExtent& run = file_.runs.back();
+    char buf[kRunFooterBytes];
+    EncodeRunFooter(RunFooter{run.records, run_hash_.Digest()}, buf);
+    return writer_.Append(buf, sizeof(buf));
+  }
+
   BufferedFileWriter writer_;
   SpillFile file_;
   std::string scratch_;
+  StreamChecksum run_hash_;
+  bool in_run_ = false;
 };
 
 // ---- Cursor ---------------------------------------------------------------
@@ -274,7 +338,12 @@ class RunCursor {
 
   [[nodiscard]] Status Open(const std::string& path, const RunExtent& extent,
               size_t buffer_bytes) {
+    ERLB_FAULT_POINT("spill.open_run");
     remaining_ = extent.records;
+    bytes_left_ = extent.bytes;
+    expected_records_ = extent.records;
+    run_hash_.Reset();
+    footer_checked_ = false;
     status_ = reader_.Open(path, buffer_bytes);
     if (!status_.ok()) {
       remaining_ = 0;
@@ -303,13 +372,33 @@ class RunCursor {
  private:
   void Advance() {
     has_cur_ = false;
-    if (remaining_ == 0 || !status_.ok()) return;
+    if (!status_.ok()) return;
+    if (remaining_ == 0) {
+      VerifyFooter();
+      return;
+    }
     uint32_t len = 0;
+    // Validate every length prefix against the run extent before
+    // allocating: a truncated or bit-flipped prefix must surface as a
+    // clean IOError, never as a garbage-sized read.
+    if (bytes_left_ < sizeof(len)) {
+      status_ = Status::IOError("spill run truncated in " + reader_.path());
+      return;
+    }
     status_ = reader_.ReadExact(&len, sizeof(len));
     if (!status_.ok()) return;
+    bytes_left_ -= sizeof(len);
+    if (len > bytes_left_) {
+      status_ = Status::IOError("spill record overruns its run in " +
+                                reader_.path());
+      return;
+    }
     payload_.resize(len);
     status_ = reader_.ReadExact(payload_.data(), len);
     if (!status_.ok()) return;
+    bytes_left_ -= len;
+    run_hash_.Update(&len, sizeof(len));
+    run_hash_.Update(payload_.data(), payload_.size());
     const char* p = payload_.data();
     const char* end = p + payload_.size();
     if (!SpillCodec<K>::Decode(&p, end, &cur_.first) ||
@@ -321,8 +410,43 @@ class RunCursor {
     has_cur_ = true;
   }
 
+  // Reads and checks the run footer once the records are consumed; the
+  // count and checksum must match what was actually read.
+  void VerifyFooter() {
+    if (footer_checked_ || !status_.ok()) return;
+    footer_checked_ = true;
+    if (bytes_left_ != 0) {
+      status_ = Status::IOError("spill run has trailing bytes in " +
+                                reader_.path());
+      return;
+    }
+    char buf[kRunFooterBytes];
+    status_ = reader_.ReadExact(buf, sizeof(buf));
+    if (!status_.ok()) {
+      status_ = Status::IOError("spill run footer missing in " +
+                                reader_.path() + ": " +
+                                std::string(status_.message()));
+      return;
+    }
+    RunFooter footer;
+    if (!DecodeRunFooter(buf, &footer)) {
+      status_ = Status::IOError("bad spill run footer magic in " +
+                                reader_.path());
+      return;
+    }
+    if (footer.records != expected_records_ ||
+        footer.checksum != run_hash_.Digest()) {
+      status_ = Status::IOError("spill run checksum mismatch in " +
+                                reader_.path());
+    }
+  }
+
   BufferedFileReader reader_;
   uint64_t remaining_ = 0;
+  uint64_t bytes_left_ = 0;
+  uint64_t expected_records_ = 0;
+  StreamChecksum run_hash_;
+  bool footer_checked_ = false;
   value_type cur_{};
   bool has_cur_ = false;
   std::vector<char> payload_;

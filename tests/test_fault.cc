@@ -1,0 +1,130 @@
+// Fault-injection framework (common/fault.h): site registry, arming
+// grammar, trigger-hit and one-shot/repeat semantics, and the zero-cost
+// disarmed fast path contract (Hit returns OK without locking).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/status.h"
+
+namespace erlb {
+namespace {
+
+// Every test leaves the global injector clean so suites sharing the
+// process cannot see each other's faults.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultTest, RegistryIsSortedUniqueAndNonEmpty) {
+  auto sites = FaultInjector::RegisteredSites();
+  ASSERT_FALSE(sites.empty());
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  EXPECT_EQ(std::adjacent_find(sites.begin(), sites.end()), sites.end());
+  for (const auto& site : sites) {
+    EXPECT_TRUE(FaultInjector::IsRegisteredSite(site)) << site;
+  }
+  EXPECT_FALSE(FaultInjector::IsRegisteredSite("no.such.site"));
+}
+
+TEST_F(FaultTest, DisarmedHitIsOkAndCounted) {
+  auto& fi = FaultInjector::Global();
+  EXPECT_TRUE(fi.Hit("task.map").ok());
+  EXPECT_TRUE(fi.Hit("task.map").ok());
+  // Disarmed hits skip the slow path entirely, so they are not counted.
+  EXPECT_EQ(fi.HitCount("task.map"), 0);
+}
+
+TEST_F(FaultTest, ArmRejectsUnknownSiteAndZeroTrigger) {
+  auto& fi = FaultInjector::Global();
+  FaultSpec spec;
+  EXPECT_FALSE(fi.Arm("no.such.site", spec).ok());
+  spec.trigger_hit = 0;
+  EXPECT_FALSE(fi.Arm("task.map", spec).ok());
+}
+
+TEST_F(FaultTest, OneShotErrorFiresAtTriggerHitThenDisarms) {
+  auto& fi = FaultInjector::Global();
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.trigger_hit = 3;
+  ASSERT_TRUE(fi.Arm("io.write", spec).ok());
+  EXPECT_TRUE(fi.Hit("io.write").ok());  // hit 1
+  EXPECT_TRUE(fi.Hit("io.write").ok());  // hit 2
+  Status st = fi.Hit("io.write");        // hit 3: fires
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(IsRetryableStatus(st)) << st.ToString();
+  EXPECT_NE(st.ToString().find("io.write"), std::string::npos);
+  // One-shot: disarmed after firing.
+  EXPECT_TRUE(fi.Hit("io.write").ok());
+  EXPECT_GE(fi.HitCount("io.write"), 3);
+}
+
+TEST_F(FaultTest, RepeatingErrorKeepsFiring) {
+  auto& fi = FaultInjector::Global();
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.trigger_hit = 2;
+  spec.repeat = true;
+  ASSERT_TRUE(fi.Arm("io.read", spec).ok());
+  EXPECT_TRUE(fi.Hit("io.read").ok());
+  EXPECT_FALSE(fi.Hit("io.read").ok());
+  EXPECT_FALSE(fi.Hit("io.read").ok());
+  EXPECT_FALSE(fi.Hit("io.read").ok());
+}
+
+TEST_F(FaultTest, InjectedStatusCodeIsConfigurable) {
+  auto& fi = FaultInjector::Global();
+  FaultSpec spec;
+  spec.kind = FaultKind::kError;
+  spec.code = StatusCode::kInvalidArgument;
+  ASSERT_TRUE(fi.Arm("spill.append", spec).ok());
+  Status st = fi.Hit("spill.append");
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_FALSE(IsRetryableStatus(st));
+}
+
+TEST_F(FaultTest, ResetDisarmsEverything) {
+  auto& fi = FaultInjector::Global();
+  FaultSpec spec;
+  ASSERT_TRUE(fi.Arm("task.reduce", spec).ok());
+  fi.Reset();
+  EXPECT_TRUE(fi.Hit("task.reduce").ok());
+  EXPECT_EQ(fi.HitCount("task.reduce"), 0);
+}
+
+TEST_F(FaultTest, ConfigureFromStringGrammar) {
+  auto& fi = FaultInjector::Global();
+  ASSERT_TRUE(fi.ConfigureFromString(
+                    "task.map=error@2, spill.finish=error-repeat,"
+                    "io.write=delay:1@5")
+                  .ok());
+  EXPECT_TRUE(fi.Hit("task.map").ok());
+  EXPECT_FALSE(fi.Hit("task.map").ok());  // fires at hit 2
+
+  EXPECT_FALSE(fi.Hit("spill.finish").ok());  // repeat from hit 1
+  EXPECT_FALSE(fi.Hit("spill.finish").ok());
+
+  // Delay fires at hit 5 and returns OK (it only sleeps).
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(fi.Hit("io.write").ok());
+}
+
+TEST_F(FaultTest, ConfigureFromStringRejectsGarbage) {
+  auto& fi = FaultInjector::Global();
+  EXPECT_FALSE(fi.ConfigureFromString("task.map").ok());
+  EXPECT_FALSE(fi.ConfigureFromString("task.map=explode").ok());
+  EXPECT_FALSE(fi.ConfigureFromString("no.such.site=error").ok());
+  EXPECT_FALSE(fi.ConfigureFromString("task.map=error@zero").ok());
+  EXPECT_FALSE(fi.ConfigureFromString("task.map=error@0").ok());
+}
+
+TEST_F(FaultTest, EmptyConfigIsOk) {
+  EXPECT_TRUE(FaultInjector::Global().ConfigureFromString("").ok());
+}
+
+}  // namespace
+}  // namespace erlb

@@ -1,0 +1,106 @@
+#include "common/hash.h"
+
+#include <cstdint>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace erlb {
+namespace {
+
+TEST(Fnv1aHashTest, MatchesKnownVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(Fnv1aHash("", 0), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1aHash("a", 1), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1aHash("foobar", 6), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1aHashTest, IncrementalMatchesOneShot) {
+  const std::string s = "incremental hashing test";
+  uint64_t state = Fnv1aHash(s.data(), 7);
+  state = Fnv1aHash(s.data() + 7, s.size() - 7, state);
+  EXPECT_EQ(state, Fnv1aHash(s.data(), s.size()));
+}
+
+std::string TestBytes(size_t n) {
+  std::string s(n, '\0');
+  uint32_t x = 0x12345678u;
+  for (size_t i = 0; i < n; ++i) {
+    x = x * 1664525u + 1013904223u;
+    s[i] = static_cast<char>(x >> 24);
+  }
+  return s;
+}
+
+uint64_t DigestOf(const std::string& s) {
+  StreamChecksum c;
+  c.Update(s.data(), s.size());
+  return c.Digest();
+}
+
+TEST(StreamChecksumTest, ChunkBoundaryInvariant) {
+  const std::string s = TestBytes(1000);
+  const uint64_t whole = DigestOf(s);
+  // Every split point, including ones that straddle the 8-byte word
+  // buffer, must produce the same digest as one contiguous Update.
+  for (size_t cut : {size_t{0}, size_t{1}, size_t{3}, size_t{7}, size_t{8},
+                     size_t{9}, size_t{64}, size_t{999}, size_t{1000}}) {
+    StreamChecksum c;
+    c.Update(s.data(), cut);
+    c.Update(s.data() + cut, s.size() - cut);
+    EXPECT_EQ(c.Digest(), whole) << "split at " << cut;
+  }
+  StreamChecksum byte_at_a_time;
+  for (char ch : s) byte_at_a_time.Update(&ch, 1);
+  EXPECT_EQ(byte_at_a_time.Digest(), whole);
+}
+
+TEST(StreamChecksumTest, DetectsBitFlipsAtEveryPosition) {
+  // Short inputs exercise the tail path; a single flipped bit anywhere
+  // must change the digest.
+  for (size_t n : {size_t{1}, size_t{7}, size_t{8}, size_t{9}, size_t{31}}) {
+    const std::string s = TestBytes(n);
+    const uint64_t clean = DigestOf(s);
+    for (size_t i = 0; i < n; ++i) {
+      std::string t = s;
+      t[i] = static_cast<char>(t[i] ^ 0x01);
+      EXPECT_NE(DigestOf(t), clean) << "n=" << n << " flip at " << i;
+    }
+  }
+}
+
+TEST(StreamChecksumTest, LengthIsPartOfTheDigest) {
+  // Truncation and zero-padding both change the digest even when the
+  // mixed words are identical.
+  const std::string s = TestBytes(64);
+  EXPECT_NE(DigestOf(s.substr(0, 56)), DigestOf(s));
+  std::string padded = s;
+  padded.resize(72, '\0');
+  EXPECT_NE(DigestOf(padded), DigestOf(s));
+  EXPECT_NE(DigestOf(std::string()), DigestOf(std::string(1, '\0')));
+}
+
+TEST(StreamChecksumTest, ResetRestoresTheInitialState) {
+  StreamChecksum c;
+  c.Update("garbage", 7);
+  c.Reset();
+  c.Update("abc", 3);
+  StreamChecksum fresh;
+  fresh.Update("abc", 3);
+  EXPECT_EQ(c.Digest(), fresh.Digest());
+}
+
+TEST(StreamChecksumTest, DigestIsRepeatableAndNonFinalizing) {
+  StreamChecksum c;
+  c.Update("hello ", 6);
+  const uint64_t mid = c.Digest();
+  EXPECT_EQ(c.Digest(), mid);
+  c.Update("world", 5);
+  StreamChecksum whole;
+  whole.Update("hello world", 11);
+  EXPECT_EQ(c.Digest(), whole.Digest());
+  EXPECT_NE(c.Digest(), mid);
+}
+
+}  // namespace
+}  // namespace erlb

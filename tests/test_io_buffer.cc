@@ -3,6 +3,8 @@
 // lifetime.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <filesystem>
 #include <optional>
@@ -204,6 +206,53 @@ TEST(ScopedTempDirTest, MoveTransfersOwnership) {
     EXPECT_TRUE(fs::is_directory(path));
   }
   EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(SweepStaleTempDirsTest, RemovesDeadPidDirsKeepsLiveAndForeign) {
+  auto base = ScopedTempDir::Make();
+  ASSERT_TRUE(base.ok());
+
+  // An orphan left by a process that no longer exists. Pid 1 is always
+  // alive, so synthesize a dead one: walk down from a huge pid until
+  // kill(pid, 0) says ESRCH (pid_t is at least 32-bit on Linux and
+  // pid_max defaults far lower, so the first candidate already works).
+  const std::string dead = base->path() + "/erlb-spill-999999999-0-abc";
+  ASSERT_TRUE(fs::create_directories(dead + "/inner"));
+
+  // A dir owned by this (live) process must never be swept.
+  const std::string live = base->path() + "/erlb-spill-" +
+                           std::to_string(::getpid()) + "-1-def";
+  ASSERT_TRUE(fs::create_directories(live));
+
+  // Foreign names (no parseable pid) are age-gated: a fresh one stays.
+  const std::string foreign = base->path() + "/erlb-spill-notapid";
+  ASSERT_TRUE(fs::create_directories(foreign));
+
+  // A different prefix is out of scope entirely.
+  const std::string other = base->path() + "/other-999999999-0-xyz";
+  ASSERT_TRUE(fs::create_directories(other));
+
+  auto removed = SweepStaleTempDirs(base->path(), "erlb-spill");
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_EQ(*removed, 1);
+  EXPECT_FALSE(fs::exists(dead));
+  EXPECT_TRUE(fs::exists(live));
+  EXPECT_TRUE(fs::exists(foreign));
+  EXPECT_TRUE(fs::exists(other));
+
+  // An old foreign dir falls to the age gate.
+  auto removed_aged = SweepStaleTempDirs(base->path(), "erlb-spill",
+                                         /*max_age_seconds=*/0);
+  ASSERT_TRUE(removed_aged.ok());
+  EXPECT_EQ(*removed_aged, 1);
+  EXPECT_FALSE(fs::exists(foreign));
+  EXPECT_TRUE(fs::exists(live));
+}
+
+TEST(SweepStaleTempDirsTest, MissingBaseIsZero) {
+  auto removed = SweepStaleTempDirs("/nonexistent/sweep/base", "erlb");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 0);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <span>
 #include <map>
 #include <memory>
@@ -154,7 +155,7 @@ TEST(SpillFileTest, WriteAndStreamRunsBack) {
   SpillFileWriter<uint64_t, std::string> writer;
   ASSERT_TRUE(writer.Open(SpillFilePath(dir->path(), 0), 64).ok());
   for (const auto& run : runs) {
-    writer.BeginRun();
+    ASSERT_TRUE(writer.BeginRun().ok());
     for (const auto& [k, v] : run) {
       ASSERT_TRUE(writer.Append(k, v).ok());
     }
@@ -180,10 +181,10 @@ TEST(SpillFileTest, EmptyRunsHaveZeroExtent) {
   ASSERT_TRUE(dir.ok());
   SpillFileWriter<uint32_t, uint32_t> writer;
   ASSERT_TRUE(writer.Open(SpillFilePath(dir->path(), 3), 64).ok());
-  writer.BeginRun();  // empty
-  writer.BeginRun();
+  ASSERT_TRUE(writer.BeginRun().ok());  // empty
+  ASSERT_TRUE(writer.BeginRun().ok());
   ASSERT_TRUE(writer.Append(1, 2).ok());
-  writer.BeginRun();  // empty
+  ASSERT_TRUE(writer.BeginRun().ok());  // empty
   auto file = writer.Finish();
   ASSERT_TRUE(file.ok());
   EXPECT_EQ(file->runs[0].records, 0u);
@@ -211,6 +212,101 @@ TEST(SpillFileTest, CursorReportsCorruptRecords) {
   EXPECT_TRUE(cursor.exhausted());
 }
 
+// ---- Run footers: tamper detection --------------------------------------
+
+TEST(RunFooterTest, EncodeDecodeRoundTrip) {
+  char buf[kRunFooterBytes];
+  EncodeRunFooter(RunFooter{12345, 0xDEADBEEFCAFEF00Dull}, buf);
+  RunFooter footer;
+  ASSERT_TRUE(DecodeRunFooter(buf, &footer));
+  EXPECT_EQ(footer.records, 12345u);
+  EXPECT_EQ(footer.checksum, 0xDEADBEEFCAFEF00Dull);
+  buf[0] ^= 0x01;  // damage the magic
+  EXPECT_FALSE(DecodeRunFooter(buf, &footer));
+}
+
+// Writes one single-run spill file and returns its extents.
+Result<SpillFile> WriteOneRunFile(const std::string& path) {
+  SpillFileWriter<uint64_t, std::string> writer;
+  ERLB_RETURN_NOT_OK(writer.Open(path, 64));
+  ERLB_RETURN_NOT_OK(writer.BeginRun());
+  for (uint64_t i = 0; i < 50; ++i) {
+    ERLB_RETURN_NOT_OK(writer.Append(i, "value" + std::to_string(i)));
+  }
+  return writer.Finish(/*sync=*/true);
+}
+
+// Streams the whole run and returns the cursor's final status.
+Status DrainRun(const SpillFile& file) {
+  RunCursor<uint64_t, std::string> cursor;
+  Status open = cursor.Open(file.path, file.runs[0], 64);
+  if (!open.ok()) return open;
+  while (!cursor.exhausted()) cursor.Pop();
+  return cursor.status();
+}
+
+void FlipByteAt(const std::string& path, std::streamoff offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekg(offset);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte ^= 0x20;
+  f.seekp(offset);
+  f.write(&byte, 1);
+}
+
+TEST(RunFooterTest, CursorDetectsPayloadBitFlip) {
+  auto dir = ScopedTempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  auto file = WriteOneRunFile(dir->path() + "/flip.run");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(DrainRun(*file).ok());
+
+  // Flip one byte inside the last record's string payload: framing and
+  // per-record decode stay intact, so only the footer checksum can
+  // catch it — and must, as a clean IOError after the drain.
+  FlipByteAt(file->path,
+             static_cast<std::streamoff>(fs::file_size(file->path)) -
+                 static_cast<std::streamoff>(kRunFooterBytes) - 1);
+  Status st = DrainRun(*file);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_NE(st.ToString().find("checksum"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(RunFooterTest, CursorDetectsFooterTampering) {
+  auto dir = ScopedTempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  auto file = WriteOneRunFile(dir->path() + "/tamper.run");
+  ASSERT_TRUE(file.ok());
+
+  // Corrupt the recorded record count inside the footer itself.
+  FlipByteAt(file->path,
+             static_cast<std::streamoff>(fs::file_size(file->path)) -
+                 static_cast<std::streamoff>(kRunFooterBytes) + 4);
+  Status st = DrainRun(*file);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+}
+
+TEST(RunFooterTest, CursorDetectsTruncation) {
+  auto dir = ScopedTempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  auto file = WriteOneRunFile(dir->path() + "/trunc.run");
+  ASSERT_TRUE(file.ok());
+
+  // Chop half the footer: the drain must end in "footer missing", not
+  // a crash or a silent success.
+  fs::resize_file(file->path, fs::file_size(file->path) - 10);
+  Status st = DrainRun(*file);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_NE(st.ToString().find("footer"), std::string::npos)
+      << st.ToString();
+}
+
 // The file-backed merge must produce exactly what the in-memory oracle
 // produces from the same runs: sorted by key, ties grouped by run index.
 TEST(SpillMergeTest, FileCursorsMatchInMemoryOracle) {
@@ -227,7 +323,7 @@ TEST(SpillMergeTest, FileCursorsMatchInMemoryOracle) {
     ASSERT_TRUE(
         writer.Open(SpillFilePath(dir->path(), num_runs), 128).ok());
     for (const auto& run : runs) {
-      writer.BeginRun();
+      ASSERT_TRUE(writer.BeginRun().ok());
       for (const auto& [k, v] : run) {
         ASSERT_TRUE(writer.Append(k, v).ok());
       }

@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Crash-resume differential harness for the checkpointed pipeline.
+
+Drives the csv_dedup example as a child process, SIGKILLs it mid-job via
+the ERLB_FAULT environment variable (fault kind `kill` fires an
+uncatchable signal at the N-th hit of a task-lifecycle site), then
+reruns the identical command over the same checkpoint directory and
+asserts the resumed run is indistinguishable from an uninterrupted one:
+
+  * the matches CSV is byte-identical,
+  * the serialized match plan is byte-identical,
+  * the dataflow report JSON is identical after stripping wall-clock
+    timings and the resume counter itself,
+  * the resumed run actually skipped committed map tasks
+    (map_tasks_resumed > 0), and
+  * stale spill temp dirs planted before the resume are swept.
+
+Both crash points are exercised — mid-map (some map tasks committed,
+some not) and mid-reduce (all map tasks committed) — for all three load
+balancing strategies. Stdlib only, like bench_compare.py.
+
+Usage:
+    crash_harness.py --exe build/examples/csv_dedup --work-dir /tmp/ch
+"""
+
+import argparse
+import copy
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+
+STRATEGIES = ("Basic", "BlockSplit", "PairRange")
+
+# Keys whose values legitimately differ between an uninterrupted run and
+# a crash-resumed one: wall-clock noise and the resume counter itself.
+VOLATILE_REPORT_KEYS = {"seconds", "total_seconds", "map_tasks_resumed"}
+
+# Rows per CSV split in csv_dedup (kSplitRecords); the input must span
+# several splits so a mid-map kill leaves a genuinely partial phase.
+SPLIT_RECORDS = 1024
+
+
+def log(msg):
+    print(f"crash_harness: {msg}", flush=True)
+
+
+def write_input_csv(path, rows=5000):
+    """Deterministic near-duplicate catalog matching csv_dedup's demo
+    shape: PrefixBlocking(0, 3) blocks on the first three name chars,
+    EditDistanceMatcher(0.8) pairs the planted variants."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("id,name\n")
+        for i in range(rows):
+            block = f"b{i % 40:02d}"  # 3-char blocking prefix
+            base = f"{block} product {i // 40} model {i % 7}"
+            if i % 4 == 3:
+                # A near-duplicate of the previous row's name: one edit.
+                base = base[:-1] + "x"
+            f.write(f"{i},{base}\n")
+
+
+def run_child(exe, args, env_fault=None, cwd=None):
+    env = dict(os.environ)
+    env.pop("ERLB_FAULT", None)
+    if env_fault:
+        env["ERLB_FAULT"] = env_fault
+    proc = subprocess.run([exe] + args, env=env, cwd=cwd,
+                          stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    return proc.returncode, proc.stdout.decode("utf-8", "replace")
+
+
+def strip_volatile(node):
+    if isinstance(node, dict):
+        return {k: strip_volatile(v) for k, v in node.items()
+                if k not in VOLATILE_REPORT_KEYS}
+    if isinstance(node, list):
+        return [strip_volatile(v) for v in node]
+    return node
+
+
+def read_bytes(path):
+    with open(path, "rb") as f:
+        return f.read()
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def sum_resumed(report):
+    total = 0
+    for stage in report.get("stages", []):
+        job = stage.get("job")
+        if job:
+            total += job.get("map_tasks_resumed", 0)
+    return total
+
+
+class HarnessError(Exception):
+    pass
+
+
+def check(cond, msg):
+    if not cond:
+        raise HarnessError(msg)
+
+
+def run_case(exe, work, input_csv, strategy, crash_site, trigger_hit):
+    """One crash point: reference run, killed run, resumed run, diff."""
+    label = f"{strategy}/{crash_site}@{trigger_hit}"
+    case_dir = os.path.join(work, f"{strategy}-{crash_site.split('.')[1]}")
+    os.makedirs(case_dir, exist_ok=True)
+    temp_dir = os.path.join(case_dir, "tmp")
+    os.makedirs(temp_dir, exist_ok=True)
+
+    def args(tag, checkpoint_dir):
+        return [
+            input_csv,
+            os.path.join(case_dir, f"{tag}_matches.csv"),
+            strategy,
+            "--execution=external",
+            f"--temp-dir={temp_dir}",
+            f"--checkpoint-dir={checkpoint_dir}",
+            f"--plan-out={os.path.join(case_dir, tag + '_plan.json')}",
+            f"--report-json={os.path.join(case_dir, tag + '_report.json')}",
+        ]
+
+    # Uninterrupted reference, checkpointed like the crashing run so the
+    # reports compare field for field.
+    rc, out = run_child(exe, args("ref", os.path.join(case_dir, "ck-ref")))
+    check(rc == 0, f"{label}: reference run failed (rc={rc}):\n{out}")
+
+    # Killed run: the fault fires SIGKILL mid-job.
+    ck = os.path.join(case_dir, "ck")
+    rc, out = run_child(exe, args("crash", ck),
+                        env_fault=f"{crash_site}=kill@{trigger_hit}")
+    check(rc == -signal.SIGKILL or rc == 128 + signal.SIGKILL,
+          f"{label}: expected the child to be SIGKILLed, got rc={rc}:\n{out}")
+    check(os.path.isdir(ck),
+          f"{label}: no checkpoint directory survived the kill")
+
+    # Orphaned spill dirs from the killed process must be swept by the
+    # resumed run (their pids are dead); plant a synthetic one too.
+    planted = os.path.join(temp_dir, "erlb-dataflow-999999999-0-dead")
+    os.makedirs(planted, exist_ok=True)
+
+    # Resume over the same checkpoint directory, no fault.
+    rc, out = run_child(exe, args("res", ck))
+    check(rc == 0, f"{label}: resumed run failed (rc={rc}):\n{out}")
+
+    ref_matches = read_bytes(os.path.join(case_dir, "ref_matches.csv"))
+    res_matches = read_bytes(os.path.join(case_dir, "res_matches.csv"))
+    check(ref_matches == res_matches,
+          f"{label}: resumed matches differ from the reference")
+    check(len(ref_matches.splitlines()) > 1,
+          f"{label}: reference found no matches — the input is too easy")
+
+    # Not every strategy serializes a plan (Basic's match stage carries
+    # none); the two runs must at least agree on that.
+    ref_plan_path = os.path.join(case_dir, "ref_plan.json")
+    res_plan_path = os.path.join(case_dir, "res_plan.json")
+    check(os.path.exists(ref_plan_path) == os.path.exists(res_plan_path),
+          f"{label}: only one of the runs serialized a match plan")
+    if os.path.exists(ref_plan_path):
+        check(read_bytes(ref_plan_path) == read_bytes(res_plan_path),
+              f"{label}: resumed match plan differs from the reference")
+
+    ref_report = load_report(os.path.join(case_dir, "ref_report.json"))
+    res_report = load_report(os.path.join(case_dir, "res_report.json"))
+    check(strip_volatile(copy.deepcopy(ref_report))
+          == strip_volatile(copy.deepcopy(res_report)),
+          f"{label}: resumed report differs from the reference beyond "
+          "timings")
+    check(sum_resumed(ref_report) == 0,
+          f"{label}: the uninterrupted reference claims resumed tasks")
+    check(sum_resumed(res_report) > 0,
+          f"{label}: the resumed run re-executed everything — nothing "
+          "was restored from the checkpoint")
+
+    check(not os.path.isdir(planted),
+          f"{label}: stale temp dir was not swept on resume")
+    leftovers = [d for d in os.listdir(temp_dir)
+                 if d.startswith("erlb-dataflow-")]
+    check(not leftovers,
+          f"{label}: orphaned spill dirs survived the resume: {leftovers}")
+
+    # A successful run retires its checkpoint directory.
+    check(not os.path.exists(ck),
+          f"{label}: checkpoint directory not retired after success")
+
+    log(f"{label}: OK (resumed {sum_resumed(res_report)} map tasks)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--exe", required=True,
+                        help="path to the csv_dedup example binary")
+    parser.add_argument("--work-dir", required=True,
+                        help="scratch directory (recreated)")
+    parser.add_argument("--strategies", default=",".join(STRATEGIES),
+                        help="comma-separated strategy subset")
+    parser.add_argument("--rows", type=int, default=5000,
+                        help="input rows (must span several CSV splits)")
+    args = parser.parse_args()
+
+    if args.rows <= 2 * SPLIT_RECORDS:
+        parser.error(f"--rows must exceed {2 * SPLIT_RECORDS} so the "
+                     "input spans several map tasks")
+
+    work = os.path.abspath(args.work_dir)
+    shutil.rmtree(work, ignore_errors=True)
+    os.makedirs(work)
+    input_csv = os.path.join(work, "input.csv")
+    write_input_csv(input_csv, args.rows)
+    log(f"input: {args.rows} rows, "
+        f"{(args.rows + SPLIT_RECORDS - 1) // SPLIT_RECORDS} map splits")
+
+    failures = []
+    for strategy in args.strategies.split(","):
+        strategy = strategy.strip()
+        # Mid-map: the third map-task attempt dies with tasks 1-2
+        # committed. Mid-reduce: all maps committed, second reduce dies.
+        for site, hit in (("task.map", 3), ("task.reduce", 2)):
+            try:
+                run_case(args.exe, work, input_csv, strategy, site, hit)
+            except HarnessError as e:
+                failures.append(str(e))
+                log(f"FAIL: {e}")
+
+    if failures:
+        log(f"{len(failures)} case(s) failed")
+        return 1
+    log("all crash-resume cases pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,17 @@ Rules (each maps to a load-bearing project contract):
                  assignment). Release and debug binaries would otherwise
                  compute different states.
 
+  fault-site     Every `ERLB_FAULT_POINT(...)` under src/ must pass a
+                 plain string literal, each site name must have exactly
+                 one definition point in the tree, and the set of used
+                 sites must equal kRegisteredFaultSites in
+                 src/common/fault.cc (both directions: an unregistered
+                 site never fires and silently weakens the fault-sweep
+                 test; a registered-but-unused site makes the sweep arm
+                 dead names). Direct `FaultInjector::Global().Hit("...")`
+                 calls count as definition points too (used where the
+                 macro's return-Status shape does not fit).
+
 Exit code 1 iff any finding. Output is one `path:line: [rule] message`
 per finding, compiler-style, so editors and CI annotate it.
 """
@@ -69,6 +80,20 @@ NODISCARD_DECL_RE = re.compile(
 
 DCHECK_RE = re.compile(r"\bERLB_DCHECK\s*\(")
 
+# Fault-site definition points: the macro, or a direct injector Hit with
+# a literal (io_buffer.cc's write path, where the macro's return shape
+# does not fit). fault.h (macro definition) and fault.cc (registry) are
+# exempt from the per-file literal check.
+FAULT_POINT_RE = re.compile(r"\bERLB_FAULT_POINT\s*\(")
+FAULT_SITE_DEF_RE = re.compile(
+    r'\bERLB_FAULT_POINT\s*\(\s*"(?P<macro>[^"]*)"\s*\)'
+    r'|\bFaultInjector::Global\(\)\s*\.\s*Hit\s*\(\s*"(?P<direct>[^"]*)"\s*\)'
+)
+FAULT_ALLOWLIST = ("src/common/fault.h", "src/common/fault.cc")
+FAULT_REGISTRY_FILE = "src/common/fault.cc"
+FAULT_REGISTRY_RE = re.compile(
+    r"kRegisteredFaultSites\s*\[\s*\]\s*=\s*\{(?P<body>[^}]*)\}", re.S)
+
 # ++/-- anywhere, or a single = that is not part of ==, !=, <=, >=, =>,
 # += and friends.
 SIDE_EFFECT_RE = re.compile(r"\+\+|--|(?<![=!<>+\-*/%&|^])=(?![=])")
@@ -85,8 +110,13 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def strip_comments(text):
-    """Blanks out // and /* */ comments, preserving line structure."""
+def strip_comments(text, keep_strings=False):
+    """Blanks out // and /* */ comments, preserving line structure.
+
+    By default string literal *contents* are dropped too (no lint
+    pattern should fire inside them); `keep_strings` preserves them for
+    rules that inspect literals, like fault-site.
+    """
     out = []
     i = 0
     n = len(text)
@@ -105,14 +135,21 @@ def strip_comments(text):
             out.append("\n" * text.count("\n", i, j))
             i = j + 2
         elif c == '"':
-            # Skip string literals (no lint pattern should fire inside).
             out.append('"')
             i += 1
             while i < n and text[i] != '"':
                 if text[i] == "\\":
+                    if keep_strings:
+                        out.append(text[i])
                     i += 1
-                elif text[i] == "\n":
+                    if keep_strings and i < n:
+                        out.append(text[i])
+                    i += 1
+                    continue
+                if text[i] == "\n":
                     out.append("\n")
+                elif keep_strings:
+                    out.append(text[i])
                 i += 1
             out.append('"')
             i += 1
@@ -214,7 +251,83 @@ def check_dcheck(relpath, text, findings):
                 "(++/--/assignment); it is compiled out under NDEBUG"))
 
 
-def lint_file(root, relpath):
+def check_fault_point_literals(relpath, text, findings):
+    """Per-file half of fault-site: macro args must be string literals."""
+    path = relpath.replace(os.sep, "/")
+    if not path.startswith("src/") or path in FAULT_ALLOWLIST:
+        return
+    for m in FAULT_POINT_RE.finditer(text):
+        arg = balanced_argument(text, m.end() - 1)
+        if not re.fullmatch(r'\s*"[^"]*"\s*', arg):
+            line = text.count("\n", 0, m.start()) + 1
+            findings.append(Finding(
+                relpath, line, "fault-site",
+                "ERLB_FAULT_POINT argument must be a plain string "
+                "literal so the lint can cross-check it against "
+                "kRegisteredFaultSites"))
+
+
+def collect_fault_sites(relpath, text):
+    """Yields (site, line) definition points in a src/ file."""
+    path = relpath.replace(os.sep, "/")
+    if not path.startswith("src/") or path in FAULT_ALLOWLIST:
+        return
+    for m in FAULT_SITE_DEF_RE.finditer(text):
+        site = m.group("macro")
+        if site is None:
+            site = m.group("direct")
+        yield site, text.count("\n", 0, m.start()) + 1
+
+
+def parse_fault_registry(root):
+    """Returns {site} from kRegisteredFaultSites, or None if unparseable."""
+    path = os.path.join(root, FAULT_REGISTRY_FILE)
+    if not os.path.isfile(path):
+        return None
+    with open(path, "r", encoding="utf-8") as f:
+        text = strip_comments(f.read(), keep_strings=True)
+    m = FAULT_REGISTRY_RE.search(text)
+    if not m:
+        return None
+    return set(re.findall(r'"([^"]*)"', m.group("body")))
+
+
+def check_fault_sites_tree(root, site_defs, findings):
+    """Tree half of fault-site: uniqueness + registry cross-check.
+
+    `site_defs` is a list of (site, relpath, line) collected across the
+    linted files; only meaningful for whole-tree runs.
+    """
+    registry = parse_fault_registry(root)
+    if registry is None:
+        findings.append(Finding(
+            FAULT_REGISTRY_FILE, 1, "fault-site",
+            "cannot parse kRegisteredFaultSites[]"))
+        return
+    seen = {}
+    for site, relpath, line in site_defs:
+        if site in seen:
+            findings.append(Finding(
+                relpath, line, "fault-site",
+                f'duplicate fault site "{site}" (first defined at '
+                f"{seen[site][0]}:{seen[site][1]}); every site must have "
+                "exactly one definition point"))
+        else:
+            seen[site] = (relpath, line)
+        if site not in registry:
+            findings.append(Finding(
+                relpath, line, "fault-site",
+                f'fault site "{site}" is not in kRegisteredFaultSites '
+                "(src/common/fault.cc) — Arm() would reject it and the "
+                "fault-sweep test would never cover it"))
+    for site in sorted(registry - set(seen)):
+        findings.append(Finding(
+            FAULT_REGISTRY_FILE, 1, "fault-site",
+            f'registered fault site "{site}" has no definition point '
+            "under src/ — the fault sweep arms a dead name"))
+
+
+def lint_file(root, relpath, site_defs=None):
     findings = []
     with open(os.path.join(root, relpath), "r", encoding="utf-8") as f:
         raw = f.read()
@@ -224,6 +337,11 @@ def lint_file(root, relpath):
     check_raw_mutex(relpath, lines, findings)
     check_header_guard(relpath, lines, findings)
     check_dcheck(relpath, text, findings)
+    literal_text = strip_comments(raw, keep_strings=True)
+    check_fault_point_literals(relpath, literal_text, findings)
+    if site_defs is not None:
+        for site, line in collect_fault_sites(relpath, literal_text):
+            site_defs.append((site, relpath, line))
     return findings
 
 
@@ -241,8 +359,13 @@ def collect_files(root, explicit):
 
 def run_lint(root, explicit_paths):
     findings = []
+    # The uniqueness/registry cross-check needs the whole tree; partial
+    # (explicit-path) runs keep only the per-file literal check.
+    site_defs = [] if not explicit_paths else None
     for relpath in collect_files(root, explicit_paths):
-        findings.extend(lint_file(root, relpath))
+        findings.extend(lint_file(root, relpath, site_defs))
+    if site_defs is not None:
+        check_fault_sites_tree(root, site_defs, findings)
     for f in findings:
         print(f)
     if findings:
@@ -327,6 +450,72 @@ def selftest():
     expect("dcheck multiline", "src/foo/bar.cc",
            "void F() {\n  ERLB_DCHECK(a ==\n              b--);\n}\n",
            ["dcheck-side-effect"])
+
+    expect("fault point non-literal arg", "src/foo/bar.cc",
+           'void F() { ERLB_FAULT_POINT(site_name); }\n', ["fault-site"])
+    expect("fault point literal arg clean", "src/foo/bar.cc",
+           'void F() { ERLB_FAULT_POINT("foo.bar"); }\n', [])
+    expect("fault point in comment ignored", "src/foo/bar.cc",
+           '// ERLB_FAULT_POINT(whatever)\n', [])
+    expect("fault point outside src ignored", "tests/bar.cc",
+           'void F() { ERLB_FAULT_POINT(site_name); }\n', [])
+
+    def expect_tree(name, files, rules):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            for relpath, content in files.items():
+                full = os.path.join(tmp, relpath)
+                os.makedirs(os.path.dirname(full), exist_ok=True)
+                with open(full, "w", encoding="utf-8") as f:
+                    f.write(content)
+            site_defs = []
+            findings = []
+            for relpath in files:
+                if relpath.endswith(CPP_EXTENSIONS):
+                    with open(os.path.join(tmp, relpath),
+                              encoding="utf-8") as f:
+                        text = strip_comments(f.read(), keep_strings=True)
+                    for site, line in collect_fault_sites(relpath, text):
+                        site_defs.append((site, relpath, line))
+            check_fault_sites_tree(tmp, site_defs, findings)
+        got = sorted(f.rule for f in findings)
+        want = sorted(rules)
+        if got != want:
+            failures.append(f"{name}: expected rules {want}, got {got}")
+
+    registry_cc = (
+        "namespace {\n"
+        "constexpr std::string_view kRegisteredFaultSites[] = {\n"
+        '    "a.one",\n'
+        '    "b.two",\n'
+        "};\n"
+        "}\n"
+    )
+    expect_tree("fault sites all registered and unique", {
+        "src/common/fault.cc": registry_cc,
+        "src/x/a.cc": 'ERLB_FAULT_POINT("a.one");\n',
+        "src/x/b.cc": 'FaultInjector::Global().Hit("b.two");\n',
+    }, [])
+    expect_tree("duplicate fault site", {
+        "src/common/fault.cc": registry_cc,
+        "src/x/a.cc": 'ERLB_FAULT_POINT("a.one");\n'
+                      'ERLB_FAULT_POINT("a.one");\n',
+        "src/x/b.cc": 'ERLB_FAULT_POINT("b.two");\n',
+    }, ["fault-site"])
+    expect_tree("unregistered fault site", {
+        "src/common/fault.cc": registry_cc,
+        "src/x/a.cc": 'ERLB_FAULT_POINT("a.one");\n'
+                      'ERLB_FAULT_POINT("c.three");\n',
+        "src/x/b.cc": 'ERLB_FAULT_POINT("b.two");\n',
+    }, ["fault-site"])
+    expect_tree("registered but unused fault site", {
+        "src/common/fault.cc": registry_cc,
+        "src/x/a.cc": 'ERLB_FAULT_POINT("a.one");\n',
+    }, ["fault-site"])
+    expect_tree("missing registry", {
+        "src/x/a.cc": 'ERLB_FAULT_POINT("a.one");\n',
+    }, ["fault-site"])
 
     if failures:
         for f in failures:
