@@ -14,6 +14,10 @@
 //     comparable across CI hardware)
 //   * external_vs_inmem/<scale>/rss_ratio — in-memory / external peak
 //     RSS; > 1 demonstrates the bounded-memory claim
+//   * multiproc/<scale> and multiproc_vs_inmem/<scale>/time_ratio — the
+//     shared-nothing multi-process shuffle (4 forked workers), timed the
+//     same way; its RSS value sums the coordinator with getrusage's
+//     reaped-children figure for the worker processes
 //   * .../peak_rss_kb and .../spill_mb — informational values
 //
 // The external cases run with ExecutionMode::kAuto and a deliberately
@@ -70,6 +74,38 @@ struct CaseResult {
   int64_t comparisons = 0;
 };
 
+/// The three execution paths under measurement. Multi-process runs the
+/// same out-of-core shuffle sharded across 4 forked worker processes.
+enum class Mode { kInMemory, kExternal, kMultiProcess };
+
+const char* ModeArg(Mode mode) {
+  switch (mode) {
+    case Mode::kInMemory: return "in_memory";
+    case Mode::kExternal: return "external";
+    case Mode::kMultiProcess: return "multi_process";
+  }
+  return "in_memory";
+}
+
+Mode ParseMode(const char* arg) {
+  if (std::strcmp(arg, "external") == 0) return Mode::kExternal;
+  if (std::strcmp(arg, "multi_process") == 0) return Mode::kMultiProcess;
+  return Mode::kInMemory;
+}
+
+constexpr uint32_t kWorkerProcesses = 4;
+
+/// Peak RSS of this (measured, freshly exec'd) process plus its reaped
+/// children — for multi-process runs, the coordinator's own footprint
+/// summed with what getrusage reports for the waited-for worker
+/// processes, giving the job's per-box memory figure.
+long ProcessTreePeakRssKb() {
+  struct rusage self_usage, child_usage;
+  ERLB_CHECK(getrusage(RUSAGE_SELF, &self_usage) == 0);
+  ERLB_CHECK(getrusage(RUSAGE_CHILDREN, &child_usage) == 0);
+  return self_usage.ru_maxrss + child_usage.ru_maxrss;
+}
+
 // ---- Engine-level shuffle case ------------------------------------------
 
 class FatValueMapper
@@ -96,7 +132,7 @@ class CountReducer
 /// data is the workload. The in-memory shuffle materializes every run
 /// (peak ≈ input + all intermediate pairs); the external shuffle holds
 /// spill buffers only.
-CaseResult RunShuffleCase(const CaseConfig& config, bool external) {
+CaseResult RunShuffleCase(const CaseConfig& config, Mode mode) {
   const uint32_t m = 8, r = 32;
   Pcg32 rng(99);
   std::vector<std::vector<std::pair<uint64_t, std::string>>> input(m);
@@ -127,20 +163,31 @@ CaseResult RunShuffleCase(const CaseConfig& config, bool external) {
   };
 
   mr::ExecutionOptions options;
-  options.mode = external ? mr::ExecutionMode::kExternal
-                          : mr::ExecutionMode::kInMemory;
+  switch (mode) {
+    case Mode::kInMemory:
+      options.mode = mr::ExecutionMode::kInMemory;
+      break;
+    case Mode::kExternal:
+      options.mode = mr::ExecutionMode::kExternal;
+      break;
+    case Mode::kMultiProcess:
+      options.mode = mr::ExecutionMode::kMultiProcess;
+      options.num_worker_processes = kWorkerProcesses;
+      break;
+  }
   mr::JobRunner runner(4, options);
 
   Stopwatch watch;
   auto result = runner.Run(spec, input);
   double seconds = watch.ElapsedSeconds();
   ERLB_CHECK(result.status.ok()) << result.status.ToString();
+  if (mode == Mode::kMultiProcess) {
+    ERLB_CHECK(result.metrics.multi_process);
+  }
 
-  struct rusage usage;
-  ERLB_CHECK(getrusage(RUSAGE_SELF, &usage) == 0);
   CaseResult out;
   out.seconds = seconds;
-  out.peak_rss_kb = usage.ru_maxrss;
+  out.peak_rss_kb = ProcessTreePeakRssKb();
   out.spill_mb = static_cast<double>(result.metrics.spill_bytes_written) /
                  (1024.0 * 1024.0);
   out.external = result.metrics.external;
@@ -153,7 +200,7 @@ CaseResult RunShuffleCase(const CaseConfig& config, bool external) {
 /// the standard stage graph directly and reads everything it reports —
 /// spill volume, execution path, comparisons — from the dataflow's
 /// unified per-stage report.
-CaseResult RunPipelineCase(const CaseConfig& config, bool external) {
+CaseResult RunPipelineCase(const CaseConfig& config, Mode mode) {
   gen::SkewConfig gen_config;
   gen_config.num_entities = config.num_entities;
   gen_config.num_blocks = config.num_blocks;
@@ -170,12 +217,20 @@ CaseResult RunPipelineCase(const CaseConfig& config, bool external) {
   pipeline_config.strategy = lb::StrategyKind::kBlockSplit;
   pipeline_config.num_map_tasks = 8;
   pipeline_config.num_reduce_tasks = 32;
-  if (external) {
-    // kAuto + tiny threshold: the engine must decide to spill on its own.
-    pipeline_config.execution.mode = mr::ExecutionMode::kAuto;
-    pipeline_config.execution.spill_threshold_bytes = uint64_t{1} << 20;
-  } else {
-    pipeline_config.execution.mode = mr::ExecutionMode::kInMemory;
+  switch (mode) {
+    case Mode::kExternal:
+      // kAuto + tiny threshold: the engine must decide to spill on its
+      // own.
+      pipeline_config.execution.mode = mr::ExecutionMode::kAuto;
+      pipeline_config.execution.spill_threshold_bytes = uint64_t{1} << 20;
+      break;
+    case Mode::kInMemory:
+      pipeline_config.execution.mode = mr::ExecutionMode::kInMemory;
+      break;
+    case Mode::kMultiProcess:
+      pipeline_config.execution.mode = mr::ExecutionMode::kMultiProcess;
+      pipeline_config.execution.num_worker_processes = kWorkerProcesses;
+      break;
   }
 
   er::AttributeBlocking blocking(gen::kSkewBlockField);
@@ -196,17 +251,17 @@ CaseResult RunPipelineCase(const CaseConfig& config, bool external) {
 
   const core::StageReport* match = report->Find("match");
   ERLB_CHECK(match != nullptr && match->job.has_value());
-  if (external) {
+  if (mode == Mode::kExternal) {
     ERLB_CHECK(match->job->external)
         << "auto mode failed to select the external path";
   }
-
-  struct rusage usage;
-  ERLB_CHECK(getrusage(RUSAGE_SELF, &usage) == 0);
+  if (mode == Mode::kMultiProcess) {
+    ERLB_CHECK(match->job->multi_process);
+  }
 
   CaseResult out;
   out.seconds = seconds;
-  out.peak_rss_kb = usage.ru_maxrss;
+  out.peak_rss_kb = ProcessTreePeakRssKb();
   out.spill_mb =
       static_cast<double>(report->TotalSpillBytes()) / (1024.0 * 1024.0);
   out.external = match->job->external;
@@ -214,14 +269,14 @@ CaseResult RunPipelineCase(const CaseConfig& config, bool external) {
   return out;
 }
 
-CaseResult RunCase(const CaseConfig& config, bool external) {
-  return config.kind == "shuffle" ? RunShuffleCase(config, external)
-                                  : RunPipelineCase(config, external);
+CaseResult RunCase(const CaseConfig& config, Mode mode) {
+  return config.kind == "shuffle" ? RunShuffleCase(config, mode)
+                                  : RunPipelineCase(config, mode);
 }
 
-int ChildMain(const CaseConfig& config, bool external,
+int ChildMain(const CaseConfig& config, Mode mode,
               const std::string& out_path) {
-  CaseResult r = RunCase(config, external);
+  CaseResult r = RunCase(config, mode);
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) return 1;
   std::fprintf(f,
@@ -259,7 +314,7 @@ Json ReadJsonFile(const std::string& path) {
 }
 
 /// Spawns one child run and parses its result file.
-CaseResult SpawnCase(const CaseConfig& config, bool external,
+CaseResult SpawnCase(const CaseConfig& config, Mode mode,
                      const std::string& tmp_dir) {
   std::string out_path = tmp_dir + "/case.json";
   pid_t pid = ::fork();
@@ -271,7 +326,7 @@ CaseResult SpawnCase(const CaseConfig& config, bool external,
     std::string vb = std::to_string(config.value_bytes);
     ::execl(exe.c_str(), exe.c_str(), "--child", config.label.c_str(),
             config.kind.c_str(), n.c_str(), b.c_str(), vb.c_str(),
-            external ? "external" : "in_memory", out_path.c_str(),
+            ModeArg(mode), out_path.c_str(),
             static_cast<char*>(nullptr));
     std::_Exit(127);  // exec failed
   }
@@ -350,8 +405,7 @@ int main(int argc, char** argv) {
     config.num_entities = std::strtoull(argv[4], nullptr, 10);
     config.num_blocks = static_cast<uint32_t>(std::atoi(argv[5]));
     config.value_bytes = static_cast<uint32_t>(std::atoi(argv[6]));
-    return ChildMain(config, std::strcmp(argv[7], "external") == 0,
-                     argv[8]);
+    return ChildMain(config, ParseMode(argv[7]), argv[8]);
   }
 
   std::string json_path;
@@ -402,33 +456,45 @@ int main(int argc, char** argv) {
 
   std::vector<Entry> entries;
   for (const auto& config : cases) {
-    std::vector<double> mem_secs, ext_secs, mem_rss, ext_rss;
+    std::vector<double> mem_secs, ext_secs, mp_secs;
+    std::vector<double> mem_rss, ext_rss, mp_rss;
     double spill_mb = 0;
     for (int rep = 0; rep < reps; ++rep) {
-      CaseResult mem = SpawnCase(config, /*external=*/false, tmp->path());
-      CaseResult ext = SpawnCase(config, /*external=*/true, tmp->path());
+      CaseResult mem = SpawnCase(config, Mode::kInMemory, tmp->path());
+      CaseResult ext = SpawnCase(config, Mode::kExternal, tmp->path());
+      CaseResult mp = SpawnCase(config, Mode::kMultiProcess, tmp->path());
       ERLB_CHECK(!mem.external);
       ERLB_CHECK(ext.external);
+      ERLB_CHECK(mp.external);
       ERLB_CHECK(mem.comparisons == ext.comparisons)
           << "modes diverged: " << mem.comparisons << " vs "
           << ext.comparisons;
+      ERLB_CHECK(mem.comparisons == mp.comparisons)
+          << "multi-process diverged: " << mem.comparisons << " vs "
+          << mp.comparisons;
       mem_secs.push_back(mem.seconds);
       ext_secs.push_back(ext.seconds);
+      mp_secs.push_back(mp.seconds);
       mem_rss.push_back(static_cast<double>(mem.peak_rss_kb));
       ext_rss.push_back(static_cast<double>(ext.peak_rss_kb));
+      mp_rss.push_back(static_cast<double>(mp.peak_rss_kb));
       spill_mb = ext.spill_mb;
     }
     double mem_sec = Median(mem_secs), ext_sec = Median(ext_secs);
+    double mp_sec = Median(mp_secs);
     double mem_kb = Median(mem_rss), ext_kb = Median(ext_rss);
+    double mp_kb = Median(mp_rss);
 
     std::printf(
         "%-8s in-memory %.2fs / %.0f MB rss   external %.2fs / %.0f MB "
-        "rss   (spilled %.1f MB)\n",
+        "rss   multiproc(%u) %.2fs / %.0f MB rss   (spilled %.1f MB)\n",
         config.label.c_str(), mem_sec, mem_kb / 1024.0, ext_sec,
-        ext_kb / 1024.0, spill_mb);
+        ext_kb / 1024.0, kWorkerProcesses, mp_sec, mp_kb / 1024.0,
+        spill_mb);
 
     std::string mem_name = "inmem/" + config.label;
     std::string ext_name = "external/" + config.label;
+    std::string mp_name = "multiproc/" + config.label;
     auto add_time = [&](const std::string& name, double seconds) {
       Entry e;
       e.name = name;
@@ -452,12 +518,25 @@ int main(int argc, char** argv) {
     };
     add_time(mem_name, mem_sec);
     add_time(ext_name, ext_sec);
+    add_time(mp_name, mp_sec);
     add_ratio("external_vs_inmem/" + config.label + "/time_ratio",
               mem_sec / ext_sec);
     add_ratio("external_vs_inmem/" + config.label + "/rss_ratio",
               mem_kb / ext_kb);
+    // Same-run ratio for the sharded mode too: a collapse here means
+    // the fork/shuffle-dir machinery got dramatically slower relative
+    // to the single-process in-memory path on the same hardware.
+    {
+      Entry e;
+      e.name = "multiproc_vs_inmem/" + config.label + "/time_ratio";
+      e.speedup = mem_sec / mp_sec;
+      e.baseline = mem_name;
+      e.contender = mp_name;
+      entries.push_back(std::move(e));
+    }
     add_value(mem_name + "/peak_rss_kb", mem_kb);
     add_value(ext_name + "/peak_rss_kb", ext_kb);
+    add_value(mp_name + "/peak_rss_kb", mp_kb);
     add_value(ext_name + "/spill_mb", spill_mb);
   }
 

@@ -17,6 +17,10 @@
 //
 // Flags (the fault-tolerance surface driven by tools/crash_harness.py):
 //   --execution=auto|in-memory|external   shuffle mode (default auto)
+//   --workers=N           shared-nothing execution: fork N worker
+//                         processes per job (multi-process mode); the
+//                         output is byte-identical to --workers=1 and to
+//                         the single-process modes
 //   --temp-dir=DIR        spill root for external jobs
 //   --checkpoint-dir=DIR  durable checkpoints; a rerun after a crash
 //                         resumes past committed map tasks
@@ -28,6 +32,7 @@
 // on the third map task — which is how the crash harness exercises the
 // checkpoint/resume path.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 
 #include "core/dataflow.h"
@@ -86,6 +91,15 @@ bool ParseCli(int argc, char** argv, Cli* cli) {
                        value.c_str());
           return false;
         }
+      } else if (name == "--workers") {
+        int workers = std::atoi(value.c_str());
+        if (workers < 1) {
+          std::fprintf(stderr, "--workers needs a positive count, got "
+                       "\"%s\"\n", value.c_str());
+          return false;
+        }
+        cli->execution.mode = mr::ExecutionMode::kMultiProcess;
+        cli->execution.num_worker_processes = static_cast<uint32_t>(workers);
       } else if (name == "--temp-dir") {
         cli->execution.temp_dir = value;
       } else if (name == "--checkpoint-dir") {
@@ -146,7 +160,9 @@ int Report(const core::Dataflow& df, const core::DataflowReport& report,
   std::printf("%s", core::FormatDataflowReport(report).c_str());
   std::printf("ingested from %s (%zu splits, %s shuffle)\n",
               cli.input.c_str(), match->job->map_tasks.size(),
-              match->job->external ? "external" : "in-memory");
+              match->job->multi_process
+                  ? "multi-process"
+                  : match->job->external ? "external" : "in-memory");
 
   auto matches = df.Get<er::MatchResult>(core::kDatasetMatches);
   if (!matches.ok()) return Fail(matches.status());

@@ -116,6 +116,28 @@ struct SpillCodec<bdm::BdmKey> {
            sizeof(er::Source) + sizeof(uint32_t);
   }
 };
+
+/// Output-value codec: BdmTriples are the BDM job's reduce output, which
+/// multi-process mode ships back through out-<t>.run spill files.
+template <>
+struct SpillCodec<bdm::BdmTriple> {
+  static void Encode(const bdm::BdmTriple& t, std::string* out) {
+    SpillCodec<std::string>::Encode(t.block_key, out);
+    SpillCodec<er::Source>::Encode(t.source, out);
+    SpillCodec<uint32_t>::Encode(t.partition, out);
+    SpillCodec<uint64_t>::Encode(t.count, out);
+  }
+  static bool Decode(const char** p, const char* end, bdm::BdmTriple* t) {
+    return SpillCodec<std::string>::Decode(p, end, &t->block_key) &&
+           SpillCodec<er::Source>::Decode(p, end, &t->source) &&
+           SpillCodec<uint32_t>::Decode(p, end, &t->partition) &&
+           SpillCodec<uint64_t>::Decode(p, end, &t->count);
+  }
+  static size_t ApproxBytes(const bdm::BdmTriple& t) {
+    return SpillCodec<std::string>::ApproxBytes(t.block_key) +
+           sizeof(er::Source) + sizeof(uint32_t) + sizeof(uint64_t);
+  }
+};
 }  // namespace mr
 
 namespace bdm {

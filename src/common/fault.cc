@@ -25,6 +25,9 @@ constexpr std::string_view kRegisteredFaultSites[] = {
     "spill.open_run",     // mr/spill.h: reduce-side run open
     "task.map",           // mr/job.h: start of every map task attempt
     "task.reduce",        // mr/job.h: start of every reduce task attempt
+    "worker.result",      // proc/coordinator.cc: result frame intake
+    "worker.run",         // proc/coordinator.cc: worker-side task dispatch
+    "worker.spawn",       // proc/coordinator.cc: worker process spawn
 };
 
 }  // namespace

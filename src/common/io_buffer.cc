@@ -298,7 +298,7 @@ Result<ScopedTempDir> ScopedTempDir::Make(const std::string& base,
                            std::to_string(seq.fetch_add(1)) + "-" +
                            std::to_string(tag & 0xffffff));
     if (fs::create_directory(dir, ec)) {
-      return ScopedTempDir(dir.string());
+      return ScopedTempDir(dir.string(), static_cast<int64_t>(::getpid()));
     }
     if (ec) {
       return Status::IOError("cannot create " + dir.string() + ": " +
@@ -311,17 +311,19 @@ Result<ScopedTempDir> ScopedTempDir::Make(const std::string& base,
 }
 
 ScopedTempDir::ScopedTempDir(ScopedTempDir&& other) noexcept
-    : path_(std::move(other.path_)) {
+    : path_(std::move(other.path_)),
+      owner_pid_(std::exchange(other.owner_pid_, 0)) {
   other.path_.clear();
 }
 
 ScopedTempDir& ScopedTempDir::operator=(ScopedTempDir&& other) noexcept {
   if (this != &other) {
-    if (!path_.empty()) {
+    if (!path_.empty() && owner_pid_ == static_cast<int64_t>(::getpid())) {
       std::error_code ec;
       std::filesystem::remove_all(path_, ec);
     }
     path_ = std::move(other.path_);
+    owner_pid_ = std::exchange(other.owner_pid_, 0);
     other.path_.clear();
   }
   return *this;
@@ -329,8 +331,42 @@ ScopedTempDir& ScopedTempDir::operator=(ScopedTempDir&& other) noexcept {
 
 ScopedTempDir::~ScopedTempDir() {
   if (path_.empty()) return;
+  // A forked child inherits the object but not ownership of the
+  // directory — removal in any pid but the creator's would rip the job
+  // root out from under the parent and the other workers.
+  if (owner_pid_ != static_cast<int64_t>(::getpid())) return;
   std::error_code ec;
   std::filesystem::remove_all(path_, ec);  // best-effort
+}
+
+// ---- Per-pid temp-dir claims ----------------------------------------------
+
+namespace {
+
+std::string ClaimDirName(int64_t pid) {
+  return "pid-" + std::to_string(pid);
+}
+
+}  // namespace
+
+Status ClaimTempDirForPid(const std::string& dir, int64_t pid) {
+  namespace fs = std::filesystem;
+  if (pid == 0) pid = static_cast<int64_t>(::getpid());
+  std::error_code ec;
+  const fs::path claim = fs::path(dir) / ClaimDirName(pid);
+  fs::create_directory(claim, ec);
+  if (ec) {
+    return Status::IOError("cannot claim " + claim.string() + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+void ReleaseTempDirClaim(const std::string& dir, int64_t pid) {
+  namespace fs = std::filesystem;
+  if (pid == 0) pid = static_cast<int64_t>(::getpid());
+  std::error_code ec;
+  fs::remove(fs::path(dir) / ClaimDirName(pid), ec);  // best-effort
 }
 
 // ---- SweepStaleTempDirs ---------------------------------------------------
@@ -352,6 +388,36 @@ int64_t ParseTempDirPid(std::string_view name, std::string_view prefix) {
   }
   if (digits == 0 || digits >= rest.size() || rest[digits] != '-') return -1;
   return pid;
+}
+
+// True iff `dir` holds a claim subdirectory `pid-<p>` whose pid names a
+// live process (see ClaimTempDirForPid).
+bool HasLiveClaim(const std::filesystem::path& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view kClaimPrefix = "pid-";
+    if (name.size() <= kClaimPrefix.size() ||
+        name.compare(0, kClaimPrefix.size(), kClaimPrefix) != 0) {
+      continue;
+    }
+    int64_t pid = 0;
+    bool numeric = true;
+    for (size_t i = kClaimPrefix.size(); i < name.size(); ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        numeric = false;
+        break;
+      }
+      pid = pid * 10 + (name[i] - '0');
+    }
+    if (!numeric || pid <= 0) continue;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH) {
+      return true;  // claimant alive (or at least not provably gone)
+    }
+  }
+  return false;
 }
 
 }  // namespace
@@ -390,6 +456,11 @@ Result<int> SweepStaleTempDirs(const std::string& base,
       stale = age > std::chrono::seconds(max_age_seconds);
     }
     if (!stale) continue;
+    // Even a dead creator's directory may still be in active use: worker
+    // processes that outlived their coordinator claim the shared root
+    // (ClaimTempDirForPid), and reaping it would destroy their
+    // in-progress spill files.
+    if (HasLiveClaim(entry.path())) continue;
     std::error_code rm_ec;
     fs::remove_all(entry.path(), rm_ec);
     if (!rm_ec) ++removed;

@@ -132,24 +132,44 @@ class ScopedTempDir {
   ScopedTempDir(ScopedTempDir&& other) noexcept;
   ScopedTempDir& operator=(ScopedTempDir&& other) noexcept;
 
-  /// Removes the directory and all contents (best-effort).
+  /// Removes the directory and all contents (best-effort). Only the
+  /// process that created the directory removes it: a forked child that
+  /// inherits a ScopedTempDir by copy (the multi-process execution path)
+  /// must not delete the job directory its parent and siblings are still
+  /// using, so destruction in any other pid is a no-op.
   ~ScopedTempDir();
 
   const std::string& path() const { return path_; }
 
  private:
-  explicit ScopedTempDir(std::string path) : path_(std::move(path)) {}
+  ScopedTempDir(std::string path, int64_t owner_pid)
+      : path_(std::move(path)), owner_pid_(owner_pid) {}
 
-  std::string path_;  // empty after move-out
+  std::string path_;       // empty after move-out
+  int64_t owner_pid_ = 0;  // pid that created (and may remove) the dir
 };
+
+/// Marks `dir` as actively in use by process `pid` (0 = this process) by
+/// creating the per-pid claim subdirectory `<dir>/pid-<pid>`. Worker
+/// processes sharing a job temp root claim it so SweepStaleTempDirs never
+/// reaps the directory while any claimant is alive — even if the creating
+/// coordinator already died. Claims are idempotent.
+[[nodiscard]] Status ClaimTempDirForPid(const std::string& dir,
+                                        int64_t pid = 0);
+
+/// Best-effort removal of the claim created by ClaimTempDirForPid.
+void ReleaseTempDirClaim(const std::string& dir, int64_t pid = 0);
 
 /// Removes orphaned `<prefix>-<pid>-...` directories under `base` left
 /// behind by processes that died before their ScopedTempDir destructor
 /// ran (SIGKILL, std::abort). A directory is swept when its embedded pid
 /// no longer names a live process, or — for unparseable/foreign names —
 /// when it is older than `max_age_seconds`. Directories owned by live
-/// pids (including this process) are never touched. Returns the number
-/// of directories removed; a missing `base` is OK (0).
+/// pids (including this process) are never touched, and neither is any
+/// directory holding a live per-pid claim (`pid-<p>` subdirectory with
+/// `p` alive, see ClaimTempDirForPid) — a dead coordinator's job root
+/// stays intact while surviving workers still spill into it. Returns the
+/// number of directories removed; a missing `base` is OK (0).
 [[nodiscard]] Result<int> SweepStaleTempDirs(const std::string& base,
                                              const std::string& prefix,
                                              int64_t max_age_seconds = 3600);

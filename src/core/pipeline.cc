@@ -82,8 +82,8 @@ Status ErPipelineConfig::Validate() const {
       execution.mode == mr::ExecutionMode::kInMemory) {
     return Status::InvalidArgument(
         "execution.checkpoint.dir requires a spillable execution mode "
-        "(kExternal or kAuto); kInMemory jobs have no durable spill "
-        "output to checkpoint");
+        "(kExternal, kMultiProcess or kAuto); kInMemory jobs have no "
+        "durable spill output to checkpoint");
   }
   return Status::OK();
 }

@@ -239,6 +239,16 @@ class ErPipelineBuilder {
     config_.execution.mode = mode;
     return *this;
   }
+  /// Shared-nothing execution: run every job's tasks in `processes`
+  /// forked worker processes (proc/coordinator.h) instead of pool
+  /// threads. Shorthand for ExecutionMode(kMultiProcess) plus
+  /// execution.num_worker_processes; 0 keeps the Workers() count as the
+  /// process count.
+  ErPipelineBuilder& WorkerProcesses(uint32_t processes) {
+    config_.execution.mode = mr::ExecutionMode::kMultiProcess;
+    config_.execution.num_worker_processes = processes;
+    return *this;
+  }
   ErPipelineBuilder& SpillThresholdBytes(uint64_t bytes) {
     config_.execution.spill_threshold_bytes = bytes;
     return *this;

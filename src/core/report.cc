@@ -98,12 +98,22 @@ std::string FormatDataflowReport(const DataflowReport& report) {
           << " r=" << s.job->reduce_tasks.size()
           << (s.job->external ? " external" : " in-memory");
       if (s.job->checkpointed) out << " checkpointed";
+      if (s.job->multi_process) {
+        out << ", " << s.job->worker_processes << " worker processes";
+        if (s.job->worker_deaths > 0) {
+          out << " (" << s.job->worker_deaths << " died)";
+        }
+      }
       if (s.job->task_retries > 0) {
         out << ", " << FormatWithCommas(s.job->task_retries) << " retries";
       }
       if (s.job->map_tasks_resumed > 0) {
         out << ", " << FormatWithCommas(s.job->map_tasks_resumed)
             << " map tasks resumed";
+      }
+      if (s.job->reduce_tasks_resumed > 0) {
+        out << ", " << FormatWithCommas(s.job->reduce_tasks_resumed)
+            << " reduce tasks resumed";
       }
     }
     if (s.spill_bytes > 0) {
@@ -151,6 +161,15 @@ std::string DataflowReportToJson(const DataflowReport& report) {
       job.Add("checkpointed", Json(s.job->checkpointed));
       job.Add("task_retries", Json(s.job->task_retries));
       job.Add("map_tasks_resumed", Json(s.job->map_tasks_resumed));
+      if (s.job->multi_process) {
+        // Only multi-process runs emit these keys, so single-process
+        // reports stay byte-identical to previous releases (and the
+        // crash harness can diff across modes by stripping them).
+        job.Add("multi_process", Json(true));
+        job.Add("worker_processes", Json(s.job->worker_processes));
+        job.Add("worker_deaths", Json(s.job->worker_deaths));
+        job.Add("reduce_tasks_resumed", Json(s.job->reduce_tasks_resumed));
+      }
       stage.Add("job", std::move(job));
     }
     if (s.spill_bytes > 0) stage.Add("spill_bytes", Json(s.spill_bytes));

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "er/entity.h"
+#include "er/match_result.h"
 #include "mr/spill.h"
 
 namespace erlb {
@@ -53,6 +54,25 @@ struct SpillCodec<er::EntityRef> {
   }
   static size_t ApproxBytes(const er::EntityRef& ref) {
     return SpillCodec<er::Entity>::ApproxBytes(*ref);
+  }
+};
+
+/// MatchPair is the output key of every matching job; spilling it lets
+/// reduce outputs cross the process boundary in multi-process mode.
+/// Stored ids are already canonicalized by MatchPair's constructor, so a
+/// plain field round-trip preserves the invariant.
+template <>
+struct SpillCodec<er::MatchPair> {
+  static void Encode(const er::MatchPair& pair, std::string* out) {
+    SpillCodec<uint64_t>::Encode(pair.first, out);
+    SpillCodec<uint64_t>::Encode(pair.second, out);
+  }
+  static bool Decode(const char** p, const char* end, er::MatchPair* pair) {
+    return SpillCodec<uint64_t>::Decode(p, end, &pair->first) &&
+           SpillCodec<uint64_t>::Decode(p, end, &pair->second);
+  }
+  static size_t ApproxBytes(const er::MatchPair&) {
+    return 2 * sizeof(uint64_t);
   }
 };
 

@@ -1,69 +1,30 @@
 #include "mr/checkpoint.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "common/fault.h"
-#include "common/hash.h"
 #include "common/io_buffer.h"
 #include "common/json.h"
+#include "mr/task_commit.h"
 
 namespace erlb {
 namespace mr {
+
+// The JSON plumbing (counters, paranoid integer reads, directory fsync)
+// is shared with the multi-process per-task commit records.
+using internal::CountersFromJson;
+using internal::CountersToJson;
+using internal::GetInt;
+using internal::GetUint;
+using internal::SyncDir;
 
 namespace {
 
 constexpr int kManifestVersion = 1;
 constexpr char kManifestName[] = "manifest.json";
-
-// rename() persistence requires an fsync of the containing directory;
-// without it a power cut can forget the rename even though the data
-// blocks survived. Best-effort: some filesystems reject O_RDONLY fsync
-// on directories.
-void SyncDir(const std::string& dir) {
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (fd < 0) return;
-  static_cast<void>(::fsync(fd));
-  static_cast<void>(::close(fd));
-}
-
-Json CountersToJson(const Counters& counters) {
-  Json::Object obj;
-  for (const auto& [name, value] : counters.values()) {
-    obj.emplace_back(name, Json(value));
-  }
-  return Json(std::move(obj));
-}
-
-bool CountersFromJson(const Json& json, Counters* counters) {
-  if (!json.is_object()) return false;
-  for (const auto& [name, value] : json.AsObject()) {
-    if (!value.is_integer()) return false;
-    counters->Increment(name, value.AsInt64());
-  }
-  return true;
-}
-
-// Reads an integer member or fails; keeps the parse paranoid because a
-// manifest survives process boundaries.
-bool GetInt(const Json& obj, std::string_view key, int64_t* out) {
-  const Json* v = obj.Find(key);
-  if (v == nullptr || !v->is_integer()) return false;
-  *out = v->AsInt64();
-  return true;
-}
-
-bool GetUint(const Json& obj, std::string_view key, uint64_t* out) {
-  const Json* v = obj.Find(key);
-  if (v == nullptr || !v->is_integer()) return false;
-  *out = v->AsUint64();
-  return true;
-}
 
 }  // namespace
 
@@ -285,19 +246,7 @@ Result<std::string> JobCheckpoint::CompletedSideOutput(
     }
     side = it->second.side;
   }
-  std::ifstream in(side.path, std::ios::binary);
-  if (!in) {
-    return Status::IOError("cannot read side output " + side.path);
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  std::string bytes = std::move(buf).str();
-  if (bytes.size() != side.bytes ||
-      Fnv1aHash(bytes.data(), bytes.size()) != side.checksum) {
-    return Status::IOError("side output " + side.path +
-                           " does not match its manifest checksum");
-  }
-  return bytes;
+  return ReadSideOutputFile(side);
 }
 
 Status JobCheckpoint::CommitMapTask(uint32_t task,

@@ -79,6 +79,9 @@
 #include "mr/merge.h"
 #include "mr/metrics.h"
 #include "mr/spill.h"
+#include "mr/task_commit.h"
+#include "proc/coordinator.h"
+#include "proc/wire.h"
 
 namespace erlb {
 namespace mr {
@@ -92,9 +95,13 @@ enum class ExecutionMode {
   kInMemory,
   /// Spill sorted runs to disk and stream the reduce-side merge.
   kExternal,
+  /// Shard tasks across forked worker processes that shuffle through
+  /// spill files in a shared job directory (proc/coordinator.h). Never
+  /// chosen by kAuto — shared-nothing execution is an explicit opt-in.
+  kMultiProcess,
 };
 
-/// Returns "auto", "in_memory" or "external".
+/// Returns "auto", "in_memory", "external" or "multi_process".
 const char* ExecutionModeName(ExecutionMode mode);
 
 /// Out-of-core knobs of a JobRunner; defaults preserve the historical
@@ -128,6 +135,10 @@ struct ExecutionOptions {
   /// Durable checkpoint configuration (mr/checkpoint.h). Only external-
   /// mode jobs checkpoint; the in-memory fast path is unaffected.
   CheckpointOptions checkpoint;
+  /// kMultiProcess: number of worker processes to fork. 0 uses the
+  /// runner's thread count (num_workers), so `Workers(N)` alone gives N
+  /// processes in multi-process mode and N threads otherwise.
+  uint32_t num_worker_processes = 0;
 };
 
 /// Identity of a running task, passed to mapper/reducer factories so user
@@ -421,12 +432,18 @@ class JobRunner {
     ERLB_CHECK(spec.num_reduce_tasks >= 1);
 
     constexpr bool kSpillableJob = Spillable<MidK> && Spillable<MidV>;
+    // The multi-process path additionally ships reduce outputs through
+    // spill files, so the output types must be spillable too.
+    constexpr bool kMultiProcessJob =
+        kSpillableJob && Spillable<typename Spec::OutKey> &&
+        Spillable<typename Spec::OutValue>;
     bool external = false;
     if constexpr (kSpillableJob) {
       switch (options_.mode) {
         case ExecutionMode::kInMemory:
           break;
         case ExecutionMode::kExternal:
+        case ExecutionMode::kMultiProcess:
           external = true;
           break;
         case ExecutionMode::kAuto:
@@ -438,11 +455,24 @@ class JobRunner {
       // Requesting the external path for a job whose intermediate types
       // have no SpillCodec is a programming error; kAuto quietly stays in
       // memory.
-      ERLB_CHECK(options_.mode != ExecutionMode::kExternal)
-          << "ExecutionMode::kExternal requires SpillCodec specializations "
-             "for the intermediate key/value types";
+      ERLB_CHECK(options_.mode != ExecutionMode::kExternal &&
+                 options_.mode != ExecutionMode::kMultiProcess)
+          << "ExecutionMode::" << ExecutionModeName(options_.mode)
+          << " requires SpillCodec specializations for the intermediate "
+             "key/value types";
     }
 
+    if (options_.mode == ExecutionMode::kMultiProcess) {
+      if constexpr (kMultiProcessJob) {
+        return RunMultiProcess<Spec>(spec, input_partitions);
+      } else {
+        ERLB_CHECK(kMultiProcessJob)
+            << "ExecutionMode::kMultiProcess requires SpillCodec "
+               "specializations for the intermediate AND output key/value "
+               "types (reduce outputs cross the process boundary as spill "
+               "runs)";
+      }
+    }
     if constexpr (kSpillableJob) {
       if (external) return RunExternal<Spec>(spec, input_partitions);
     }
@@ -689,6 +719,328 @@ class JobRunner {
 
     MergeTaskCounters(&result.metrics);
     return result;
+  }
+
+  // ---- Multi-process (shared-nothing) path ------------------------------
+  //
+  // The same two phases as RunExternal, but sharded across forked worker
+  // processes by a proc::Coordinator instead of pool threads. All data
+  // crosses the process boundary through the shared job directory:
+  //
+  //   map task t    -> spill-<t>.run (+ side-<t>.dat) + map-<t>.done
+  //   reduce task t -> out-<t>.run               + reduce-<t>.done
+  //
+  // Workers inherit the job spec and input copy-on-write at fork time;
+  // the only parent state created *after* the fork that workers need —
+  // the map phase's spill extents — travels in the reduce ASSIGN payload.
+  // The parent trusts nothing a worker says: DONE merely prompts it to
+  // read the task's commit record back from disk (signature + per-run
+  // checksum validation), which is also exactly how it adopts work left
+  // behind by a worker that died after committing.
+
+  template <typename Spec>
+  JobResult<typename Spec::OutKey, typename Spec::OutValue> RunMultiProcess(
+      const Spec& spec, const SpecInput<Spec>& input_partitions) const {
+    using OutK = typename Spec::OutKey;
+    using OutV = typename Spec::OutValue;
+
+    const uint32_t m = static_cast<uint32_t>(input_partitions.size());
+    const uint32_t r = spec.num_reduce_tasks;
+
+    JobResult<OutK, OutV> result;
+    result.metrics.external = true;
+    result.metrics.multi_process = true;
+    result.metrics.map_tasks.resize(m);
+    result.metrics.reduce_tasks.resize(r);
+    result.outputs_per_reduce_task.resize(r);
+
+    const bool durable = !options_.checkpoint.dir.empty();
+    std::optional<ScopedTempDir> scoped_dir;
+    std::string job_dir;
+    if (durable) {
+      // Same per-runner job-<seq> scheme as RunExternal, but committed
+      // state lives in per-task .done sidecars instead of one manifest —
+      // worker processes cannot share a rewritten manifest without races.
+      result.metrics.checkpointed = true;
+      const uint32_t seq =
+          checkpoint_seq_.fetch_add(1, std::memory_order_relaxed);
+      job_dir = options_.checkpoint.dir + "/job-" + std::to_string(seq);
+      Status made = internal::EnsureDirectory(job_dir);
+      if (!made.ok()) {
+        result.status = made;
+        return result;
+      }
+    } else {
+      auto dir = ScopedTempDir::Make(options_.temp_dir, "erlb-spill");
+      if (!dir.ok()) {
+        result.status = dir.status();
+        return result;
+      }
+      scoped_dir.emplace(std::move(*dir));
+      job_dir = scoped_dir->path();
+      // The parent's claim keeps a concurrent SweepStaleTempDirs from
+      // reaping the dir; each worker adds its own per-pid claim on first
+      // task so the protection also covers parent-death windows.
+      static_cast<void>(ClaimTempDirForPid(job_dir));
+    }
+
+    const uint64_t signature = ComputeInputSignature<Spec>(
+        input_partitions, r, options_.checkpoint.identity);
+
+    // Parent-side shuffle state, filled by map-phase try_collect. The
+    // coordinator event loop is single-threaded, so the closures below
+    // mutate `result` and `spill_files` without locking.
+    std::vector<SpillFile> spill_files(m);
+
+    std::vector<proc::TaskPhase> phases(2);
+
+    proc::TaskPhase& map_phase = phases[0];
+    map_phase.name = "map";
+    map_phase.num_tasks = m;
+    map_phase.run = [&](uint32_t t, const std::string&) -> Status {
+      if (!durable) static_cast<void>(ClaimTempDirForPid(job_dir));
+      return RunMapTaskMultiProcess(spec, input_partitions[t], m, r, t,
+                                    job_dir, signature, durable);
+    };
+    map_phase.try_collect = [&](uint32_t t, bool adopted) -> bool {
+      auto record = ReadTaskCommitRecord(job_dir, "map", t, signature,
+                                         /*expected_runs=*/r,
+                                         options_.io_buffer_bytes);
+      if (!record.ok()) return false;
+      if (spec.decode_side_output) {
+        // Resuming a committed task must also replay its side output; a
+        // record without (valid) side bytes is treated as uncommitted.
+        if (record->side.path.empty()) return false;
+        auto side_bytes = ReadSideOutputFile(record->side);
+        if (!side_bytes.ok() || !spec.decode_side_output(t, *side_bytes)) {
+          return false;
+        }
+      }
+      spill_files[t] = record->file;
+      result.metrics.map_tasks[t] = record->metrics;
+      if (adopted) {
+        result.metrics.map_tasks[t].resumed = true;
+        ++result.metrics.map_tasks_resumed;
+      }
+      return true;
+    };
+
+    proc::TaskPhase& reduce_phase = phases[1];
+    reduce_phase.name = "reduce";
+    reduce_phase.num_tasks = r;
+    // Workers were forked before the map phase ran, so their images
+    // predate `spill_files`; each reduce assignment carries the extent
+    // of its run in every map task's spill file.
+    reduce_phase.assignment_payload = [&](uint32_t t) -> std::string {
+      std::string payload;
+      proc::PutU32(m, &payload);
+      for (uint32_t mt = 0; mt < m; ++mt) {
+        const RunExtent& extent = spill_files[mt].runs[t];
+        proc::PutU64(extent.offset, &payload);
+        proc::PutU64(extent.bytes, &payload);
+        proc::PutU64(extent.records, &payload);
+      }
+      return payload;
+    };
+    reduce_phase.run = [&](uint32_t t,
+                           const std::string& payload) -> Status {
+      if (!durable) static_cast<void>(ClaimTempDirForPid(job_dir));
+      return RunReduceTaskMultiProcess(spec, job_dir, signature, durable, m,
+                                       r, t, payload);
+    };
+    reduce_phase.try_collect = [&](uint32_t t, bool adopted) -> bool {
+      auto record = ReadTaskCommitRecord(job_dir, "reduce", t, signature,
+                                         /*expected_runs=*/1,
+                                         options_.io_buffer_bytes);
+      if (!record.ok()) return false;
+      const RunExtent& extent = record->file.runs[0];
+      std::vector<std::pair<OutK, OutV>> output;
+      output.reserve(static_cast<size_t>(extent.records));
+      RunCursor<OutK, OutV> cursor;
+      size_t buffer = static_cast<size_t>(std::min<uint64_t>(
+          std::max<uint64_t>(extent.bytes, 1), options_.io_buffer_bytes));
+      if (!cursor.Open(record->file.path, extent, buffer).ok()) {
+        return false;
+      }
+      while (!cursor.exhausted()) output.push_back(cursor.Pop());
+      if (!cursor.status().ok()) return false;
+      result.outputs_per_reduce_task[t] = std::move(output);
+      result.metrics.reduce_tasks[t] = record->metrics;
+      if (adopted) {
+        result.metrics.reduce_tasks[t].resumed = true;
+        ++result.metrics.reduce_tasks_resumed;
+      }
+      return true;
+    };
+
+    proc::CoordinatorOptions coord_options;
+    coord_options.num_workers = std::max<uint32_t>(
+        1, options_.num_worker_processes > 0
+               ? options_.num_worker_processes
+               : static_cast<uint32_t>(num_workers_));
+    coord_options.collect_existing = durable && options_.checkpoint.resume;
+    coord_options.max_task_failovers =
+        std::max<uint32_t>(1, options_.max_task_attempts) + 2;
+
+    Stopwatch job_watch;
+    proc::Coordinator coordinator(coord_options);
+    Status run_status = coordinator.Run(phases);
+    result.metrics.total_duration_nanos = job_watch.ElapsedNanos();
+
+    const proc::CoordinatorStats coord_stats = coordinator.stats();
+    result.metrics.worker_processes = coord_stats.workers_spawned;
+    result.metrics.worker_deaths = coord_stats.worker_deaths;
+    if (coord_stats.phases.size() == 2) {
+      result.metrics.map_phase_nanos = coord_stats.phases[0].duration_nanos;
+      result.metrics.reduce_phase_nanos =
+          coord_stats.phases[1].duration_nanos;
+    }
+    if (!run_status.ok()) {
+      result.status = run_status;
+      return result;
+    }
+    for (uint32_t t = 0; t < m; ++t) {
+      result.metrics.spill_bytes_written +=
+          result.metrics.map_tasks[t].spill_bytes;
+    }
+    MergeTaskCounters(&result.metrics);
+    return result;
+  }
+
+  /// Worker-side map task: RunMapTaskExternal's sort/partition/spill
+  /// with the manifest checkpoint replaced by a per-task commit record.
+  /// Retries happen inside the worker (same policy as the threaded
+  /// paths); the commit record is the last write of a successful attempt.
+  template <typename Spec>
+  [[nodiscard]] Status RunMapTaskMultiProcess(
+      const Spec& spec,
+      const std::vector<std::pair<typename Spec::InKey,
+                                  typename Spec::InValue>>& partition,
+      uint32_t m, uint32_t r, uint32_t task_index,
+      const std::string& job_dir, uint64_t signature, bool durable) const {
+    using MidK = typename Spec::MidKey;
+    using MidV = typename Spec::MidValue;
+    TaskMetrics metrics;
+    return internal::RunTaskWithRetry(options_, &metrics, [&]() -> Status {
+      ERLB_RETURN_NOT_OK(internal::MapTaskFaultPoint());
+      Stopwatch watch;
+      auto final_out =
+          MapSortCombine(spec, partition, m, r, task_index, &metrics);
+
+      std::vector<uint32_t> dest;
+      std::vector<size_t> run_offsets;
+      PartitionRecords(spec, final_out, r, &dest, &run_offsets);
+      const size_t n_out = final_out.size();
+      std::vector<size_t> order(n_out);
+      std::vector<size_t> fill(run_offsets.begin(), run_offsets.end() - 1);
+      for (size_t i = 0; i < n_out; ++i) {
+        order[fill[dest[i]]++] = i;
+      }
+
+      // Data files are always staged under a pid temp name and renamed:
+      // the .done record is the commit point, and it must never name a
+      // half-written file.
+      const std::string final_path = SpillFilePath(job_dir, task_index);
+      const std::string write_path = internal::PidTempPath(final_path);
+      SpillFileWriter<MidK, MidV> writer;
+      ERLB_RETURN_NOT_OK(writer.Open(write_path, options_.io_buffer_bytes,
+                                     options_.fail_writer_after_bytes));
+      for (uint32_t p = 0; p < r; ++p) {
+        ERLB_RETURN_NOT_OK(writer.BeginRun());
+        for (size_t i = run_offsets[p]; i < run_offsets[p + 1]; ++i) {
+          const auto& rec = final_out[order[i]];
+          ERLB_RETURN_NOT_OK(writer.Append(rec.first, rec.second));
+        }
+      }
+      TaskCommitRecord record;
+      ERLB_ASSIGN_OR_RETURN(record.file, writer.Finish(/*sync=*/durable));
+      record.file.path = final_path;
+      ERLB_RETURN_NOT_OK(internal::PublishFile(write_path, final_path));
+
+      if (spec.encode_side_output) {
+        std::string side_bytes = spec.encode_side_output(task_index);
+        record.side.path =
+            job_dir + "/side-" + std::to_string(task_index) + ".dat";
+        record.side.bytes = side_bytes.size();
+        record.side.checksum =
+            Fnv1aHash(side_bytes.data(), side_bytes.size());
+        const std::string side_tmp = internal::PidTempPath(record.side.path);
+        BufferedFileWriter side_writer;
+        ERLB_RETURN_NOT_OK(
+            side_writer.Open(side_tmp, options_.io_buffer_bytes));
+        ERLB_RETURN_NOT_OK(
+            side_writer.Append(side_bytes.data(), side_bytes.size()));
+        if (durable) ERLB_RETURN_NOT_OK(side_writer.Sync());
+        ERLB_RETURN_NOT_OK(side_writer.Close());
+        ERLB_RETURN_NOT_OK(
+            internal::PublishFile(side_tmp, record.side.path));
+      }
+
+      metrics.task_index = task_index;
+      metrics.spill_bytes = static_cast<int64_t>(record.file.TotalBytes());
+      metrics.duration_nanos = watch.ElapsedNanos();
+      record.metrics = metrics;
+      return WriteTaskCommitRecord(job_dir, "map", task_index, signature,
+                                   record, durable);
+    });
+  }
+
+  /// Worker-side reduce task: decode the extent table shipped in the
+  /// ASSIGN payload, stream the loser-tree merge over every map task's
+  /// run (RunReduceTaskExternal, unchanged), then publish the output as
+  /// a single-run spill file + commit record.
+  template <typename Spec>
+  [[nodiscard]] Status RunReduceTaskMultiProcess(
+      const Spec& spec, const std::string& job_dir, uint64_t signature,
+      bool durable, uint32_t m, uint32_t r, uint32_t task_index,
+      const std::string& payload) const {
+    using OutK = typename Spec::OutKey;
+    using OutV = typename Spec::OutValue;
+
+    proc::PayloadReader reader(payload);
+    uint32_t payload_m = 0;
+    if (!reader.GetU32(&payload_m) || payload_m != m) {
+      return Status::Internal("reduce assignment payload does not match "
+                              "the job shape");
+    }
+    std::vector<SpillFile> spill_files(m);
+    for (uint32_t mt = 0; mt < m; ++mt) {
+      spill_files[mt].path = SpillFilePath(job_dir, mt);
+      spill_files[mt].runs.resize(r);
+      RunExtent& extent = spill_files[mt].runs[task_index];
+      if (!reader.GetU64(&extent.offset) || !reader.GetU64(&extent.bytes) ||
+          !reader.GetU64(&extent.records)) {
+        return Status::Internal("truncated reduce assignment payload");
+      }
+    }
+    if (!reader.AtEnd()) {
+      return Status::Internal("oversized reduce assignment payload");
+    }
+
+    TaskMetrics metrics;
+    return internal::RunTaskWithRetry(options_, &metrics, [&]() -> Status {
+      std::vector<std::pair<OutK, OutV>> output;
+      ERLB_RETURN_NOT_OK(RunReduceTaskExternal(spec, spill_files, m, r,
+                                               task_index, &output,
+                                               &metrics));
+      const std::string final_path =
+          job_dir + "/out-" + std::to_string(task_index) + ".run";
+      const std::string write_path = internal::PidTempPath(final_path);
+      SpillFileWriter<OutK, OutV> writer;
+      ERLB_RETURN_NOT_OK(writer.Open(write_path, options_.io_buffer_bytes));
+      ERLB_RETURN_NOT_OK(writer.BeginRun());
+      for (const auto& [key, value] : output) {
+        ERLB_RETURN_NOT_OK(writer.Append(key, value));
+      }
+      TaskCommitRecord record;
+      ERLB_ASSIGN_OR_RETURN(record.file, writer.Finish(/*sync=*/durable));
+      record.file.path = final_path;
+      ERLB_RETURN_NOT_OK(internal::PublishFile(write_path, final_path));
+      record.metrics = metrics;
+      record.metrics.task_index = task_index;
+      return WriteTaskCommitRecord(job_dir, "reduce", task_index, signature,
+                                   record, durable);
+    });
   }
 
   static void MergeTaskCounters(JobMetrics* metrics) {

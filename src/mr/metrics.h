@@ -49,11 +49,21 @@ struct JobMetrics {
   int64_t spill_bytes_written = 0;
   /// Total extra attempts across all tasks (sum of attempts - 1).
   int64_t task_retries = 0;
-  /// Map tasks skipped because a checkpoint manifest already held their
-  /// committed spill output.
+  /// Map tasks skipped because a checkpoint manifest (or per-task commit
+  /// record) already held their committed spill output — including tasks
+  /// adopted from a dead worker process that committed before dying.
   int64_t map_tasks_resumed = 0;
+  /// Reduce tasks restored from committed output runs the same way
+  /// (multi-process mode only; single-process reduce never checkpoints).
+  int64_t reduce_tasks_resumed = 0;
   /// True iff the job ran with a durable checkpoint directory.
   bool checkpointed = false;
+  /// True iff the job sharded its tasks across forked worker processes.
+  bool multi_process = false;
+  /// Multi-process mode: worker processes forked over the job's lifetime
+  /// (respawns after worker deaths included), and deaths observed.
+  uint32_t worker_processes = 0;
+  uint32_t worker_deaths = 0;
   /// Job-level merged counters.
   Counters counters;
 

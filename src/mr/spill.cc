@@ -17,6 +17,8 @@ const char* ExecutionModeName(ExecutionMode mode) {
       return "in_memory";
     case ExecutionMode::kExternal:
       return "external";
+    case ExecutionMode::kMultiProcess:
+      return "multi_process";
   }
   return "unknown";
 }

@@ -1,0 +1,102 @@
+// Per-task commit records for the multi-process execution mode.
+//
+// Worker processes cannot share the single rewritten manifest.json of
+// JobCheckpoint without cross-process write races, so the multi-process
+// path commits each task independently:
+//
+//   <dir>/spill-<t>.run    map task t's spill file    (tmp.<pid> + rename)
+//   <dir>/side-<t>.dat     task t's side output, when the spec has one
+//   <dir>/map-<t>.done     the commit record — written LAST
+//   <dir>/out-<t>.run      reduce task t's output run
+//   <dir>/reduce-<t>.done  its commit record
+//
+// A `.done` sidecar is the same atomic tmp+rename protocol as the
+// manifest, scoped to one task: it exists iff the task's data files were
+// fully published first, and it carries the job's input signature, the
+// run extents, and the task metrics. The coordinator treats "the record
+// parses, the signature matches, and every recorded run has an intact
+// footer on disk" as the definition of a committed task — both when a
+// live worker reports DONE and when adopting work from a dead one. The
+// same records double as the durable resume state when the job directory
+// is a checkpoint dir (they are fsynced only in that case).
+#ifndef ERLB_MR_TASK_COMMIT_H_
+#define ERLB_MR_TASK_COMMIT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "mr/checkpoint.h"
+#include "mr/metrics.h"
+#include "mr/spill.h"
+
+namespace erlb {
+namespace mr {
+
+/// Everything a `.done` sidecar records about one committed task.
+struct TaskCommitRecord {
+  SpillFile file;       ///< published data file + run extents
+  TaskMetrics metrics;  ///< as measured by the committing worker
+  SideOutputFile side;  ///< empty path = the task has no side output
+};
+
+/// `<dir>/<kind>-<task>.done`; `kind` is "map" or "reduce".
+[[nodiscard]] std::string TaskCommitRecordPath(const std::string& dir,
+                                               std::string_view kind,
+                                               uint32_t task);
+
+/// Atomically publishes the commit record (tmp.<pid> write + rename).
+/// `durable` adds fsync of the record and the directory — required when
+/// `dir` is a checkpoint directory that must survive power loss, wasted
+/// effort for a scoped temp dir that dies with the job.
+[[nodiscard]] Status WriteTaskCommitRecord(const std::string& dir,
+                                           std::string_view kind,
+                                           uint32_t task, uint64_t signature,
+                                           const TaskCommitRecord& record,
+                                           bool durable);
+
+/// Loads and validates task `task`'s commit record: the JSON must parse,
+/// the signature and run count must match, and every recorded run must
+/// pass VerifySpillFileFooters. NotFound when no record exists; any
+/// damage or mismatch is an error the caller treats as "not committed".
+[[nodiscard]] Result<TaskCommitRecord> ReadTaskCommitRecord(
+    const std::string& dir, std::string_view kind, uint32_t task,
+    uint64_t signature, uint32_t expected_runs, size_t io_buffer_bytes);
+
+/// Reads back a committed side-output file, verifying size and checksum.
+[[nodiscard]] Result<std::string> ReadSideOutputFile(
+    const SideOutputFile& side);
+
+namespace internal {
+
+// JSON plumbing shared between the manifest (checkpoint.cc) and the
+// per-task records, so both serialize tasks the same way.
+[[nodiscard]] Json CountersToJson(const Counters& counters);
+[[nodiscard]] bool CountersFromJson(const Json& json, Counters* counters);
+[[nodiscard]] bool GetInt(const Json& obj, std::string_view key,
+                          int64_t* out);
+[[nodiscard]] bool GetUint(const Json& obj, std::string_view key,
+                           uint64_t* out);
+
+// Best-effort fsync of a directory, for rename durability.
+void SyncDir(const std::string& dir);
+
+// Filesystem plumbing for the multi-process job driver (job.h is a
+// header; these keep <filesystem> out of every consumer).
+[[nodiscard]] Status EnsureDirectory(const std::string& dir);
+/// `<final_path>.tmp.<pid>` — per-process temp names let a re-run of a
+/// task race a stale worker's in-flight write; the last rename wins.
+[[nodiscard]] std::string PidTempPath(const std::string& final_path);
+/// rename(tmp_path, final_path) with a Status error.
+[[nodiscard]] Status PublishFile(const std::string& tmp_path,
+                                 const std::string& final_path);
+
+}  // namespace internal
+
+}  // namespace mr
+}  // namespace erlb
+
+#endif  // ERLB_MR_TASK_COMMIT_H_

@@ -1,0 +1,536 @@
+#include "proc/coordinator.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>  // NOLINT(modernize-deprecated-headers): POSIX kill()
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <utility>
+
+#include "common/fault.h"
+#include "common/stopwatch.h"
+#include "proc/wire.h"
+
+namespace erlb {
+namespace proc {
+
+namespace {
+
+// Mirrors mr::IsRetryableStatus without depending on mr (mr links this
+// library, not the other way around): transient I/O-shaped failures are
+// worth re-running on another worker, logic errors are not.
+bool IsRetryableCode(StatusCode code) {
+  return code == StatusCode::kIOError || code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
+Status ErrnoStatus(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+// ---- Worker-side loop ------------------------------------------------------
+
+// Runs in the forked child. The child is a frozen copy-on-write image of
+// the coordinator at fork time: the phase closures (and through them the
+// job spec, input partitions, and execution options) are all valid, but
+// nothing written by the parent afterwards is visible — any post-fork
+// state must arrive through the assignment payload. Every exit is
+// _exit(2): the child must not run destructors it inherited (the
+// parent's ScopedTempDir, thread pool, test fixtures).
+[[noreturn]] void WorkerMain(int fd, const std::vector<TaskPhase>& phases) {
+  FrameParser parser;
+  for (;;) {
+    Frame frame;
+    if (!RecvFrame(fd, &parser, &frame).ok()) ::_exit(3);
+    if (frame.type == FrameType::kShutdown) {
+      static_cast<void>(::close(fd));
+      ::_exit(0);
+    }
+    if (frame.type != FrameType::kAssign) ::_exit(4);
+    PayloadReader reader(frame.payload);
+    uint32_t phase = 0;
+    uint32_t task = 0;
+    std::string payload;
+    if (!reader.GetU32(&phase) || !reader.GetU32(&task) ||
+        !reader.GetBytes(&payload) || phase >= phases.size() ||
+        task >= phases[phase].num_tasks) {
+      ::_exit(4);
+    }
+    std::string header;
+    PutU32(phase, &header);
+    PutU32(task, &header);
+    if (!SendFrame(fd, FrameType::kHeartbeat, header).ok()) ::_exit(3);
+    // The injection point for worker-side failures: an armed error makes
+    // this worker report FAILED (reassignment path), an armed kill dies
+    // mid-assignment (crash-recovery path). Sits outside phase.run so it
+    // models the worker harness failing, not the task logic.
+    Status run_status = FaultInjector::Global().Hit("worker.run");
+    if (run_status.ok() && phases[phase].run) {
+      run_status = phases[phase].run(task, payload);
+    }
+    if (run_status.ok()) {
+      if (!SendFrame(fd, FrameType::kDone, header).ok()) ::_exit(3);
+    } else {
+      std::string failed = header;
+      PutU32(static_cast<uint32_t>(run_status.code()), &failed);
+      PutBytes(run_status.message(), &failed);
+      if (!SendFrame(fd, FrameType::kFailed, failed).ok()) ::_exit(3);
+    }
+  }
+}
+
+}  // namespace
+
+// ---- Parent-side state -----------------------------------------------------
+
+struct Coordinator::Worker {
+  pid_t pid = -1;
+  int fd = -1;  // parent end of the socketpair, nonblocking
+  FrameParser parser;
+  std::string outbox;             // encoded frames not yet accepted by send()
+  std::deque<uint32_t> assigned;  // current phase's unacknowledged tasks
+  bool alive = true;
+  // Set when the parent stops trusting this worker (injected result
+  // fault, protocol violation): queued frames are dropped and the tasks
+  // it held go through the death path.
+  bool discard = false;
+};
+
+Coordinator::Coordinator(CoordinatorOptions options)
+    : options_(std::move(options)) {}
+
+CoordinatorStats Coordinator::stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+Status Coordinator::Run(const std::vector<TaskPhase>& phases) {
+  if (ran_) {
+    return Status::FailedPrecondition(
+        "proc::Coordinator::Run() already executed; a Coordinator is "
+        "single-shot");
+  }
+  ran_ = true;
+  if (options_.num_workers == 0) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  {
+    MutexLock lock(&mu_);
+    stats_.phases.assign(phases.size(), PhaseStats{});
+  }
+
+  std::vector<Worker> workers;
+  Status status = RunLoop(phases, &workers);
+
+  // Teardown on every path. On success the workers are idle, so a
+  // SHUTDOWN frame (or simply the closed fd) ends them promptly; on
+  // error a worker may be deep inside a task and would only notice the
+  // closed channel afterwards — the job is abandoned, so kill it.
+  for (Worker& w : workers) {
+    if (!w.alive) continue;
+    if (status.ok()) {
+      static_cast<void>(SendFrame(w.fd, FrameType::kShutdown, {}));
+    } else if (w.pid > 0) {
+      static_cast<void>(::kill(w.pid, SIGKILL));
+    }
+    static_cast<void>(::close(w.fd));
+    w.fd = -1;
+  }
+  for (Worker& w : workers) {
+    if (w.pid > 0) {
+      int wstatus = 0;
+      static_cast<void>(::waitpid(w.pid, &wstatus, 0));
+    }
+  }
+  return status;
+}
+
+Status Coordinator::RunLoop(const std::vector<TaskPhase>& phases,
+                            std::vector<Worker>* workers) {
+  uint64_t total_tasks = 0;
+  for (const TaskPhase& phase : phases) total_tasks += phase.num_tasks;
+  const uint64_t death_budget =
+      options_.max_worker_deaths != 0
+          ? options_.max_worker_deaths
+          : static_cast<uint64_t>(options_.num_workers) + total_tasks + 2;
+  uint64_t deaths = 0;
+
+  auto spawn_worker = [&]() -> Status {
+    ERLB_RETURN_NOT_OK(FaultInjector::Global().Hit("worker.spawn"));
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+      return ErrnoStatus("socketpair");
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      static_cast<void>(::close(fds[0]));
+      static_cast<void>(::close(fds[1]));
+      return ErrnoStatus("fork");
+    }
+    if (pid == 0) {
+      // Child. Fork without exec inherits every sibling's parent-side
+      // descriptor; close them so a sibling's death is observable as EOF
+      // in the parent instead of being held open here.
+      static_cast<void>(::close(fds[0]));
+      for (const Worker& w : *workers) {
+        if (w.fd >= 0) static_cast<void>(::close(w.fd));
+      }
+      WorkerMain(fds[1], phases);  // never returns
+    }
+    static_cast<void>(::close(fds[1]));
+    const int flags = ::fcntl(fds[0], F_GETFL, 0);
+    static_cast<void>(::fcntl(fds[0], F_SETFL, flags | O_NONBLOCK));
+    Worker w;
+    w.pid = pid;
+    w.fd = fds[0];
+    workers->push_back(std::move(w));
+    {
+      MutexLock lock(&mu_);
+      ++stats_.workers_spawned;
+    }
+    return Status::OK();
+  };
+
+  // Initial pool. A spawn failure (injected or real) degrades the pool
+  // instead of failing the job, as long as at least one worker exists.
+  Status spawn_error = Status::OK();
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    Status s = spawn_worker();
+    if (!s.ok()) spawn_error = std::move(s);
+  }
+  if (workers->empty()) return spawn_error;
+
+  // Drains this worker's socket send queue; EAGAIN leaves the rest for
+  // the next POLLOUT, a hard error (dead peer) leaves the bytes queued —
+  // the death path reclaims the worker's tasks.
+  auto pump = [](Worker* w) {
+    while (!w->outbox.empty()) {
+      const ssize_t n = ::send(w->fd, w->outbox.data(), w->outbox.size(),
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN or dying peer; poll/waitpid decides which
+      }
+      w->outbox.erase(0, static_cast<size_t>(n));
+    }
+  };
+
+  for (size_t phase_index = 0; phase_index < phases.size(); ++phase_index) {
+    const TaskPhase& phase = phases[phase_index];
+    Stopwatch phase_watch;
+    const uint32_t n = phase.num_tasks;
+    std::vector<bool> done(n, false);
+    std::vector<uint32_t> failovers(n, 0);
+    uint32_t done_count = 0;
+    std::deque<uint32_t> unassigned;
+
+    for (uint32_t t = 0; t < n; ++t) {
+      if (options_.collect_existing && phase.try_collect &&
+          phase.try_collect(t, /*adopted=*/true)) {
+        done[t] = true;
+        ++done_count;
+        MutexLock lock(&mu_);
+        ++stats_.phases[phase_index].tasks_adopted;
+      } else {
+        unassigned.push_back(t);
+      }
+    }
+
+    auto assign = [&](Worker* w, uint32_t task) {
+      std::string payload;
+      PutU32(static_cast<uint32_t>(phase_index), &payload);
+      PutU32(task, &payload);
+      PutBytes(phase.assignment_payload ? phase.assignment_payload(task)
+                                        : std::string(),
+               &payload);
+      w->outbox += EncodeFrame(FrameType::kAssign, payload);
+      w->assigned.push_back(task);
+      pump(w);
+    };
+
+    auto least_loaded_alive = [&]() -> Worker* {
+      Worker* best = nullptr;
+      for (Worker& w : *workers) {
+        if (!w.alive || w.discard) continue;
+        if (best == nullptr || w.assigned.size() < best->assigned.size()) {
+          best = &w;
+        }
+      }
+      return best;
+    };
+
+    // Initial contiguous shards: worker i gets tasks
+    // [i*chunk, (i+1)*chunk) of the remaining work, so each worker's
+    // spill writes stay sequential within its slice of the task space.
+    {
+      std::vector<Worker*> alive;
+      for (Worker& w : *workers) {
+        if (w.alive && !w.discard) alive.push_back(&w);
+      }
+      const size_t num_alive = alive.size();
+      const size_t per_worker =
+          num_alive == 0 ? 0 : (unassigned.size() + num_alive - 1) / num_alive;
+      for (size_t i = 0; i < num_alive && !unassigned.empty(); ++i) {
+        for (size_t k = 0; k < per_worker && !unassigned.empty(); ++k) {
+          assign(alive[i], unassigned.front());
+          unassigned.pop_front();
+        }
+      }
+    }
+
+    // Forward declaration dance: handle_death reassigns through the
+    // same queue the event loop drains.
+    auto handle_death = [&](Worker* w) -> Status {
+      if (!w->alive) return Status::OK();
+      w->alive = false;
+      if (w->fd >= 0) {
+        static_cast<void>(::close(w->fd));
+        w->fd = -1;
+      }
+      if (w->pid > 0) {
+        int wstatus = 0;
+        static_cast<void>(::waitpid(w->pid, &wstatus, 0));
+        w->pid = -1;
+      }
+      ++deaths;
+      {
+        MutexLock lock(&mu_);
+        ++stats_.worker_deaths;
+      }
+      if (deaths > death_budget) {
+        return Status::Internal(
+            "multi-process coordinator: " + std::to_string(deaths) +
+            " worker deaths exceeded the budget of " +
+            std::to_string(death_budget) + " in phase \"" + phase.name +
+            "\"");
+      }
+      // The dead worker's unacknowledged tasks: anything it managed to
+      // commit before dying is adopted from the shared job directory;
+      // the rest runs again on survivors.
+      while (!w->assigned.empty()) {
+        const uint32_t task = w->assigned.front();
+        w->assigned.pop_front();
+        if (done[task]) continue;
+        if (phase.try_collect && phase.try_collect(task, /*adopted=*/true)) {
+          done[task] = true;
+          ++done_count;
+          MutexLock lock(&mu_);
+          ++stats_.phases[phase_index].tasks_adopted;
+        } else {
+          unassigned.push_back(task);
+          MutexLock lock(&mu_);
+          ++stats_.phases[phase_index].tasks_reassigned;
+        }
+      }
+      return Status::OK();
+    };
+
+    // Demotes a worker the parent no longer trusts (injected result
+    // fault, protocol violation): SIGKILL now, frames ignored, tasks
+    // recovered when the death is processed.
+    auto poison = [](Worker* w) {
+      if (w->pid > 0) static_cast<void>(::kill(w->pid, SIGKILL));
+      w->discard = true;
+    };
+
+    auto handle_frame = [&](Worker* w, const Frame& frame) -> Status {
+      PayloadReader reader(frame.payload);
+      uint32_t frame_phase = 0;
+      uint32_t task = 0;
+      if (!reader.GetU32(&frame_phase) || !reader.GetU32(&task) ||
+          frame_phase != phase_index || task >= n) {
+        poison(w);
+        return Status::OK();
+      }
+      switch (frame.type) {
+        case FrameType::kHeartbeat: {
+          MutexLock lock(&mu_);
+          ++stats_.heartbeats;
+          return Status::OK();
+        }
+        case FrameType::kDone: {
+          if (done[task]) return Status::OK();  // benign duplicate
+          // Injection point for the result channel: treat an armed error
+          // as the report being lost with the worker's fate unknown —
+          // kill it and let the death path adopt the (already
+          // committed) task. This is the deterministic "worker dies
+          // after commit, before ack" lever the crash harness pulls.
+          if (Status s = FaultInjector::Global().Hit("worker.result");
+              !s.ok()) {
+            poison(w);
+            return Status::OK();
+          }
+          for (auto it = w->assigned.begin(); it != w->assigned.end(); ++it) {
+            if (*it == task) {
+              w->assigned.erase(it);
+              break;
+            }
+          }
+          if (!phase.try_collect ||
+              phase.try_collect(task, /*adopted=*/false)) {
+            done[task] = true;
+            ++done_count;
+            return Status::OK();
+          }
+          // The worker said DONE but the published result does not
+          // validate: re-run elsewhere, within the failover budget.
+          if (++failovers[task] > options_.max_task_failovers) {
+            return Status::Internal(
+                "multi-process coordinator: task " + std::to_string(task) +
+                " of phase \"" + phase.name +
+                "\" reported done but its commit record never validated");
+          }
+          unassigned.push_back(task);
+          MutexLock lock(&mu_);
+          ++stats_.phases[phase_index].tasks_reassigned;
+          return Status::OK();
+        }
+        case FrameType::kFailed: {
+          uint32_t code = 0;
+          std::string message;
+          if (!reader.GetU32(&code) || !reader.GetBytes(&message) ||
+              code == 0 ||
+              code > static_cast<uint32_t>(StatusCode::kDeadlineExceeded)) {
+            poison(w);
+            return Status::OK();
+          }
+          for (auto it = w->assigned.begin(); it != w->assigned.end(); ++it) {
+            if (*it == task) {
+              w->assigned.erase(it);
+              break;
+            }
+          }
+          Status task_status(static_cast<StatusCode>(code),
+                             "worker task " + std::to_string(task) +
+                                 " of phase \"" + phase.name +
+                                 "\" failed: " + message);
+          if (!IsRetryableCode(task_status.code()) ||
+              ++failovers[task] > options_.max_task_failovers) {
+            return task_status;
+          }
+          unassigned.push_back(task);
+          MutexLock lock(&mu_);
+          ++stats_.phases[phase_index].tasks_reassigned;
+          return Status::OK();
+        }
+        default:
+          poison(w);
+          return Status::OK();
+      }
+    };
+
+    // Reads everything currently available from `w`; returns false when
+    // the stream reached EOF (worker gone).
+    auto drain = [&](Worker* w, Status* out) -> bool {
+      char buf[4096];
+      for (;;) {
+        const ssize_t r = ::read(w->fd, buf, sizeof(buf));
+        if (r < 0) {
+          if (errno == EINTR) continue;
+          return true;  // EAGAIN — nothing more right now
+        }
+        if (r == 0) return false;  // EOF
+        w->parser.Feed(buf, static_cast<size_t>(r));
+        Frame frame;
+        while (w->parser.Next(&frame)) {
+          if (w->discard) continue;
+          Status s = handle_frame(w, frame);
+          if (!s.ok()) {
+            *out = std::move(s);
+            return true;
+          }
+        }
+        if (!w->parser.status().ok() && !w->discard) poison(w);
+      }
+    };
+
+    while (done_count < n) {
+      // Re-dispatch any work recovered from deaths/failovers, growing
+      // the pool back if everyone is gone.
+      while (!unassigned.empty()) {
+        Worker* target = least_loaded_alive();
+        if (target == nullptr) {
+          Status s = spawn_worker();
+          if (!s.ok()) return s;  // no workers and cannot make one
+          continue;
+        }
+        assign(target, unassigned.front());
+        unassigned.pop_front();
+      }
+
+      std::vector<pollfd> fds;
+      std::vector<size_t> fd_worker;
+      for (size_t i = 0; i < workers->size(); ++i) {
+        Worker& w = (*workers)[i];
+        if (!w.alive || w.fd < 0) continue;
+        pollfd p{};
+        p.fd = w.fd;
+        p.events = POLLIN;
+        if (!w.outbox.empty()) p.events |= POLLOUT;
+        fds.push_back(p);
+        fd_worker.push_back(i);
+      }
+      if (fds.empty()) {
+        // Every channel is gone while work remains. Death handling
+        // already recovered the dead workers' tasks into `unassigned`,
+        // so the top of the loop respawns and re-dispatches; an empty
+        // queue here would mean tasks were lost, which the recovery
+        // invariant rules out — fail loudly instead of spinning.
+        if (!unassigned.empty()) continue;
+        return Status::Internal(
+            "multi-process coordinator: no live workers and no "
+            "recoverable work in phase \"" +
+            phase.name + "\"");
+      }
+      const int ready = ::poll(fds.data(), fds.size(), 200);
+      if (ready < 0 && errno != EINTR) return ErrnoStatus("poll");
+
+      Status loop_status = Status::OK();
+      for (size_t k = 0; k < fds.size(); ++k) {
+        Worker& w = (*workers)[fd_worker[k]];
+        if (!w.alive) continue;
+        const short revents = fds[k].revents;
+        if (revents & POLLOUT) pump(&w);
+        bool eof = false;
+        if (revents & (POLLIN | POLLHUP | POLLERR)) {
+          eof = !drain(&w, &loop_status);
+          if (!loop_status.ok()) return loop_status;
+        }
+        if (eof) {
+          ERLB_RETURN_NOT_OK(handle_death(&w));
+        }
+      }
+      // Deaths the socket has not surfaced yet (rare; SIGKILL usually
+      // shows up as EOF first): reap explicitly so a wedged channel
+      // cannot hide a dead worker.
+      for (Worker& w : *workers) {
+        if (!w.alive || w.pid <= 0) continue;
+        int wstatus = 0;
+        const pid_t reaped = ::waitpid(w.pid, &wstatus, WNOHANG);
+        if (reaped == w.pid) {
+          Status drain_status = Status::OK();
+          static_cast<void>(drain(&w, &drain_status));
+          ERLB_RETURN_NOT_OK(drain_status);
+          w.pid = -1;  // already reaped
+          ERLB_RETURN_NOT_OK(handle_death(&w));
+        }
+      }
+    }
+
+    {
+      MutexLock lock(&mu_);
+      stats_.phases[phase_index].duration_nanos = phase_watch.ElapsedNanos();
+    }
+    // Phase barrier: every task of this phase is collected before the
+    // next phase's first assignment goes out.
+  }
+  return Status::OK();
+}
+
+}  // namespace proc
+}  // namespace erlb

@@ -1,0 +1,147 @@
+#include "proc/wire.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace erlb {
+namespace proc {
+
+void PutU32(uint32_t v, std::string* out) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, sizeof(b));
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(b, sizeof(b));
+}
+
+void PutBytes(std::string_view bytes, std::string* out) {
+  PutU32(static_cast<uint32_t>(bytes.size()), out);
+  out->append(bytes.data(), bytes.size());
+}
+
+bool PayloadReader::GetU32(uint32_t* v) {
+  if (!ok_ || end_ - p_ < 4) {
+    ok_ = false;
+    return false;
+  }
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<unsigned char>(p_[i])) << (8 * i);
+  }
+  p_ += 4;
+  *v = out;
+  return true;
+}
+
+bool PayloadReader::GetU64(uint64_t* v) {
+  if (!ok_ || end_ - p_ < 8) {
+    ok_ = false;
+    return false;
+  }
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<unsigned char>(p_[i])) << (8 * i);
+  }
+  p_ += 8;
+  *v = out;
+  return true;
+}
+
+bool PayloadReader::GetBytes(std::string* out) {
+  uint32_t n = 0;
+  if (!GetU32(&n)) return false;
+  if (static_cast<size_t>(end_ - p_) < n) {
+    ok_ = false;
+    return false;
+  }
+  out->assign(p_, n);
+  p_ += n;
+  return true;
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(4 + 1 + payload.size());
+  PutU32(static_cast<uint32_t>(1 + payload.size()), &out);
+  out.push_back(static_cast<char>(type));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+void FrameParser::Feed(const char* data, size_t n) {
+  // Reclaim the consumed prefix before it grows without bound: the
+  // buffer only ever holds a few small control frames.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (1u << 16)) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+bool FrameParser::Next(Frame* frame) {
+  if (!status_.ok()) return false;
+  if (buf_.size() - pos_ < 4) return false;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(
+               static_cast<unsigned char>(buf_[pos_ + i]))
+           << (8 * i);
+  }
+  if (len == 0 || len - 1 > kMaxFramePayload) {
+    status_ = Status::Internal("control frame length " +
+                               std::to_string(len) +
+                               " out of range — corrupt stream");
+    return false;
+  }
+  if (buf_.size() - pos_ < 4 + static_cast<size_t>(len)) return false;
+  frame->type = static_cast<FrameType>(buf_[pos_ + 4]);
+  frame->payload.assign(buf_, pos_ + 5, len - 1);
+  pos_ += 4 + static_cast<size_t>(len);
+  return true;
+}
+
+Status SendFrame(int fd, FrameType type, std::string_view payload) {
+  const std::string frame = EncodeFrame(type, payload);
+  const char* p = frame.data();
+  size_t left = frame.size();
+  while (left > 0) {
+    ssize_t w = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("control channel send: ") +
+                             std::strerror(errno));
+    }
+    p += w;
+    left -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status RecvFrame(int fd, FrameParser* parser, Frame* frame) {
+  char buf[4096];
+  for (;;) {
+    if (parser->Next(frame)) return Status::OK();
+    if (!parser->status().ok()) return parser->status();
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("control channel read: ") +
+                             std::strerror(errno));
+    }
+    if (r == 0) return Status::IOError("control channel: peer closed");
+    parser->Feed(buf, static_cast<size_t>(r));
+  }
+}
+
+}  // namespace proc
+}  // namespace erlb

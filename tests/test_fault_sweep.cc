@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/fault.h"
@@ -128,6 +129,10 @@ TEST_F(FaultSweepTest, EveryRegisteredSiteOneShotError) {
   auto sites = FaultInjector::RegisteredSites();
   ASSERT_FALSE(sites.empty());
   for (const auto& site : sites) {
+    // worker.* sites live in the multi-process coordinator and cannot
+    // fire under this single-process external configuration; their
+    // deterministic crash/reassignment coverage is test_multiprocess.cc.
+    if (std::string_view(site).rfind("worker.", 0) == 0) continue;
     FaultSpec spec;
     spec.kind = FaultKind::kError;
     spec.trigger_hit = 1;

@@ -3,6 +3,7 @@
 // lifetime.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -253,6 +254,94 @@ TEST(SweepStaleTempDirsTest, MissingBaseIsZero) {
   auto removed = SweepStaleTempDirs("/nonexistent/sweep/base", "erlb");
   ASSERT_TRUE(removed.ok());
   EXPECT_EQ(*removed, 0);
+}
+
+// ---- Multi-process temp-dir sharing (coordinator + forked workers) -------
+
+// A forked worker inherits the coordinator's ScopedTempDir by memory
+// copy; when the child's copy destructs, the shared job directory must
+// survive — only the creating pid may remove it.
+TEST(ScopedTempDirTest, ForkedChildDestructionIsNoOp) {
+  auto dir = ScopedTempDir::Make();
+  ASSERT_TRUE(dir.ok());
+  const std::string path = dir->path();
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // Run the inherited copy's destructor in the child, then report
+    // whether the directory survived it.
+    { ScopedTempDir inherited = std::move(*dir); }
+    _exit(fs::is_directory(path) ? 0 : 1);
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(child, &wstatus, 0), child);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 0) << "child removed the shared dir";
+  EXPECT_TRUE(fs::is_directory(path));
+  // The parent (owner) still removes it normally.
+  { ScopedTempDir owned = std::move(*dir); }
+  EXPECT_FALSE(fs::exists(path));
+}
+
+// A job root whose creating coordinator died stays intact while any
+// claimant pid is alive — exactly the window where surviving workers
+// are still spilling into it.
+TEST(SweepStaleTempDirsTest, LiveClaimProtectsDeadOwnersDir) {
+  auto base = ScopedTempDir::Make();
+  ASSERT_TRUE(base.ok());
+  const std::string dead_owner =
+      base->path() + "/erlb-spill-999999999-0-abc";
+  ASSERT_TRUE(fs::create_directories(dead_owner));
+  // Two live claimants (this process and pid 1) share the root.
+  ASSERT_TRUE(ClaimTempDirForPid(dead_owner).ok());
+  ASSERT_TRUE(ClaimTempDirForPid(dead_owner, 1).ok());
+  // Claims are idempotent.
+  ASSERT_TRUE(ClaimTempDirForPid(dead_owner).ok());
+
+  auto removed = SweepStaleTempDirs(base->path(), "erlb-spill");
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_EQ(*removed, 0);
+  EXPECT_TRUE(fs::exists(dead_owner));
+
+  // Releasing one claim is not enough while the other pid lives.
+  ReleaseTempDirClaim(dead_owner);
+  removed = SweepStaleTempDirs(base->path(), "erlb-spill");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 0);
+  EXPECT_TRUE(fs::exists(dead_owner));
+}
+
+TEST(SweepStaleTempDirsTest, DeadClaimDoesNotProtect) {
+  auto base = ScopedTempDir::Make();
+  ASSERT_TRUE(base.ok());
+  const std::string dead_owner =
+      base->path() + "/erlb-spill-999999999-0-abc";
+  ASSERT_TRUE(fs::create_directories(dead_owner));
+  // The only claim belongs to a pid that no longer exists: the claim
+  // must not resurrect the orphan.
+  ASSERT_TRUE(ClaimTempDirForPid(dead_owner, 999999998).ok());
+  auto removed = SweepStaleTempDirs(base->path(), "erlb-spill");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 1);
+  EXPECT_FALSE(fs::exists(dead_owner));
+}
+
+TEST(SweepStaleTempDirsTest, ReleasedClaimRestoresSweepability) {
+  auto base = ScopedTempDir::Make();
+  ASSERT_TRUE(base.ok());
+  const std::string dead_owner =
+      base->path() + "/erlb-spill-999999999-0-abc";
+  ASSERT_TRUE(fs::create_directories(dead_owner));
+  ASSERT_TRUE(ClaimTempDirForPid(dead_owner).ok());
+  auto removed = SweepStaleTempDirs(base->path(), "erlb-spill");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 0);
+
+  ReleaseTempDirClaim(dead_owner);
+  removed = SweepStaleTempDirs(base->path(), "erlb-spill");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(*removed, 1);
+  EXPECT_FALSE(fs::exists(dead_owner));
 }
 
 }  // namespace

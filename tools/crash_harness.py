@@ -19,6 +19,15 @@ Both crash points are exercised — mid-map (some map tasks committed,
 some not) and mid-reduce (all map tasks committed) — for all three load
 balancing strategies. Stdlib only, like bench_compare.py.
 
+A second leg covers the shared-nothing multi-process mode: the
+coordinator survives a SIGKILLed *worker* (ERLB_FAULT
+worker.result=error@N poisons the worker whose N-th DONE frame the
+parent takes, and the parent kills it), adopts the dead worker's
+committed map task from its commit record, and still produces output
+byte-identical to --workers=1 and to the single-process external run.
+Unlike the whole-process crash cases, the job itself must *succeed* in
+one go — worker death is recoverable, not fatal.
+
 Usage:
     crash_harness.py --exe build/examples/csv_dedup --work-dir /tmp/ch
 """
@@ -37,6 +46,11 @@ STRATEGIES = ("Basic", "BlockSplit", "PairRange")
 # Keys whose values legitimately differ between an uninterrupted run and
 # a crash-resumed one: wall-clock noise and the resume counter itself.
 VOLATILE_REPORT_KEYS = {"seconds", "total_seconds", "map_tasks_resumed"}
+
+# Keys only multi-process runs emit; stripped when diffing a report
+# across execution modes (single-process reports never carry them).
+MULTIPROC_REPORT_KEYS = {"multi_process", "worker_processes",
+                         "worker_deaths", "reduce_tasks_resumed"}
 
 # Rows per CSV split in csv_dedup (kSplitRecords); the input must span
 # several splits so a mid-map kill leaves a genuinely partial phase.
@@ -72,12 +86,13 @@ def run_child(exe, args, env_fault=None, cwd=None):
     return proc.returncode, proc.stdout.decode("utf-8", "replace")
 
 
-def strip_volatile(node):
+def strip_volatile(node, extra_keys=frozenset()):
+    drop = VOLATILE_REPORT_KEYS | extra_keys
     if isinstance(node, dict):
-        return {k: strip_volatile(v) for k, v in node.items()
-                if k not in VOLATILE_REPORT_KEYS}
+        return {k: strip_volatile(v, extra_keys) for k, v in node.items()
+                if k not in drop}
     if isinstance(node, list):
-        return [strip_volatile(v) for v in node]
+        return [strip_volatile(v, extra_keys) for v in node]
     return node
 
 
@@ -91,13 +106,17 @@ def load_report(path):
         return json.load(f)
 
 
-def sum_resumed(report):
+def sum_job_key(report, key):
     total = 0
     for stage in report.get("stages", []):
         job = stage.get("job")
         if job:
-            total += job.get("map_tasks_resumed", 0)
+            total += job.get(key, 0)
     return total
+
+
+def sum_resumed(report):
+    return sum_job_key(report, "map_tasks_resumed")
 
 
 class HarnessError(Exception):
@@ -195,6 +214,86 @@ def run_case(exe, work, input_csv, strategy, crash_site, trigger_hit):
     log(f"{label}: OK (resumed {sum_resumed(res_report)} map tasks)")
 
 
+def run_multiprocess_case(exe, work, input_csv, strategy):
+    """Multi-process leg: a SIGKILLed worker mid-map must not change the
+    output, and the job must finish without a rerun."""
+    label = f"{strategy}/multiprocess"
+    case_dir = os.path.join(work, f"{strategy}-multiprocess")
+    os.makedirs(case_dir, exist_ok=True)
+    temp_dir = os.path.join(case_dir, "tmp")
+    os.makedirs(temp_dir, exist_ok=True)
+
+    def args(tag, extra):
+        return [
+            input_csv,
+            os.path.join(case_dir, f"{tag}_matches.csv"),
+            strategy,
+            f"--temp-dir={temp_dir}",
+            f"--plan-out={os.path.join(case_dir, tag + '_plan.json')}",
+            f"--report-json={os.path.join(case_dir, tag + '_report.json')}",
+        ] + extra
+
+    # Single-process external reference, 1-worker degenerate pool, and a
+    # 4-worker pool that loses one worker mid-map: the parent poisons and
+    # SIGKILLs the worker whose third DONE frame it takes (the input
+    # spans ~5 map splits, so hit 3 lands inside the first map phase),
+    # then adopts the dead worker's committed task from its commit
+    # record instead of re-running it.
+    runs = (("ext", ["--execution=external"], None),
+            ("w1", ["--workers=1"], None),
+            ("w4", ["--workers=4"], "worker.result=error@3"))
+    for tag, extra, fault in runs:
+        rc, out = run_child(exe, args(tag, extra), env_fault=fault)
+        check(rc == 0, f"{label}: {tag} run failed (rc={rc}):\n{out}")
+
+    ext_matches = read_bytes(os.path.join(case_dir, "ext_matches.csv"))
+    check(len(ext_matches.splitlines()) > 1,
+          f"{label}: reference found no matches — the input is too easy")
+    for tag in ("w1", "w4"):
+        got = read_bytes(os.path.join(case_dir, f"{tag}_matches.csv"))
+        check(got == ext_matches,
+              f"{label}: {tag} matches differ from single-process external")
+        plan = os.path.join(case_dir, f"{tag}_plan.json")
+        ref_plan = os.path.join(case_dir, "ext_plan.json")
+        check(os.path.exists(plan) == os.path.exists(ref_plan),
+              f"{label}: only one of ext/{tag} serialized a match plan")
+        if os.path.exists(ref_plan):
+            check(read_bytes(plan) == read_bytes(ref_plan),
+                  f"{label}: {tag} match plan differs from the reference")
+
+    # Reports agree across modes once wall-clock noise and the
+    # multi-process-only keys are stripped.
+    ext_report = load_report(os.path.join(case_dir, "ext_report.json"))
+    w1_report = load_report(os.path.join(case_dir, "w1_report.json"))
+    w4_report = load_report(os.path.join(case_dir, "w4_report.json"))
+    stripped = [strip_volatile(copy.deepcopy(r), MULTIPROC_REPORT_KEYS)
+                for r in (ext_report, w1_report, w4_report)]
+    check(stripped[0] == stripped[1],
+          f"{label}: --workers=1 report differs from single-process "
+          "external beyond timings")
+    check(stripped[0] == stripped[2],
+          f"{label}: crashed --workers=4 report differs from the "
+          "reference beyond timings")
+
+    # The worker really died and its committed work was adopted.
+    check(sum_job_key(w4_report, "worker_deaths") >= 1,
+          f"{label}: the worker.result fault killed no worker")
+    check(sum_resumed(w4_report) >= 1,
+          f"{label}: no map task was adopted from the dead worker")
+    check(sum_job_key(w1_report, "worker_deaths") == 0,
+          f"{label}: the unfaulted --workers=1 run reports worker deaths")
+
+    # Job temp roots (including the dead worker's claim subdir) are
+    # cleaned up by the surviving coordinator.
+    leftovers = [d for d in os.listdir(temp_dir)
+                 if d.startswith("erlb-spill-")]
+    check(not leftovers,
+          f"{label}: multi-process job dirs survived: {leftovers}")
+
+    log(f"{label}: OK ({sum_job_key(w4_report, 'worker_deaths')} worker "
+        f"death, {sum_resumed(w4_report)} map task adopted)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--exe", required=True,
@@ -230,6 +329,11 @@ def main():
             except HarnessError as e:
                 failures.append(str(e))
                 log(f"FAIL: {e}")
+        try:
+            run_multiprocess_case(args.exe, work, input_csv, strategy)
+        except HarnessError as e:
+            failures.append(str(e))
+            log(f"FAIL: {e}")
 
     if failures:
         log(f"{len(failures)} case(s) failed")
