@@ -12,6 +12,7 @@
 //    dataset (real multi-threaded matching), for the trajectory.
 //
 // `--json <path>` writes the results as BENCH_*.json (see bench_json.h).
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -22,6 +23,7 @@
 #include "bench_json.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "core/pipeline.h"
 #include "er/blocking.h"
 #include "er/matcher.h"
@@ -187,6 +189,84 @@ void BenchEngine(bench::MicroBench* mb) {
   mb->Speedup("engine/speedup", "engine/function_spec", "engine/typed_spec");
 }
 
+// ---------------------------------------------------------------------
+// Scheduler comparison, two shapes:
+//  * skew: a Fig-9-style map phase — task sizes decay as e^(-s*k) over
+//    many tasks, so the phase has one dominant task and a long tail.
+//    Work stealing must hold the line here (the FIFO pool is already a
+//    dynamic list scheduler; the stealing path must not cost makespan).
+//  * overhead: thousands of near-empty tasks, where the per-task cost is
+//    the scheduler itself — the atomic shard claim against the pool's
+//    mutex + condvar handoff per task.
+// ---------------------------------------------------------------------
+
+void BenchSkewScheduler(bench::MicroBench* mb) {
+  constexpr uint32_t kTasks = 128;
+  std::vector<std::vector<std::pair<int, int>>> input(kTasks);
+  Pcg32 rng(11);
+  for (uint32_t t = 0; t < kTasks; ++t) {
+    // e^(-s*k) sizes with s tuned so the head task is ~20k records and
+    // the tail is single digits — the Figure 9 skew shape.
+    const auto n =
+        static_cast<size_t>(20000.0 * std::exp(-0.08 * t)) + 1;
+    input[t].reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      input[t].push_back({0, static_cast<int>(rng.Next() & 0x7fffffff)});
+    }
+  }
+
+  mr::JobSpec<int, int, int, int, int, int> spec;
+  FillEngineSpec(&spec);
+  spec.num_reduce_tasks = 4;
+  spec.partitioner = [](const int& k, uint32_t r) {
+    return static_cast<uint32_t>(k) % r;
+  };
+  spec.key_less = [](const int& a, const int& b) { return a < b; };
+  spec.group_equal = [](const int& a, const int& b) { return a == b; };
+
+  for (mr::TaskSchedulerKind kind :
+       {mr::TaskSchedulerKind::kFifo, mr::TaskSchedulerKind::kWorkStealing}) {
+    mr::ExecutionOptions options;
+    options.scheduler = kind;
+    mr::JobRunner runner(4, options);
+    mb->Run(std::string("skew/") + mr::TaskSchedulerKindName(kind),
+            [&runner, &spec, &input] {
+              auto result = runner.Run(spec, input);
+              ERLB_CHECK(result.status.ok());
+              g_sink = g_sink +
+                       static_cast<uint64_t>(
+                           result.metrics.TotalMapOutputPairs());
+            });
+  }
+  mb->Speedup("skew/work_stealing_vs_fifo", "skew/fifo",
+              "skew/work_stealing");
+}
+
+void BenchSchedulerOverhead(bench::MicroBench* mb) {
+  constexpr uint32_t kTasks = 8192;
+  std::vector<uint32_t> indices(kTasks);
+  for (uint32_t t = 0; t < kTasks; ++t) indices[t] = t;
+  std::vector<uint8_t> touched(kTasks, 0);
+  ThreadPool pool(4);
+
+  mb->Run("scheduler_overhead/fifo_pool", [&pool, &indices, &touched] {
+    for (uint32_t t : indices) {
+      pool.Submit([&touched, t] { touched[t] = 1; });
+    }
+    pool.Wait();
+    g_sink = g_sink + touched[kTasks - 1];
+  });
+  mb->Run("scheduler_overhead/work_stealing",
+          [&pool, &indices, &touched] {
+            mr::WorkStealingScheduler scheduler(indices, 4);
+            scheduler.Run(&pool,
+                          [&touched](uint32_t t) { touched[t] = 1; });
+            g_sink = g_sink + touched[kTasks - 1];
+          });
+  mb->Speedup("scheduler_overhead/speedup", "scheduler_overhead/fifo_pool",
+              "scheduler_overhead/work_stealing");
+}
+
 void BenchPipeline(bench::MicroBench* mb) {
   gen::ProductConfig cfg;
   cfg.num_entities = 2000;
@@ -219,6 +299,8 @@ int main(int argc, char** argv) {
   if (!mb.ParseArgs(argc, argv)) return 1;
   BenchShuffle(&mb);
   BenchEngine(&mb);
+  BenchSkewScheduler(&mb);
+  BenchSchedulerOverhead(&mb);
   BenchPipeline(&mb);
   return mb.Finish();
 }

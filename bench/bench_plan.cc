@@ -4,6 +4,7 @@
 // harness; `--json BENCH_plan.json` emits the machine-readable baseline.
 //
 //   $ ./bench_plan [--json <path>] [--reps N] [--min-rep-ms N]
+#include <map>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "bench_json.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/string_util.h"
 #include "er/blocking.h"
 #include "gen/skew_gen.h"
 #include "lb/plan_io.h"
@@ -92,6 +94,66 @@ int main(int argc, char** argv) {
                   auto parsed = lb::MatchPlanFromJson(json);
                   ERLB_CHECK(parsed.ok());
                 });
+  }
+
+  // ---- Large-sparse case: planning-style scan over >=1M blocks ---------
+  // The win of the CSR-backed BDM: a Basic-style planning pass (hash each
+  // block to its reduce task, accumulate pair totals) over contiguous
+  // arrays with precomputed per-block aggregates, against the same pass
+  // over the map-backed layout the sparse representation replaced.
+  {
+    constexpr uint32_t kBlocks = 1u << 20;  // 1,048,576
+    constexpr uint32_t kM = 32;
+    std::vector<bdm::BdmTriple> triples;
+    triples.reserve(kBlocks * 2);
+    for (uint32_t b = 0; b < kBlocks; ++b) {
+      bdm::BdmTriple t;
+      t.block_key = "b" + std::to_string(b);
+      const uint32_t nonzeros = 1 + b % 3;
+      for (uint32_t c = 0; c < nonzeros; ++c) {
+        t.partition = (b * 7 + c * 11) % kM;
+        t.count = 1 + (b + c) % 5;
+        triples.push_back(t);
+      }
+    }
+    auto sparse = bdm::Bdm::FromTriples(triples, kM);
+    ERLB_CHECK(sparse.ok());
+
+    // The previous representation, rebuilt verbatim: one map node per
+    // block, cells in a per-block vector.
+    std::map<std::string, std::vector<bdm::BdmCell>> map_backed;
+    for (const auto& t : triples) {
+      map_backed[t.block_key].push_back(bdm::BdmCell{t.partition, t.count});
+    }
+
+    std::vector<uint64_t> pairs_per_task(r);
+    harness.Run("plan_scan_1m/map_backed", [&map_backed, &pairs_per_task] {
+      std::fill(pairs_per_task.begin(), pairs_per_task.end(), 0);
+      for (const auto& [key, cells] : map_backed) {
+        uint64_t n = 0;
+        for (const bdm::BdmCell& cell : cells) n += cell.count;
+        pairs_per_task[Fnv1a64(key) % pairs_per_task.size()] +=
+            n * (n - 1) / 2;
+      }
+      ERLB_CHECK(!pairs_per_task.empty());
+    });
+    harness.Run("plan_scan_1m/block_view", [&sparse, &pairs_per_task] {
+      std::fill(pairs_per_task.begin(), pairs_per_task.end(), 0);
+      sparse->ForEachBlock([&](const bdm::Bdm::BlockView& block) {
+        pairs_per_task[Fnv1a64(block.key()) % pairs_per_task.size()] +=
+            block.pairs();
+      });
+      ERLB_CHECK(!pairs_per_task.empty());
+    });
+    harness.Speedup("plan_scan_1m/speedup", "plan_scan_1m/map_backed",
+                    "plan_scan_1m/block_view");
+
+    // A real BuildPlan at the same scale (Basic hashes every block).
+    auto basic = lb::MakeStrategy(lb::StrategyKind::kBasic);
+    harness.Run("build_plan_1m/Basic", [&basic, &sparse, &options] {
+      auto plan = basic->BuildPlan(*sparse, options);
+      ERLB_CHECK(plan.ok());
+    });
   }
 
   return harness.Finish();

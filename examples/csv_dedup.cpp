@@ -129,7 +129,9 @@ bool ParseCli(int argc, char** argv, Cli* cli) {
         }
         auto parsed = lb::StrategyKindFromName(std::string(arg));
         if (!parsed.ok()) {
-          std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+          std::fprintf(stderr, "%s\nusage: strategy is %s, or auto\n",
+                       parsed.status().ToString().c_str(),
+                       lb::JoinStrategyKindNames("|").c_str());
           return false;
         }
         cli->strategy = *parsed;

@@ -30,7 +30,10 @@ int main(int argc, char** argv) {
   if (argc > 1) {
     auto parsed = lb::StrategyKindFromName(argv[1]);
     if (!parsed.ok()) {
-      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      std::fprintf(stderr,
+                   "%s\nusage: plan_inspect [%s] [skew] [r] [plan.json]\n",
+                   parsed.status().ToString().c_str(),
+                   lb::JoinStrategyKindNames("|").c_str());
       return 1;
     }
     kind = *parsed;

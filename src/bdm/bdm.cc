@@ -1,43 +1,70 @@
 #include "bdm/bdm.h"
 
 #include <algorithm>
-#include <map>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace erlb {
 namespace bdm {
 
+namespace {
+
+/// One aggregated (key, partition, count) entry during construction; the
+/// key borrows from the caller's triples/keys, so entries are cheap to
+/// sort even with millions of blocks.
+struct CellEntry {
+  std::string_view key;
+  uint32_t partition = 0;
+  uint64_t count = 0;
+};
+
+}  // namespace
+
 Result<Bdm> Bdm::FromTriples(const std::vector<BdmTriple>& triples,
                              uint32_t num_partitions) {
   if (num_partitions == 0) {
     return Status::InvalidArgument("num_partitions must be >= 1");
   }
-  Bdm bdm;
-  bdm.num_partitions_ = num_partitions;
-  std::map<std::string, std::map<uint32_t, uint64_t>> table;
+  std::vector<CellEntry> entries;
+  entries.reserve(triples.size());
   for (const auto& t : triples) {
     if (t.partition >= num_partitions) {
       return Status::OutOfRange("triple partition " +
                                 std::to_string(t.partition) +
                                 " >= m=" + std::to_string(num_partitions));
     }
-    auto [it, inserted] = table[t.block_key].emplace(t.partition, t.count);
-    if (!inserted) {
+    entries.push_back(CellEntry{t.block_key, t.partition, t.count});
+  }
+  // Sorting by (key, partition) yields the lexicographic block order the
+  // paper derives from Job 1's sorted reduce output, and makes duplicate
+  // (block, partition) triples adjacent.
+  std::sort(entries.begin(), entries.end(),
+            [](const CellEntry& a, const CellEntry& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.partition < b.partition;
+            });
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].key == entries[i - 1].key &&
+        entries[i].partition == entries[i - 1].partition) {
       return Status::AlreadyExists("duplicate triple for block '" +
-                                   t.block_key + "' partition " +
-                                   std::to_string(t.partition));
+                                   std::string(entries[i].key) +
+                                   "' partition " +
+                                   std::to_string(entries[i].partition));
     }
   }
-  bdm.block_keys_.reserve(table.size());
-  bdm.counts_.reserve(table.size());
-  for (const auto& [key, per_part] : table) {  // std::map: sorted keys
-    std::vector<uint64_t> row(num_partitions, 0);
-    for (const auto& [p, c] : per_part) row[p] = c;
-    bdm.key_to_index_.emplace(key,
-                              static_cast<uint32_t>(bdm.block_keys_.size()));
-    bdm.block_keys_.push_back(key);
-    bdm.counts_.push_back(std::move(row));
+
+  Bdm bdm;
+  bdm.num_partitions_ = num_partitions;
+  bdm.cells_.reserve(entries.size());
+  bdm.cell_offsets_.push_back(0);
+  for (const auto& e : entries) {
+    if (bdm.block_keys_.empty() || bdm.block_keys_.back() != e.key) {
+      bdm.cell_offsets_.push_back(bdm.cells_.size());
+      bdm.block_keys_.emplace_back(e.key);
+    }
+    bdm.cells_.push_back(BdmCell{e.partition, e.count});
+    bdm.cell_offsets_.back() = bdm.cells_.size();
   }
   bdm.BuildDerived();
   return bdm;
@@ -74,28 +101,33 @@ Result<Bdm> Bdm::FromKeys(
   if (keys_per_partition.empty()) {
     return Status::InvalidArgument("need at least one partition");
   }
-  std::map<std::string, std::map<uint32_t, uint64_t>> table;
-  for (uint32_t p = 0; p < keys_per_partition.size(); ++p) {
-    for (const auto& key : keys_per_partition[p]) {
-      table[key][p] += 1;
-    }
+  if (partition_sources != nullptr &&
+      partition_sources->size() != keys_per_partition.size()) {
+    return Status::InvalidArgument(
+        "partition_sources size must equal number of partitions");
   }
+  // Aggregate each partition by sorting its keys and run-length encoding;
+  // duplicates cannot arise by construction, so this feeds FromTriples'
+  // sort directly.
   std::vector<BdmTriple> triples;
-  for (const auto& [key, per_part] : table) {
-    for (const auto& [p, c] : per_part) {
+  std::vector<std::string_view> sorted;
+  for (uint32_t p = 0; p < keys_per_partition.size(); ++p) {
+    sorted.assign(keys_per_partition[p].begin(),
+                  keys_per_partition[p].end());
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = 0; i < sorted.size();) {
+      size_t j = i + 1;
+      while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
       BdmTriple t;
-      t.block_key = key;
+      t.block_key = std::string(sorted[i]);
       t.partition = p;
-      t.count = c;
+      t.count = j - i;
       t.source = partition_sources ? (*partition_sources)[p] : er::Source::kR;
       triples.push_back(std::move(t));
+      i = j;
     }
   }
   if (partition_sources != nullptr) {
-    if (partition_sources->size() != keys_per_partition.size()) {
-      return Status::InvalidArgument(
-          "partition_sources size must equal number of partitions");
-    }
     return FromTriplesTwoSource(triples, *partition_sources);
   }
   return FromTriples(triples,
@@ -107,41 +139,50 @@ void Bdm::BuildDerived() {
   block_sizes_.assign(b, 0);
   block_sizes_r_.assign(b, 0);
   block_sizes_s_.assign(b, 0);
+  pair_offsets_.assign(b + 1, 0);
+  total_entities_ = 0;
   for (uint32_t k = 0; k < b; ++k) {
-    for (uint32_t p = 0; p < num_partitions_; ++p) {
-      uint64_t c = counts_[k][p];
-      block_sizes_[k] += c;
+    for (size_t i = cell_offsets_[k]; i < cell_offsets_[k + 1]; ++i) {
+      const BdmCell& cell = cells_[i];
+      block_sizes_[k] += cell.count;
       if (two_source()) {
-        if (partition_sources_[p] == er::Source::kR) {
-          block_sizes_r_[k] += c;
+        if (partition_sources_[cell.partition] == er::Source::kR) {
+          block_sizes_r_[k] += cell.count;
         } else {
-          block_sizes_s_[k] += c;
+          block_sizes_s_[k] += cell.count;
         }
       }
     }
     if (!two_source()) block_sizes_r_[k] = block_sizes_[k];
-  }
-  pair_offsets_.assign(b + 1, 0);
-  for (uint32_t k = 0; k < b; ++k) {
+    total_entities_ += block_sizes_[k];
     pair_offsets_[k + 1] = pair_offsets_[k] + PairsInBlock(k);
   }
 }
 
 Result<uint32_t> Bdm::BlockIndex(std::string_view key) const {
-  auto it = key_to_index_.find(std::string(key));
-  if (it == key_to_index_.end()) {
+  auto it = std::lower_bound(block_keys_.begin(), block_keys_.end(), key,
+                             [](const std::string& a, std::string_view b) {
+                               return a < b;
+                             });
+  if (it == block_keys_.end() || *it != key) {
     return Status::NotFound("no block for key '" + std::string(key) + "'");
   }
-  return it->second;
+  return static_cast<uint32_t>(it - block_keys_.begin());
 }
 
 bool Bdm::HasBlock(std::string_view key) const {
-  return key_to_index_.count(std::string(key)) > 0;
+  return std::binary_search(block_keys_.begin(), block_keys_.end(), key,
+                            [](std::string_view a, std::string_view b) {
+                              return a < b;
+                            });
 }
 
-const std::string& Bdm::BlockKey(uint32_t k) const {
-  ERLB_CHECK(k < num_blocks());
-  return block_keys_[k];
+Result<std::string_view> Bdm::BlockKeyChecked(uint32_t k) const {
+  if (k >= num_blocks()) {
+    return Status::OutOfRange("block index " + std::to_string(k) +
+                              " >= b=" + std::to_string(num_blocks()));
+  }
+  return std::string_view(block_keys_[k]);
 }
 
 uint64_t Bdm::Size(uint32_t k) const {
@@ -152,7 +193,13 @@ uint64_t Bdm::Size(uint32_t k) const {
 uint64_t Bdm::Size(uint32_t k, uint32_t p) const {
   ERLB_CHECK(k < num_blocks());
   ERLB_CHECK(p < num_partitions_);
-  return counts_[k][p];
+  auto begin = cells_.begin() + static_cast<ptrdiff_t>(cell_offsets_[k]);
+  auto end = cells_.begin() + static_cast<ptrdiff_t>(cell_offsets_[k + 1]);
+  auto it = std::lower_bound(begin, end, p,
+                             [](const BdmCell& cell, uint32_t partition) {
+                               return cell.partition < partition;
+                             });
+  return (it != end && it->partition == p) ? it->count : 0;
 }
 
 uint64_t Bdm::SizeOfSource(uint32_t k, er::Source src) const {
@@ -164,11 +211,14 @@ uint64_t Bdm::EntityIndexOffset(uint32_t k, uint32_t p) const {
   ERLB_CHECK(k < num_blocks());
   ERLB_CHECK(p < num_partitions_);
   uint64_t off = 0;
-  for (uint32_t q = 0; q < p; ++q) {
-    if (two_source() && partition_sources_[q] != partition_sources_[p]) {
+  for (size_t i = cell_offsets_[k]; i < cell_offsets_[k + 1]; ++i) {
+    const BdmCell& cell = cells_[i];
+    if (cell.partition >= p) break;
+    if (two_source() &&
+        partition_sources_[cell.partition] != partition_sources_[p]) {
       continue;  // entity enumeration is per source
     }
-    off += counts_[k][q];
+    off += cell.count;
   }
   return off;
 }
@@ -178,10 +228,14 @@ std::vector<std::vector<uint64_t>> Bdm::BuildEntityIndexOffsets() const {
       num_blocks(), std::vector<uint64_t>(num_partitions_, 0));
   for (uint32_t k = 0; k < num_blocks(); ++k) {
     uint64_t run_r = 0, run_s = 0;
+    size_t cell = cell_offsets_[k];
     for (uint32_t p = 0; p < num_partitions_; ++p) {
       bool is_s = two_source() && partition_sources_[p] == er::Source::kS;
       offsets[k][p] = is_s ? run_s : run_r;
-      (is_s ? run_s : run_r) += counts_[k][p];
+      if (cell < cell_offsets_[k + 1] && cells_[cell].partition == p) {
+        (is_s ? run_s : run_r) += cells_[cell].count;
+        ++cell;
+      }
     }
   }
   return offsets;
@@ -203,12 +257,6 @@ uint64_t Bdm::PairOffset(uint32_t k) const {
 
 uint64_t Bdm::TotalPairs() const { return pair_offsets_[num_blocks()]; }
 
-uint64_t Bdm::TotalEntities() const {
-  uint64_t n = 0;
-  for (uint64_t s : block_sizes_) n += s;
-  return n;
-}
-
 er::Source Bdm::PartitionSource(uint32_t p) const {
   ERLB_CHECK(two_source());
   ERLB_CHECK(p < num_partitions_);
@@ -226,14 +274,15 @@ uint32_t Bdm::LargestBlock() const {
 
 std::vector<BdmTriple> Bdm::ToTriples() const {
   std::vector<BdmTriple> out;
+  out.reserve(cells_.size());
   for (uint32_t k = 0; k < num_blocks(); ++k) {
-    for (uint32_t p = 0; p < num_partitions_; ++p) {
-      if (counts_[k][p] == 0) continue;
+    for (size_t i = cell_offsets_[k]; i < cell_offsets_[k + 1]; ++i) {
       BdmTriple t;
       t.block_key = block_keys_[k];
-      t.partition = p;
-      t.count = counts_[k][p];
-      t.source = two_source() ? partition_sources_[p] : er::Source::kR;
+      t.partition = cells_[i].partition;
+      t.count = cells_[i].count;
+      t.source =
+          two_source() ? partition_sources_[cells_[i].partition] : er::Source::kR;
       out.push_back(std::move(t));
     }
   }

@@ -3,15 +3,25 @@
 // each of the m input partitions; both load balancing strategies plan from
 // it. Supports the one-source (deduplication) and two-source (record
 // linkage, Appendix I) cases.
+//
+// Representation: the matrix is sparse (most blocks occur in few
+// partitions), so it is stored compressed — a sorted block-key dictionary
+// plus CSR count arrays (`cell_offsets_` rows over the `cells_` nonzero
+// (partition, count) array). Planning code reads it through the
+// traversal-first BlockView/ForEachBlock API below, which walks the CSR
+// arrays in one cache-friendly pass; the per-element getters (Size,
+// EntityIndexOffset, ...) remain as compatibility shims over the same
+// arrays.
 #ifndef ERLB_BDM_BDM_H_
 #define ERLB_BDM_BDM_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/result.h"
 #include "er/entity.h"
 
@@ -29,6 +39,14 @@ struct BdmTriple {
   friend bool operator==(const BdmTriple&, const BdmTriple&) = default;
 };
 
+/// One nonzero BDM cell: `count` entities of some block in `partition`.
+struct BdmCell {
+  uint32_t partition = 0;
+  uint64_t count = 0;
+
+  friend bool operator==(const BdmCell&, const BdmCell&) = default;
+};
+
 /// The block distribution matrix.
 ///
 /// Blocks are indexed 0..b-1 in lexicographic blocking-key order — the
@@ -39,6 +57,43 @@ struct BdmTriple {
 /// C(|Φk|, 2).
 class Bdm {
  public:
+  /// A read-only view of one BDM row — everything the planners need for
+  /// block k without touching any other row. `cells()` are the nonzero
+  /// (partition, count) entries in ascending partition order; sizes and
+  /// pair counts are the precomputed per-block aggregates. Views are cheap
+  /// value types borrowing from the Bdm; they must not outlive it.
+  class BlockView {
+   public:
+    uint32_t index() const { return index_; }
+    /// The blocking key.
+    std::string_view key() const { return bdm_->block_keys_[index_]; }
+    /// Nonzero cells of the row, ascending by partition.
+    std::span<const BdmCell> cells() const {
+      return std::span<const BdmCell>(
+          bdm_->cells_.data() + bdm_->cell_offsets_[index_],
+          bdm_->cell_offsets_[index_ + 1] - bdm_->cell_offsets_[index_]);
+    }
+    /// |Φk|: total entities (both sources in two-source mode).
+    uint64_t size() const { return bdm_->block_sizes_[index_]; }
+    /// |Φk,R| (= size() in one-source mode).
+    uint64_t size_r() const { return bdm_->block_sizes_r_[index_]; }
+    /// |Φk,S| (0 in one-source mode).
+    uint64_t size_s() const { return bdm_->block_sizes_s_[index_]; }
+    /// Comparisons of the block: C(|Φk|,2) or |Φk,R|·|Φk,S|.
+    uint64_t pairs() const {
+      return bdm_->pair_offsets_[index_ + 1] - bdm_->pair_offsets_[index_];
+    }
+    /// o(k): total pairs in blocks 0..k-1.
+    uint64_t pair_offset() const { return bdm_->pair_offsets_[index_]; }
+
+   private:
+    friend class Bdm;
+    BlockView(const Bdm* bdm, uint32_t index) : bdm_(bdm), index_(index) {}
+
+    const Bdm* bdm_;
+    uint32_t index_;
+  };
+
   /// Constructs an empty BDM (0 blocks, 0 partitions); assign a factory
   /// result before use.
   Bdm() = default;
@@ -69,17 +124,38 @@ class Bdm {
   }
   uint32_t num_partitions() const { return num_partitions_; }
 
-  /// Index of `key`, or NotFound. O(1) average.
+  /// View of block `k`; the planners' one-stop read surface.
+  BlockView view(uint32_t k) const {
+    ERLB_DCHECK(k < num_blocks());
+    return BlockView(this, k);
+  }
+
+  /// Calls `fn(BlockView)` for blocks 0..b-1 in index (= sorted key)
+  /// order — one sequential pass over the CSR arrays.
+  template <typename Fn>
+  void ForEachBlock(Fn&& fn) const {
+    for (uint32_t k = 0; k < num_blocks(); ++k) fn(BlockView(this, k));
+  }
+
+  /// Index of `key`, or NotFound. O(log b) over the sorted dictionary.
   [[nodiscard]] Result<uint32_t> BlockIndex(std::string_view key) const;
   /// True iff `key` occurs in the input.
   bool HasBlock(std::string_view key) const;
 
-  /// Blocking key of block `k`.
-  const std::string& BlockKey(uint32_t k) const;
+  /// Blocking key of block `k`. Requires k < num_blocks() (debug-checked);
+  /// use BlockKeyChecked for untrusted indices.
+  const std::string& BlockKey(uint32_t k) const {
+    ERLB_DCHECK(k < num_blocks());
+    return block_keys_[k];
+  }
+
+  /// Bounds-checked BlockKey for untrusted indices (e.g. block numbers
+  /// read back from serialized plans): OutOfRange instead of UB.
+  [[nodiscard]] Result<std::string_view> BlockKeyChecked(uint32_t k) const;
 
   /// |Φk|: total entities of block `k` (both sources in two-source mode).
   uint64_t Size(uint32_t k) const;
-  /// Number of entities of block `k` in partition `p`.
+  /// Number of entities of block `k` in partition `p`. O(log nnz(k)).
   uint64_t Size(uint32_t k, uint32_t p) const;
   /// |Φk,src| (two-source mode; in one-source mode source kR = Size(k)).
   uint64_t SizeOfSource(uint32_t k, er::Source src) const;
@@ -90,8 +166,9 @@ class Bdm {
   /// as partition `p` are counted (entity enumeration is per source).
   uint64_t EntityIndexOffset(uint32_t k, uint32_t p) const;
 
-  /// Builds the full b×m matrix of EntityIndexOffset values in O(b·m)
-  /// (running per-source sums), for map tasks that need one column each.
+  /// Builds the full b×m matrix of EntityIndexOffset values (running
+  /// per-source sums over the nonzero cells), for map tasks that need one
+  /// column each.
   std::vector<std::vector<uint64_t>> BuildEntityIndexOffsets() const;
 
   /// Comparisons of block `k`: C(|Φk|,2) one-source, |Φk,R|·|Φk,S|
@@ -105,7 +182,7 @@ class Bdm {
   uint64_t TotalPairs() const;
 
   /// Total entities.
-  uint64_t TotalEntities() const;
+  uint64_t TotalEntities() const { return total_entities_; }
 
   /// Source of input partition `p` (two-source mode only).
   er::Source PartitionSource(uint32_t p) const;
@@ -124,15 +201,18 @@ class Bdm {
   void BuildDerived();
 
   uint32_t num_partitions_ = 0;
-  std::vector<std::string> block_keys_;                // b, sorted
-  std::unordered_map<std::string, uint32_t> key_to_index_;
-  std::vector<std::vector<uint64_t>> counts_;          // b × m
+  std::vector<std::string> block_keys_;  // b, sorted (the dictionary)
+  // CSR: row k's nonzero cells are cells_[cell_offsets_[k] ..
+  // cell_offsets_[k+1]), ascending by partition.
+  std::vector<size_t> cell_offsets_;     // b+1
+  std::vector<BdmCell> cells_;
   std::vector<er::Source> partition_sources_;          // empty = one source
   // Derived:
   std::vector<uint64_t> block_sizes_;                  // Σ_p counts[k][p]
   std::vector<uint64_t> block_sizes_r_;                // two-source only
   std::vector<uint64_t> block_sizes_s_;
   std::vector<uint64_t> pair_offsets_;                 // b+1 prefix sums
+  uint64_t total_entities_ = 0;
 };
 
 }  // namespace bdm

@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "er/entity_spill.h"
+#include "mr/presplit.h"
 
 namespace erlb {
 namespace bdm {
@@ -158,9 +159,20 @@ Result<BdmJobOutput> RunBdmJob(const er::Partitions& input,
 
   auto side = std::make_shared<AnnotatedStore>(m);
 
+  uint32_t num_reduce_tasks = options.num_reduce_tasks;
+  if (num_reduce_tasks == 0) {
+    // Auto: Metis-style sampling presplit — key a strided sample of the
+    // input and size r from the estimated distinct-block count. Safe
+    // here because the BDM result is independent of r.
+    const mr::PresplitSample sample = mr::SamplePartitionKeys(
+        input,
+        [&blocking](const er::EntityRef& e) { return blocking.Key(*e); });
+    num_reduce_tasks = mr::PickReduceTasks(sample, runner.num_workers());
+  }
+
   mr::JobSpec<uint32_t, er::EntityRef, BdmKey, uint64_t, uint32_t, BdmTriple>
       spec;
-  spec.num_reduce_tasks = options.num_reduce_tasks;
+  spec.num_reduce_tasks = num_reduce_tasks;
   const auto& opts = options;
   spec.mapper_factory = [&blocking, side, &opts,
                          two_source](const mr::TaskContext& ctx) {

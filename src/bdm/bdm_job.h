@@ -32,7 +32,9 @@ enum class MissingKeyPolicy {
 /// Options for the BDM job.
 struct BdmJobOptions {
   /// r for Job 1. The paper uses the same cluster configuration for both
-  /// jobs; the BDM result is independent of this value.
+  /// jobs; the BDM result is independent of this value. 0 means auto:
+  /// a sampling presplitter (mr/presplit.h) keys a strided sample of the
+  /// input and sizes r from the estimated distinct-block count.
   uint32_t num_reduce_tasks = 1;
   /// Aggregate per-block counts map-side ("a combine function ... might be
   /// employed as an optimization", Section III-B footnote).

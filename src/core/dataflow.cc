@@ -173,6 +173,14 @@ Result<DataflowReport> Dataflow::Run() {
   // exit path below, since all spill files live inside it.
   ThreadPool pool(options_.EffectiveWorkers());
   mr::ExecutionOptions execution = options_.execution;
+  if (execution.mode == mr::ExecutionMode::kMultiProcess &&
+      execution.num_worker_processes == 0) {
+    // The WorkerProcesses(0) builder shorthand means "as many processes
+    // as worker threads"; resolve it here because JobRunner::Run rejects
+    // the ambiguous zero outright.
+    execution.num_worker_processes =
+        static_cast<uint32_t>(options_.EffectiveWorkers());
+  }
   std::optional<ScopedTempDir> spill_dir;
   if (execution.mode != mr::ExecutionMode::kInMemory) {
     // Reclaim spill roots orphaned by earlier processes that died before

@@ -88,6 +88,7 @@ class EntitySourceStage : public Stage {
 /// Options of a BdmStage — BdmJobOptions minus the partition sources,
 /// which travel with the PartitionedEntities dataset.
 struct BdmStageOptions {
+  /// 0 = auto: the sampling presplitter picks r from the input.
   uint32_t num_reduce_tasks = 1;
   bool use_combiner = true;
   bdm::MissingKeyPolicy missing_key_policy = bdm::MissingKeyPolicy::kError;

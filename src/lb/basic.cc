@@ -145,17 +145,17 @@ Result<MatchPlan> BasicStrategy::BuildPlan(
   stats.input_records_per_reduce_task.assign(r, 0);
   BasicPlanBody body;
   body.reduce_task_of_block.resize(bdm.num_blocks());
-  for (uint32_t k = 0; k < bdm.num_blocks(); ++k) {
-    uint32_t t = static_cast<uint32_t>(Fnv1a64(bdm.BlockKey(k)) % r);
-    body.reduce_task_of_block[k] = t;
-    stats.comparisons_per_reduce_task[t] += bdm.PairsInBlock(k);
-    stats.total_comparisons += bdm.PairsInBlock(k);
-    stats.input_records_per_reduce_task[t] += bdm.Size(k);
+  bdm.ForEachBlock([&](const bdm::Bdm::BlockView& block) {
+    uint32_t t = static_cast<uint32_t>(Fnv1a64(block.key()) % r);
+    body.reduce_task_of_block[block.index()] = t;
+    stats.comparisons_per_reduce_task[t] += block.pairs();
+    stats.total_comparisons += block.pairs();
+    stats.input_records_per_reduce_task[t] += block.size();
     // Basic replicates nothing: one KV pair per entity.
-    for (uint32_t p = 0; p < bdm.num_partitions(); ++p) {
-      stats.map_output_pairs_per_task[p] += bdm.Size(k, p);
+    for (const bdm::BdmCell& cell : block.cells()) {
+      stats.map_output_pairs_per_task[cell.partition] += cell.count;
     }
-  }
+  });
   return MatchPlan(StrategyKind::kBasic, options, BdmFingerprint::Of(bdm),
                    std::move(stats), std::move(body));
 }

@@ -199,18 +199,17 @@ Result<MatchPlan> BlockSplitStrategy::BuildPlan(
     stats.input_records_per_reduce_task[task.reduce_task] += recs;
   }
   stats.map_output_pairs_per_task.assign(bdm.num_partitions(), 0);
-  for (uint32_t k = 0; k < bdm.num_blocks(); ++k) {
-    for (uint32_t p = 0; p < bdm.num_partitions(); ++p) {
-      if (bdm.Size(k, p) == 0) continue;
+  bdm.ForEachBlock([&](const bdm::Bdm::BlockView& block) {
+    for (const bdm::BdmCell& cell : block.cells()) {
       for (uint32_t c = 0; c < sub; ++c) {
-        uint32_t v = p * sub + c;
-        uint64_t n = BlockSplitPlan::VirtualPartitionSize(bdm, k, v, sub);
+        uint32_t v = cell.partition * sub + c;
+        uint64_t n = cell.count * (c + 1) / sub - cell.count * c / sub;
         if (n == 0) continue;
-        stats.map_output_pairs_per_task[p] +=
-            n * plan.EmissionsPerEntity(k, v);
+        stats.map_output_pairs_per_task[cell.partition] +=
+            n * plan.EmissionsPerEntity(block.index(), v);
       }
     }
-  }
+  });
   return MatchPlan(StrategyKind::kBlockSplit, options,
                    BdmFingerprint::Of(bdm), std::move(stats),
                    BlockSplitPlanBody{std::move(plan)});

@@ -32,7 +32,6 @@ Result<BlockSplitPlan> BlockSplitPlan::Build(const bdm::Bdm& bdm,
   }
   const uint32_t b = bdm.num_blocks();
   const uint32_t m = bdm.num_partitions();
-  const uint32_t mv = m * sub_splits;  // virtual partitions
   const bool dual = bdm.two_source();
 
   BlockSplitPlan plan;
@@ -44,13 +43,21 @@ Result<BlockSplitPlan> BlockSplitPlan::Build(const bdm::Bdm& bdm,
   const uint64_t total = bdm.TotalPairs();
   plan.avg_ = total / r;
 
-  auto vsize = [&bdm, sub_splits](uint32_t k, uint32_t v) {
-    return VirtualPartitionSize(bdm, k, v, sub_splits);
+  // Chunk c of a partition holding n block entities gets
+  // ⌊n·(c+1)/S⌋ − ⌊n·c/S⌋ of them (VirtualPartitionSize over a cell).
+  auto chunk_size = [sub_splits](uint64_t n, uint32_t c) {
+    return n * (c + 1) / sub_splits - n * c / sub_splits;
   };
 
   // ---- Match task creation (Algorithm 1, map_configure) ----------------
-  for (uint32_t k = 0; k < b; ++k) {
-    const uint64_t comps = bdm.PairsInBlock(k);
+  // One traversal pass: each split block's non-empty virtual partitions
+  // are enumerated from its nonzero cells (ascending partition, then
+  // chunk — i.e. ascending virtual partition, matching the dense scan
+  // order "our implementation ignores unnecessary partitions" implies).
+  std::vector<std::pair<uint32_t, uint64_t>> vparts;  // (v, |v|), scratch
+  bdm.ForEachBlock([&](const bdm::Bdm::BlockView& block) {
+    const uint32_t k = block.index();
+    const uint64_t comps = block.pairs();
     plan.block_comparisons_[k] = comps;
     if (comps <= plan.avg_) {
       // Whole block in a single match task k.* — except zero-comparison
@@ -58,44 +65,43 @@ Result<BlockSplitPlan> BlockSplitPlan::Build(const bdm::Bdm& bdm,
       if (comps > 0) {
         plan.tasks_.push_back(MatchTask{k, 0, 0, comps, 0});
       }
-      continue;
+      return;
     }
     plan.split_[k] = true;
+    vparts.clear();
+    for (const bdm::BdmCell& cell : block.cells()) {
+      for (uint32_t c = 0; c < sub_splits; ++c) {
+        const uint64_t n = chunk_size(cell.count, c);
+        if (n > 0) vparts.emplace_back(cell.partition * sub_splits + c, n);
+      }
+    }
     if (!dual) {
       // m·S sub-blocks along the (chunked) input partitions; self tasks
-      // k.i and cross tasks k.i×j for non-empty sub-blocks ("our
-      // implementation ignores unnecessary partitions").
-      for (uint32_t i = 0; i < mv; ++i) {
-        const uint64_t ni = vsize(k, i);
-        if (ni == 0) continue;
-        for (uint32_t j = 0; j <= i; ++j) {
-          const uint64_t nj = vsize(k, j);
-          if (nj == 0) continue;
-          uint64_t c =
-              (i == j) ? ni * (ni - 1) / 2 : ni * nj;
+      // k.i and cross tasks k.i×j for non-empty sub-blocks.
+      for (size_t a = 0; a < vparts.size(); ++a) {
+        const auto [i, ni] = vparts[a];
+        for (size_t bb = 0; bb <= a; ++bb) {
+          const auto [j, nj] = vparts[bb];
+          uint64_t c = (i == j) ? ni * (ni - 1) / 2 : ni * nj;
           plan.tasks_.push_back(MatchTask{k, i, j, c, 0});
         }
       }
     } else {
       // Two sources (Appendix I-A): only cross tasks k.i×j with
       // Πi ∈ R and Πj ∈ S.
-      for (uint32_t i = 0; i < mv; ++i) {
+      for (const auto& [i, ni] : vparts) {
         if (bdm.PartitionSource(i / sub_splits) != er::Source::kR) {
           continue;
         }
-        const uint64_t ni = vsize(k, i);
-        if (ni == 0) continue;
-        for (uint32_t j = 0; j < mv; ++j) {
+        for (const auto& [j, nj] : vparts) {
           if (bdm.PartitionSource(j / sub_splits) != er::Source::kS) {
             continue;
           }
-          const uint64_t nj = vsize(k, j);
-          if (nj == 0) continue;
           plan.tasks_.push_back(MatchTask{k, i, j, ni * nj, 0});
         }
       }
     }
-  }
+  });
 
   // ---- Reduce task assignment ------------------------------------------
   switch (assignment) {

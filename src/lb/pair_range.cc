@@ -220,42 +220,43 @@ Result<MatchPlan> PairRangeStrategy::BuildPlan(
     stats.comparisons_per_reduce_task[t] = RangeSize(t, total, r);
   }
 
-  // Exact per-map-task emission counts: walk every (block, partition)
-  // cell and accumulate |relevant ranges| over its entity index interval.
-  // Each emission is also one shuffle record into its range's reduce task.
+  // Exact per-map-task emission counts: walk every nonzero (block,
+  // partition) cell and accumulate |relevant ranges| over its entity
+  // index interval. Each emission is also one shuffle record into its
+  // range's reduce task. The per-cell entity index offsets are running
+  // per-source sums within the row (cells arrive in ascending partition
+  // order), so no b×m offset matrix is materialized.
   stats.map_output_pairs_per_task.assign(bdm.num_partitions(), 0);
   stats.input_records_per_reduce_task.assign(r, 0);
-  const auto offsets = bdm.BuildEntityIndexOffsets();
+  const bool dual = bdm.two_source();
   std::vector<uint32_t> scratch;
-  for (uint32_t k = 0; k < bdm.num_blocks(); ++k) {
-    const uint64_t off = bdm.PairOffset(k);
-    const uint64_t n = bdm.Size(k);
-    const uint64_t nr = bdm.two_source()
-                            ? bdm.SizeOfSource(k, er::Source::kR)
-                            : 0;
-    const uint64_t ns = bdm.two_source()
-                            ? bdm.SizeOfSource(k, er::Source::kS)
-                            : 0;
-    for (uint32_t p = 0; p < bdm.num_partitions(); ++p) {
-      const uint64_t count = bdm.Size(k, p);
-      if (count == 0) continue;
-      const uint64_t first = offsets[k][p];
-      for (uint64_t x = first; x < first + count; ++x) {
+  bdm.ForEachBlock([&](const bdm::Bdm::BlockView& block) {
+    const uint64_t off = block.pair_offset();
+    const uint64_t n = block.size();
+    const uint64_t nr = dual ? block.size_r() : 0;
+    const uint64_t ns = dual ? block.size_s() : 0;
+    uint64_t run_r = 0, run_s = 0;
+    for (const bdm::BdmCell& cell : block.cells()) {
+      const bool is_s =
+          dual && bdm.PartitionSource(cell.partition) == er::Source::kS;
+      const uint64_t first = is_s ? run_s : run_r;
+      (is_s ? run_s : run_r) += cell.count;
+      for (uint64_t x = first; x < first + cell.count; ++x) {
         scratch.clear();
-        if (!bdm.two_source()) {
+        if (!dual) {
           RelevantRangesOneSource(x, n, off, total, r, &scratch);
-        } else if (bdm.PartitionSource(p) == er::Source::kR) {
+        } else if (!is_s) {
           RelevantRangesDualR(x, nr, ns, off, total, r, &scratch);
         } else {
           RelevantRangesDualS(x, nr, ns, off, total, r, &scratch);
         }
-        stats.map_output_pairs_per_task[p] += scratch.size();
+        stats.map_output_pairs_per_task[cell.partition] += scratch.size();
         for (uint32_t rho : scratch) {
           stats.input_records_per_reduce_task[rho] += 1;
         }
       }
     }
-  }
+  });
   return MatchPlan(StrategyKind::kPairRange, options,
                    BdmFingerprint::Of(bdm), std::move(stats),
                    std::move(body));

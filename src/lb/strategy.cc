@@ -33,12 +33,19 @@ Result<StrategyKind> StrategyKindFromName(std::string_view name) {
     }
     return true;
   };
-  for (StrategyKind kind : AllStrategies()) {
+  const std::vector<StrategyKind>& kinds = AllStrategyKinds();
+  for (StrategyKind kind : kinds) {
     if (equals_ignore_case(name, StrategyKindToName(kind))) return kind;
   }
-  return Status::InvalidArgument(
-      "unknown strategy \"" + std::string(name) +
-      "\" (expected Basic, BlockSplit, or PairRange)");
+  // "Basic, BlockSplit, or PairRange" — prose built from the canonical
+  // list so the error text can never drift from what actually parses.
+  std::string expected;
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    if (i > 0) expected += i + 1 == kinds.size() ? ", or " : ", ";
+    expected += StrategyKindToName(kinds[i]);
+  }
+  return Status::InvalidArgument("unknown strategy \"" + std::string(name) +
+                                 "\" (expected " + expected + ")");
 }
 
 Result<MatchJobOutput> Strategy::RunMatchJob(
@@ -68,10 +75,23 @@ std::unique_ptr<Strategy> MakeStrategy(StrategyKind kind) {
   return nullptr;
 }
 
-std::vector<StrategyKind> AllStrategies() {
-  return {StrategyKind::kBasic, StrategyKind::kBlockSplit,
-          StrategyKind::kPairRange};
+const std::vector<StrategyKind>& AllStrategyKinds() {
+  static const std::vector<StrategyKind> kAll = {StrategyKind::kBasic,
+                                                 StrategyKind::kBlockSplit,
+                                                 StrategyKind::kPairRange};
+  return kAll;
 }
+
+std::string JoinStrategyKindNames(std::string_view sep) {
+  std::string out;
+  for (StrategyKind kind : AllStrategyKinds()) {
+    if (!out.empty()) out += sep;
+    out += StrategyKindToName(kind);
+  }
+  return out;
+}
+
+std::vector<StrategyKind> AllStrategies() { return AllStrategyKinds(); }
 
 }  // namespace lb
 }  // namespace erlb

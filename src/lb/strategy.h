@@ -90,7 +90,16 @@ class Strategy {
 /// Creates a strategy instance.
 std::unique_ptr<Strategy> MakeStrategy(StrategyKind kind);
 
-/// All strategies, for sweeps.
+/// All strategy kinds in canonical order — the single enumeration source
+/// of truth behind CLI help text, parse errors, and sweeps. Adding a
+/// kind here is all a CLI needs to list and accept it.
+const std::vector<StrategyKind>& AllStrategyKinds();
+
+/// Canonical names of AllStrategyKinds() joined with `sep`, e.g.
+/// "Basic|BlockSplit|PairRange" for usage lines.
+std::string JoinStrategyKindNames(std::string_view sep);
+
+/// Alias of AllStrategyKinds (by value) kept for existing call sites.
 std::vector<StrategyKind> AllStrategies();
 
 }  // namespace lb

@@ -80,6 +80,7 @@
 #include "mr/metrics.h"
 #include "mr/spill.h"
 #include "mr/task_commit.h"
+#include "mr/task_scheduler.h"
 #include "proc/coordinator.h"
 #include "proc/wire.h"
 
@@ -135,10 +136,25 @@ struct ExecutionOptions {
   /// Durable checkpoint configuration (mr/checkpoint.h). Only external-
   /// mode jobs checkpoint; the in-memory fast path is unaffected.
   CheckpointOptions checkpoint;
-  /// kMultiProcess: number of worker processes to fork. 0 uses the
-  /// runner's thread count (num_workers), so `Workers(N)` alone gives N
-  /// processes in multi-process mode and N threads otherwise.
+  /// kMultiProcess: number of worker processes to fork (>= 1). Leaving
+  /// this 0 in multi-process mode is an InvalidArgument at Run() —
+  /// callers that want "as many processes as worker threads" resolve
+  /// that explicitly (core::Dataflow does for the WorkerProcesses(0)
+  /// builder shorthand).
   uint32_t num_worker_processes = 0;
+  /// Intra-process task→thread scheduling for the threaded paths
+  /// (mr/task_scheduler.h). Work stealing by default; kFifo restores the
+  /// historical static submission order. Outputs are byte-identical
+  /// either way.
+  TaskSchedulerKind scheduler = TaskSchedulerKind::kWorkStealing;
+
+  /// Rejects knob combinations no execution path can honor — zero
+  /// buffers or attempt budgets, a missing process count in
+  /// multi-process mode, a checkpoint directory on the in-memory path.
+  /// JobRunner::Run calls this on entry, so invalid options surface as
+  /// InvalidArgument on the job result instead of ad-hoc fallbacks or
+  /// CHECK failures deep in a phase.
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Identity of a running task, passed to mapper/reducer factories so user
@@ -376,12 +392,16 @@ template <typename Attempt>
 /// Executes MR jobs on a worker pool.
 ///
 /// `num_workers` emulates the number of process slots available in the
-/// cluster; tasks are queued in index order and executed FIFO, like
-/// Hadoop's scheduler assigning queued tasks to freed processes. By
-/// default one ThreadPool is constructed per Run() and reused across the
-/// map and reduce phases; a runner built over a shared pool (the
-/// dataflow-graph configuration, where one pool serves every job of a
-/// multi-job graph) submits to that pool instead of creating its own.
+/// cluster. Each phase's tasks are driven by the scheduler selected in
+/// ExecutionOptions: work stealing by default (per-worker shards with
+/// atomic claim counters, mr/task_scheduler.h), or kFifo for the
+/// historical static order — tasks queued by index and handed to freed
+/// process slots like Hadoop's scheduler. Both produce byte-identical
+/// job output. By default one ThreadPool is constructed per Run() and
+/// reused across the map and reduce phases; a runner built over a shared
+/// pool (the dataflow-graph configuration, where one pool serves every
+/// job of a multi-job graph) submits to that pool instead of creating
+/// its own.
 class JobRunner {
  public:
   /// \param num_workers worker threads (process slots), >= 1.
@@ -389,10 +409,12 @@ class JobRunner {
     ERLB_CHECK(num_workers >= 1);
   }
 
+  // Option values are not checked here: Run() validates them via
+  // ExecutionOptions::Validate() and surfaces InvalidArgument in the
+  // job result instead of aborting.
   JobRunner(size_t num_workers, ExecutionOptions options)
       : num_workers_(num_workers), options_(std::move(options)) {
     ERLB_CHECK(num_workers >= 1);
-    ERLB_CHECK(options_.io_buffer_bytes >= 1);
   }
 
   /// A runner that executes every Run() on `shared_pool` (non-owning; the
@@ -404,7 +426,6 @@ class JobRunner {
         options_(std::move(options)),
         shared_pool_(shared_pool) {
     ERLB_CHECK(num_workers_ >= 1);
-    ERLB_CHECK(options_.io_buffer_bytes >= 1);
   }
 
   size_t num_workers() const { return num_workers_; }
@@ -430,6 +451,12 @@ class JobRunner {
     ERLB_CHECK(!IsUnset(spec.key_less));
     ERLB_CHECK(!IsUnset(spec.group_equal));
     ERLB_CHECK(spec.num_reduce_tasks >= 1);
+
+    if (Status options_status = options_.Validate(); !options_status.ok()) {
+      JobResult<typename Spec::OutKey, typename Spec::OutValue> result;
+      result.status = std::move(options_status);
+      return result;
+    }
 
     constexpr bool kSpillableJob = Spillable<MidK> && Spillable<MidV>;
     // The multi-process path additionally ships reduce outputs through
@@ -483,6 +510,13 @@ class JobRunner {
   template <typename Spec>
   using SpecInput = std::vector<std::vector<
       std::pair<typename Spec::InKey, typename Spec::InValue>>>;
+
+  /// The full pending list of a phase: task indices 0..n-1.
+  static std::vector<uint32_t> AllTasks(uint32_t n) {
+    std::vector<uint32_t> tasks(n);
+    for (uint32_t t = 0; t < n; ++t) tasks[t] = t;
+    return tasks;
+  }
 
   /// True iff `f` is an unset std::function; plain functors are always
   /// considered set.
@@ -547,16 +581,15 @@ class JobRunner {
 
     std::vector<Status> map_status(m);
     Stopwatch map_watch;
-    for (uint32_t t = 0; t < m; ++t) {
-      pool.Submit([&, t] {
-        map_status[t] = internal::RunTaskWithRetry(
-            options_, &result.metrics.map_tasks[t], [&, t] {
-              return RunMapTask(spec, input_partitions[t], m, r, t,
-                                &buckets[t], &result.metrics.map_tasks[t]);
-            });
-      });
-    }
-    pool.Wait();
+    RunTaskPhase(options_.scheduler, &pool, num_workers_, AllTasks(m),
+                 [&](uint32_t t) {
+                   map_status[t] = internal::RunTaskWithRetry(
+                       options_, &result.metrics.map_tasks[t], [&, t] {
+                         return RunMapTask(spec, input_partitions[t], m, r,
+                                           t, &buckets[t],
+                                           &result.metrics.map_tasks[t]);
+                       });
+                 });
     result.metrics.map_phase_nanos = map_watch.ElapsedNanos();
     for (uint32_t t = 0; t < m; ++t) {
       if (!map_status[t].ok()) {
@@ -570,14 +603,13 @@ class JobRunner {
     // mutable access to `buckets` is race-free.
     std::vector<Status> reduce_status(r);
     Stopwatch reduce_watch;
-    for (uint32_t t = 0; t < r; ++t) {
-      pool.Submit([&, t] {
-        reduce_status[t] = RunReduceTaskWithRetry(
-            spec, &buckets, m, r, t, &result.outputs_per_reduce_task[t],
-            &result.metrics.reduce_tasks[t]);
-      });
-    }
-    pool.Wait();
+    RunTaskPhase(options_.scheduler, &pool, num_workers_, AllTasks(r),
+                 [&](uint32_t t) {
+                   reduce_status[t] = RunReduceTaskWithRetry(
+                       spec, &buckets, m, r, t,
+                       &result.outputs_per_reduce_task[t],
+                       &result.metrics.reduce_tasks[t]);
+                 });
     result.metrics.reduce_phase_nanos = reduce_watch.ElapsedNanos();
     result.metrics.total_duration_nanos = job_watch.ElapsedNanos();
     for (uint32_t t = 0; t < r; ++t) {
@@ -651,6 +683,8 @@ class JobRunner {
     std::vector<SpillFile> spill_files(m);
     std::vector<Status> map_status(m);
     Stopwatch map_watch;
+    std::vector<uint32_t> pending_maps;
+    pending_maps.reserve(m);
     for (uint32_t t = 0; t < m; ++t) {
       if (checkpoint != nullptr && checkpoint->IsMapTaskDone(t)) {
         // Committed by a previous process: restore the extents, the
@@ -672,17 +706,18 @@ class JobRunner {
           continue;
         }
       }
-      pool.Submit([&, t] {
-        map_status[t] = internal::RunTaskWithRetry(
-            options_, &result.metrics.map_tasks[t], [&, t] {
-              return RunMapTaskExternal(
-                  spec, input_partitions[t], m, r, t, spill_dir,
-                  checkpoint.get(), &spill_files[t],
-                  &result.metrics.map_tasks[t]);
-            });
-      });
+      pending_maps.push_back(t);
     }
-    pool.Wait();
+    RunTaskPhase(options_.scheduler, &pool, num_workers_, pending_maps,
+                 [&](uint32_t t) {
+                   map_status[t] = internal::RunTaskWithRetry(
+                       options_, &result.metrics.map_tasks[t], [&, t] {
+                         return RunMapTaskExternal(
+                             spec, input_partitions[t], m, r, t, spill_dir,
+                             checkpoint.get(), &spill_files[t],
+                             &result.metrics.map_tasks[t]);
+                       });
+                 });
     result.metrics.map_phase_nanos = map_watch.ElapsedNanos();
     for (uint32_t t = 0; t < m; ++t) {
       if (!map_status[t].ok()) {
@@ -696,18 +731,16 @@ class JobRunner {
     // ---- Reduce phase: stream the k-way merge over file cursors ---------
     std::vector<Status> reduce_status(r);
     Stopwatch reduce_watch;
-    for (uint32_t t = 0; t < r; ++t) {
-      pool.Submit([&, t] {
-        reduce_status[t] = internal::RunTaskWithRetry(
-            options_, &result.metrics.reduce_tasks[t], [&, t] {
-              return RunReduceTaskExternal(
-                  spec, spill_files, m, r, t,
-                  &result.outputs_per_reduce_task[t],
-                  &result.metrics.reduce_tasks[t]);
-            });
-      });
-    }
-    pool.Wait();
+    RunTaskPhase(options_.scheduler, &pool, num_workers_, AllTasks(r),
+                 [&](uint32_t t) {
+                   reduce_status[t] = internal::RunTaskWithRetry(
+                       options_, &result.metrics.reduce_tasks[t], [&, t] {
+                         return RunReduceTaskExternal(
+                             spec, spill_files, m, r, t,
+                             &result.outputs_per_reduce_task[t],
+                             &result.metrics.reduce_tasks[t]);
+                       });
+                 });
     result.metrics.reduce_phase_nanos = reduce_watch.ElapsedNanos();
     result.metrics.total_duration_nanos = job_watch.ElapsedNanos();
     for (uint32_t t = 0; t < r; ++t) {

@@ -1,0 +1,103 @@
+// Sampling presplitter: sizes a job's reduce phase from a data sample.
+//
+// Metis-style (after the Metis MapReduce runtime, which runs a sampling
+// pass over the first input chunk to size its hash tables before the
+// real job starts): when a caller leaves the reduce-task count "auto",
+// key a small deterministic sample of the input, extrapolate the number
+// of distinct keys, and pick a task count that keeps every worker busy
+// without creating keyless tasks. Everything here is deterministic —
+// the sample is evenly strided, never random — so repeated runs over
+// the same input pick the same split.
+//
+// Only jobs whose *result* is independent of the reduce-task count may
+// use this (the BDM job qualifies; the matching job's plan is built for
+// an explicit r and must keep it).
+#ifndef ERLB_MR_PRESPLIT_H_
+#define ERLB_MR_PRESPLIT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace erlb {
+namespace mr {
+
+/// Sample statistics feeding PickReduceTasks.
+struct PresplitSample {
+  uint64_t total_records = 0;
+  uint64_t sampled_records = 0;
+  uint64_t sampled_distinct_keys = 0;
+};
+
+/// Tuning for the presplitter.
+struct PresplitOptions {
+  /// Records sampled per input partition (evenly strided across it).
+  uint32_t sample_per_partition = 128;
+  /// Desired distinct keys per reduce task.
+  uint64_t target_keys_per_task = 1024;
+  /// Upper bound on tasks, as a multiple of the worker count.
+  uint32_t max_tasks_per_worker = 8;
+};
+
+/// Collects a deterministic sample: up to `sample_per_partition` records
+/// of each partition, evenly strided so sorted inputs don't bias the
+/// estimate toward their head, keyed by `key_of(record)` (any callable
+/// returning std::string).
+template <typename Partitions, typename KeyFn>
+PresplitSample SamplePartitionKeys(
+    const Partitions& partitions, KeyFn&& key_of,
+    uint32_t sample_per_partition =
+        PresplitOptions{}.sample_per_partition) {
+  PresplitSample sample;
+  std::vector<std::string> keys;
+  for (const auto& partition : partitions) {
+    const uint64_t n = partition.size();
+    sample.total_records += n;
+    if (n == 0) continue;
+    const uint64_t take =
+        std::min<uint64_t>(std::max<uint32_t>(sample_per_partition, 1), n);
+    const uint64_t stride = n / take;
+    for (uint64_t i = 0; i < take; ++i) {
+      keys.push_back(key_of(partition[i * stride]));
+    }
+    sample.sampled_records += take;
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  sample.sampled_distinct_keys = keys.size();
+  return sample;
+}
+
+/// Picks the reduce-task count from sample statistics: linearly scales
+/// the sample's distinct-key density to the full input (capped at the
+/// record count — there cannot be more keys than records), divides by
+/// the per-task key target, and clamps so every worker gets at least
+/// one task while scheduling overhead stays bounded. Never exceeds the
+/// estimated key count: a keyless task is pure overhead.
+[[nodiscard]] inline uint32_t PickReduceTasks(
+    const PresplitSample& sample, size_t num_workers,
+    const PresplitOptions& options = {}) {
+  const uint64_t workers = std::max<uint64_t>(num_workers, 1);
+  if (sample.sampled_records == 0 || sample.total_records == 0) {
+    return static_cast<uint32_t>(workers);
+  }
+  const uint64_t target =
+      std::max<uint64_t>(options.target_keys_per_task, 1);
+  const uint64_t estimated_keys = std::max<uint64_t>(
+      std::min(sample.total_records, sample.sampled_distinct_keys *
+                                         sample.total_records /
+                                         sample.sampled_records),
+      1);
+  uint64_t r = (estimated_keys + target - 1) / target;
+  r = std::max(r, workers);
+  r = std::min(
+      r, workers * std::max<uint64_t>(options.max_tasks_per_worker, 1));
+  r = std::min(r, estimated_keys);
+  return static_cast<uint32_t>(std::max<uint64_t>(r, 1));
+}
+
+}  // namespace mr
+}  // namespace erlb
+
+#endif  // ERLB_MR_PRESPLIT_H_

@@ -23,5 +23,25 @@ const char* ExecutionModeName(ExecutionMode mode) {
   return "unknown";
 }
 
+Status ExecutionOptions::Validate() const {
+  if (io_buffer_bytes == 0) {
+    return Status::InvalidArgument("io_buffer_bytes must be >= 1");
+  }
+  if (max_task_attempts == 0) {
+    return Status::InvalidArgument("max_task_attempts must be >= 1");
+  }
+  if (mode == ExecutionMode::kMultiProcess && num_worker_processes == 0) {
+    return Status::InvalidArgument(
+        "num_worker_processes must be >= 1 in multi-process mode");
+  }
+  if (!checkpoint.dir.empty() && mode == ExecutionMode::kInMemory) {
+    return Status::InvalidArgument(
+        "checkpoint.dir requires a spillable execution mode (kExternal, "
+        "kMultiProcess or kAuto); kInMemory jobs have no durable spill "
+        "output to checkpoint");
+  }
+  return Status::OK();
+}
+
 }  // namespace mr
 }  // namespace erlb

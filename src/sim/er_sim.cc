@@ -13,14 +13,15 @@ namespace {
 constexpr double kUs = 1e-6;
 constexpr double kMs = 1e-3;
 
-/// Entities per input partition (column sums of the BDM).
+/// Entities per input partition (column sums of the BDM), one traversal
+/// pass over the nonzero cells.
 std::vector<uint64_t> RecordsPerPartition(const bdm::Bdm& bdm) {
   std::vector<uint64_t> recs(bdm.num_partitions(), 0);
-  for (uint32_t k = 0; k < bdm.num_blocks(); ++k) {
-    for (uint32_t p = 0; p < bdm.num_partitions(); ++p) {
-      recs[p] += bdm.Size(k, p);
+  bdm.ForEachBlock([&](const bdm::Bdm::BlockView& block) {
+    for (const bdm::BdmCell& cell : block.cells()) {
+      recs[cell.partition] += cell.count;
     }
-  }
+  });
   return recs;
 }
 
@@ -28,11 +29,11 @@ std::vector<uint64_t> RecordsPerPartition(const bdm::Bdm& bdm) {
 /// of the BDM job.
 std::vector<uint64_t> CellsPerPartition(const bdm::Bdm& bdm) {
   std::vector<uint64_t> cells(bdm.num_partitions(), 0);
-  for (uint32_t k = 0; k < bdm.num_blocks(); ++k) {
-    for (uint32_t p = 0; p < bdm.num_partitions(); ++p) {
-      if (bdm.Size(k, p) > 0) cells[p] += 1;
+  bdm.ForEachBlock([&](const bdm::Bdm::BlockView& block) {
+    for (const bdm::BdmCell& cell : block.cells()) {
+      cells[cell.partition] += 1;
     }
-  }
+  });
   return cells;
 }
 
