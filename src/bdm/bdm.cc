@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace erlb {
@@ -157,6 +158,164 @@ void Bdm::BuildDerived() {
     total_entities_ += block_sizes_[k];
     pair_offsets_[k + 1] = pair_offsets_[k] + PairsInBlock(k);
   }
+
+  // Memoize the content hash here: every construction path and ApplyDelta
+  // end in BuildDerived, so the hash can never go stale. Keys are
+  // length-prefixed and rows carry their cell count, so (key "ab", key
+  // "c") cannot collide with (key "a", key "bc") by concatenation.
+  StreamChecksum sum;
+  auto put_u64 = [&sum](uint64_t v) { sum.Update(&v, sizeof(v)); };
+  put_u64(num_partitions_);
+  put_u64(partition_sources_.size());
+  for (er::Source s : partition_sources_) {
+    const unsigned char tag = s == er::Source::kR ? 0 : 1;
+    sum.Update(&tag, 1);
+  }
+  for (uint32_t k = 0; k < b; ++k) {
+    put_u64(block_keys_[k].size());
+    sum.Update(block_keys_[k].data(), block_keys_[k].size());
+    put_u64(cell_offsets_[k + 1] - cell_offsets_[k]);
+    for (size_t i = cell_offsets_[k]; i < cell_offsets_[k + 1]; ++i) {
+      put_u64(cells_[i].partition);
+      put_u64(cells_[i].count);
+    }
+  }
+  const uint64_t h = sum.Digest();
+  content_hash_ = h != 0 ? h : 1;  // 0 is reserved for "hash unknown"
+}
+
+Status Bdm::ApplyDelta(const std::vector<BdmDeltaEntry>& entries) {
+  // Aggregate repeats: sort by (key, partition), sum runs, drop zero sums.
+  struct DeltaCell {
+    std::string_view key;
+    uint32_t partition = 0;
+    int64_t delta = 0;
+  };
+  std::vector<DeltaCell> deltas;
+  deltas.reserve(entries.size());
+  for (const auto& e : entries) {
+    if (e.partition >= num_partitions_) {
+      return Status::InvalidArgument(
+          "delta partition " + std::to_string(e.partition) +
+          " >= m=" + std::to_string(num_partitions_));
+    }
+    deltas.push_back(DeltaCell{e.block_key, e.partition, e.delta});
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const DeltaCell& a, const DeltaCell& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.partition < b.partition;
+            });
+  size_t w = 0;
+  for (size_t i = 0; i < deltas.size();) {
+    size_t j = i + 1;
+    int64_t total = deltas[i].delta;
+    while (j < deltas.size() && deltas[j].key == deltas[i].key &&
+           deltas[j].partition == deltas[i].partition) {
+      total += deltas[j].delta;
+      ++j;
+    }
+    if (total != 0) {
+      deltas[w] = deltas[i];
+      deltas[w].delta = total;
+      ++w;
+    }
+    i = j;
+  }
+  deltas.resize(w);
+  if (deltas.empty()) return Status::OK();
+
+  // Validate every decrement before touching anything, so a bad batch
+  // leaves the BDM exactly as it was.
+  for (size_t i = 0; i < deltas.size();) {
+    auto row = std::lower_bound(block_keys_.begin(), block_keys_.end(),
+                                deltas[i].key,
+                                [](const std::string& a, std::string_view b) {
+                                  return a < b;
+                                });
+    const bool have_row =
+        row != block_keys_.end() && *row == deltas[i].key;
+    const auto k = static_cast<uint32_t>(row - block_keys_.begin());
+    size_t j = i;
+    for (; j < deltas.size() && deltas[j].key == deltas[i].key; ++j) {
+      if (deltas[j].delta >= 0) continue;
+      const uint64_t need = static_cast<uint64_t>(-deltas[j].delta);
+      const uint64_t have = have_row ? Size(k, deltas[j].partition) : 0;
+      if (need > have) {
+        return Status::InvalidArgument(
+            "delta drives block '" + std::string(deltas[j].key) +
+            "' partition " + std::to_string(deltas[j].partition) +
+            " below zero (" + std::to_string(have) + " - " +
+            std::to_string(need) + ")");
+      }
+    }
+    i = j;
+  }
+
+  // Merge the sorted dictionary with the sorted deltas in one pass.
+  // Untouched rows relocate (key moved, cells copied); touched rows
+  // re-merge cell-by-cell, dropping cells (and whole rows) that reach
+  // zero and inserting new blocks in dictionary order.
+  const uint32_t b = num_blocks();
+  std::vector<std::string> new_keys;
+  std::vector<size_t> new_offsets;
+  std::vector<BdmCell> new_cells;
+  new_keys.reserve(b);
+  new_offsets.reserve(b + 1);
+  new_cells.reserve(cells_.size());
+  new_offsets.push_back(0);
+  uint32_t k = 0;
+  size_t d = 0;
+  while (k < b || d < deltas.size()) {
+    if (d >= deltas.size() || (k < b && block_keys_[k] < deltas[d].key)) {
+      new_cells.insert(
+          new_cells.end(),
+          cells_.begin() + static_cast<ptrdiff_t>(cell_offsets_[k]),
+          cells_.begin() + static_cast<ptrdiff_t>(cell_offsets_[k + 1]));
+      new_keys.push_back(std::move(block_keys_[k]));
+      new_offsets.push_back(new_cells.size());
+      ++k;
+      continue;
+    }
+    const std::string_view key = deltas[d].key;
+    const bool have_row = k < b && block_keys_[k] == key;
+    size_t c = have_row ? cell_offsets_[k] : 0;
+    const size_t c_end = have_row ? cell_offsets_[k + 1] : 0;
+    while (c < c_end || (d < deltas.size() && deltas[d].key == key)) {
+      const bool have_delta = d < deltas.size() && deltas[d].key == key;
+      if (c < c_end &&
+          (!have_delta || cells_[c].partition < deltas[d].partition)) {
+        new_cells.push_back(cells_[c++]);
+      } else if (c >= c_end || deltas[d].partition < cells_[c].partition) {
+        // Brand-new cell; validation guarantees the sum is positive.
+        new_cells.push_back(BdmCell{
+            deltas[d].partition, static_cast<uint64_t>(deltas[d].delta)});
+        ++d;
+      } else {
+        const int64_t delta = deltas[d].delta;
+        const uint64_t count =
+            delta >= 0 ? cells_[c].count + static_cast<uint64_t>(delta)
+                       : cells_[c].count - static_cast<uint64_t>(-delta);
+        if (count > 0) {
+          new_cells.push_back(BdmCell{cells_[c].partition, count});
+        }
+        ++c;
+        ++d;
+      }
+    }
+    if (new_cells.size() > new_offsets.back()) {
+      new_keys.push_back(have_row ? std::move(block_keys_[k])
+                                  : std::string(key));
+      new_offsets.push_back(new_cells.size());
+    }
+    if (have_row) ++k;
+  }
+
+  block_keys_ = std::move(new_keys);
+  cell_offsets_ = std::move(new_offsets);
+  cells_ = std::move(new_cells);
+  BuildDerived();
+  return Status::OK();
 }
 
 Result<uint32_t> Bdm::BlockIndex(std::string_view key) const {

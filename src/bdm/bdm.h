@@ -47,6 +47,19 @@ struct BdmCell {
   friend bool operator==(const BdmCell&, const BdmCell&) = default;
 };
 
+/// One incremental BDM mutation (Bdm::ApplyDelta): `delta` entities of
+/// block `block_key` added to (positive) or removed from (negative) input
+/// partition `partition`. A long-lived corpus applies record inserts and
+/// deletes as batches of these instead of recomputing the matrix.
+struct BdmDeltaEntry {
+  std::string block_key;
+  uint32_t partition = 0;
+  int64_t delta = 0;
+
+  friend bool operator==(const BdmDeltaEntry&, const BdmDeltaEntry&) =
+      default;
+};
+
 /// The block distribution matrix.
 ///
 /// Blocks are indexed 0..b-1 in lexicographic blocking-key order — the
@@ -118,6 +131,21 @@ class Bdm {
       const std::vector<std::vector<std::string>>& keys_per_partition,
       const std::vector<er::Source>* partition_sources = nullptr);
 
+  /// Applies a batch of incremental count mutations in place — the
+  /// maintenance primitive of a resident corpus (record inserts/deletes
+  /// arrive as deltas instead of triggering a from-scratch rebuild).
+  /// Entries may repeat per (block, partition); they are aggregated
+  /// first. Only touched CSR rows are re-merged and only touched
+  /// dictionary entries move (new blocks are inserted in sorted key
+  /// order, rows whose last cell disappears are removed); untouched row
+  /// data is relocated without recomputation. Validation happens before
+  /// any mutation: a delta driving some cell below zero, or naming a
+  /// partition >= m, is InvalidArgument and leaves the BDM unchanged.
+  /// The result is indistinguishable from a FromTriples rebuild over the
+  /// mutated input (differential-tested), including the memoized content
+  /// hash.
+  [[nodiscard]] Status ApplyDelta(const std::vector<BdmDeltaEntry>& entries);
+
   bool two_source() const { return !partition_sources_.empty(); }
   uint32_t num_blocks() const {
     return static_cast<uint32_t>(block_keys_.size());
@@ -184,6 +212,13 @@ class Bdm {
   /// Total entities.
   uint64_t TotalEntities() const { return total_entities_; }
 
+  /// 64-bit hash of the full matrix content (dictionary keys, nonzero
+  /// cells, partition source tags), memoized at build/ApplyDelta time so
+  /// fingerprinting a resident BDM per request costs O(1) instead of a
+  /// CSR rescan. Two same-shape BDMs with different counts or keys get
+  /// different hashes (modulo 64-bit collisions).
+  uint64_t ContentHash() const { return content_hash_; }
+
   /// Source of input partition `p` (two-source mode only).
   er::Source PartitionSource(uint32_t p) const;
   const std::vector<er::Source>& partition_sources() const {
@@ -213,6 +248,7 @@ class Bdm {
   std::vector<uint64_t> block_sizes_s_;
   std::vector<uint64_t> pair_offsets_;                 // b+1 prefix sums
   uint64_t total_entities_ = 0;
+  uint64_t content_hash_ = 0;
 };
 
 }  // namespace bdm

@@ -19,6 +19,8 @@ constexpr std::string_view kRegisteredFaultSites[] = {
     "csv.read_chunk",     // common/csv.cc: chunked CSV ingest
     "io.read",            // common/io_buffer.cc: buffered file read
     "io.write",           // common/io_buffer.cc: buffered file write
+    "serve.accept",       // serve/server.cc: daemon connection intake
+    "serve.batch",        // serve/batcher.cc: probe-batch drain/dispatch
     "spill.append",       // mr/spill.h: record append to a run
     "spill.finish",       // mr/spill.h: run/file finalization
     "spill.open",         // mr/spill.h: spill file creation

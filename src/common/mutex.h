@@ -17,7 +17,9 @@
 #ifndef ERLB_COMMON_MUTEX_H_
 #define ERLB_COMMON_MUTEX_H_
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 #include "common/annotations.h"
@@ -76,6 +78,19 @@ class CondVar {
     cv_.wait(lock);
     // The outer MutexLock still owns the mutex; keep it locked here.
     lock.release();
+  }
+
+  /// Wait with a deadline: blocks at most `timeout_ms` milliseconds.
+  /// Returns false iff the wait timed out (same contract as
+  /// std::condition_variable::wait_for; spurious wakeups return true).
+  /// `mu` is held on entry and on return either way.
+  [[nodiscard]] bool WaitFor(Mutex* mu, int64_t timeout_ms)
+      ERLB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    const auto status =
+        cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms));
+    lock.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

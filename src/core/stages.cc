@@ -306,6 +306,27 @@ Status AddStandardGraph(Dataflow* df, const StandardGraphOptions& options,
   return Status::OK();
 }
 
+Status AddServeGraph(Dataflow* df, const StandardGraphOptions& options,
+                     const er::Matcher* matcher,
+                     const std::string& dataset_prefix,
+                     std::shared_ptr<const lb::MatchPlan> prebuilt_plan) {
+  auto named = [&dataset_prefix](const char* name) {
+    return dataset_prefix + name;
+  };
+  if (prebuilt_plan == nullptr) {
+    df->Emplace<PlanStage>(named("plan"), named(kDatasetBdm),
+                           named(kDatasetPlan), options.strategy,
+                           options.MatchOptions());
+  } else {
+    ERLB_RETURN_NOT_OK(
+        df->AddInput(named(kDatasetPlan), Dataset(std::move(prebuilt_plan))));
+  }
+  df->Emplace<MatchStage>(named("match"), named(kDatasetPlan),
+                          named(kDatasetAnnotated), named(kDatasetBdm),
+                          named(kDatasetMatches), matcher);
+  return Status::OK();
+}
+
 namespace {
 
 /// Matcher adapter of the multi-pass composition: inside pass `p`'s

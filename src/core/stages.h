@@ -228,6 +228,23 @@ struct StandardGraphOptions {
                         const std::string& dataset_prefix = "",
                         const lb::MatchPlan* prebuilt_plan = nullptr);
 
+/// Composes the serving subgraph — the per-request tail of the standard
+/// chain, for callers that hold a resident corpus (serve::ServeSession):
+///
+///     bdm ──> [plan] ──> plan            (skipped for pre-built plans)
+///     plan + annotated + bdm ──> [match] ──> matches
+///
+/// The caller binds `prefix + kDatasetBdm` and `prefix + kDatasetAnnotated`
+/// via AddInput — no source or BDM stage runs, which is the whole point:
+/// a probe batch re-plans (or reuses a cached plan) and matches against
+/// the already-indexed corpus. A non-null `prebuilt_plan` (typically a
+/// serve::PlanCache hit) is bound as the plan dataset without copying and
+/// skips the plan stage; the plan then decides the matching strategy.
+[[nodiscard]] Status AddServeGraph(
+    Dataflow* df, const StandardGraphOptions& options,
+    const er::Matcher* matcher, const std::string& dataset_prefix = "",
+    std::shared_ptr<const lb::MatchPlan> prebuilt_plan = nullptr);
+
 /// Composes multi-pass blocking over `passes` as per-pass standard
 /// subgraphs ("<name_prefix>pass<i>/…"), each running over the entities
 /// with a valid key in that pass and a matcher that suppresses pairs

@@ -12,7 +12,11 @@ namespace lb {
 
 namespace {
 
-constexpr char kFormat[] = "erlb.match_plan/1";
+// Version 2 added bdm.content_hash; version 1 documents (no hash) still
+// parse, yielding a fingerprint with content_hash 0 ("unknown") that
+// validates by shape only.
+constexpr char kFormat[] = "erlb.match_plan/2";
+constexpr char kFormatV1[] = "erlb.match_plan/1";
 
 const char* AssignmentName(TaskAssignment assignment) {
   switch (assignment) {
@@ -261,6 +265,7 @@ std::string MatchPlanToJson(const MatchPlan& plan, int indent) {
   fingerprint.Add("two_source", Json(bdm.two_source));
   fingerprint.Add("total_entities", Json(bdm.total_entities));
   fingerprint.Add("total_pairs", Json(bdm.total_pairs));
+  fingerprint.Add("content_hash", Json(bdm.content_hash));
   doc.Add("bdm", std::move(fingerprint));
 
   const PlanStats& stats = plan.stats();
@@ -285,7 +290,7 @@ Result<MatchPlan> MatchPlanFromJson(std::string_view json) {
         "match plan JSON: document must be an object");
   }
   ERLB_ASSIGN_OR_RETURN(std::string format, ParseString(doc, "format"));
-  if (format != kFormat) {
+  if (format != kFormat && format != kFormatV1) {
     return Status::InvalidArgument("match plan JSON: unsupported format \"" +
                                    format + "\"");
   }
@@ -318,6 +323,10 @@ Result<MatchPlan> MatchPlanFromJson(std::string_view json) {
                         ParseU64(*bdm_json, "total_entities"));
   ERLB_ASSIGN_OR_RETURN(fingerprint.total_pairs,
                         ParseU64(*bdm_json, "total_pairs"));
+  if (Member(*bdm_json, "content_hash").ok()) {
+    ERLB_ASSIGN_OR_RETURN(fingerprint.content_hash,
+                          ParseU64(*bdm_json, "content_hash"));
+  }
 
   ERLB_ASSIGN_OR_RETURN(const Json* stats_json, Member(doc, "stats"));
   PlanStats stats;

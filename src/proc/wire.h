@@ -27,12 +27,21 @@ namespace proc {
 
 /// Control-frame types. Parent -> worker: kAssign, kShutdown.
 /// Worker -> parent: kHeartbeat, kDone, kFailed.
+/// Types 16+ belong to the erlb_serve daemon protocol (serve/protocol.h),
+/// which reuses this framing so the whole system has one wire story.
 enum class FrameType : uint8_t {
   kAssign = 1,     // u32 phase | u32 task | bytes payload
   kShutdown = 2,   // empty — worker exits cleanly
   kHeartbeat = 3,  // u32 phase | u32 task — about to run this task
   kDone = 4,       // u32 phase | u32 task — result committed to disk
   kFailed = 5,     // u32 phase | u32 task | u32 code | bytes message
+  // erlb_serve daemon (client -> server):
+  kServeProbe = 16,  // u32 count | count x entity — probe-linkage batch
+  kServeAdmin = 17,  // u8 op | op-specific body (serve/protocol.h)
+  // erlb_serve daemon (server -> client):
+  kServeResult = 18,  // u64 count | count x (u64 a, u64 b) match pairs
+  kServeAck = 19,     // op-specific body (stats, counts); empty = plain ok
+  kServeError = 20,   // u32 status code | bytes message
 };
 
 struct Frame {

@@ -1,0 +1,124 @@
+#include "serve/batcher.h"
+
+#include <chrono>
+#include <unordered_set>
+#include <utility>
+
+#include "common/fault.h"
+
+namespace erlb {
+namespace serve {
+
+Batcher::Batcher(ServeSession* session, BatcherOptions options)
+    : session_(session), options_(options) {
+  drainer_ = std::thread([this] { DrainLoop(); });
+}
+
+Batcher::~Batcher() { Stop(); }
+
+void Batcher::Stop() {
+  bool join = false;
+  {
+    MutexLock lock(&mu_);
+    if (!stop_) {
+      stop_ = true;
+      join = true;
+      queue_cv_.NotifyAll();
+    }
+  }
+  if (join) drainer_.join();
+}
+
+Result<er::MatchResult> Batcher::Probe(std::vector<er::Entity> probes) {
+  if (probes.empty()) return er::MatchResult{};
+  Request request;
+  request.probes = std::move(probes);
+  MutexLock lock(&mu_);
+  if (stop_) {
+    return Status::FailedPrecondition("batcher is stopped");
+  }
+  queue_.push_back(&request);
+  queued_probes_ += request.probes.size();
+  queue_cv_.NotifyAll();
+  while (!request.done) done_cv_.Wait(&mu_);
+  if (!request.status.ok()) return request.status;
+  return std::move(request.result);
+}
+
+void Batcher::DrainLoop() {
+  while (true) {
+    std::vector<Request*> batch;
+    {
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) queue_cv_.Wait(&mu_);
+      if (queue_.empty()) return;  // stopped with nothing pending
+      // Accumulate: first request arrived, wait for more until either
+      // threshold trips. Stop also trips — pending requests still run.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(options_.max_delay_ms);
+      while (!stop_ && queued_probes_ < options_.max_batch_probes) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        const int64_t remaining_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                  now)
+                .count() +
+            1;
+        (void)queue_cv_.WaitFor(&mu_, remaining_ms);
+      }
+      batch.swap(queue_);
+      queued_probes_ = 0;
+    }
+    RunBatch(batch);
+  }
+}
+
+void Batcher::RunBatch(const std::vector<Request*>& batch) {
+  // Injected errors here fail the batch's requests but leave the drainer
+  // (and the session) running — the daemon's availability story.
+  Status status = FaultInjector::Global().Hit("serve.batch");
+
+  std::vector<er::Entity> all;
+  for (const Request* request : batch) {
+    all.insert(all.end(), request->probes.begin(), request->probes.end());
+  }
+  er::MatchResult matches;
+  if (status.ok()) {
+    Result<er::MatchResult> run = session_->ProbeBatch(all);
+    if (run.ok()) {
+      matches = std::move(*run);
+    } else {
+      status = run.status();
+    }
+  }
+
+  MutexLock lock(&mu_);
+  ++stats_.batches;
+  stats_.probes += all.size();
+  if (all.size() > stats_.largest_batch) stats_.largest_batch = all.size();
+  for (Request* request : batch) {
+    if (status.ok()) {
+      std::unordered_set<uint64_t> ids;
+      ids.reserve(request->probes.size());
+      for (const auto& probe : request->probes) ids.insert(probe.id);
+      for (const auto& pair : matches.pairs()) {
+        if (ids.count(pair.first) != 0 || ids.count(pair.second) != 0) {
+          request->result.Add(pair.first, pair.second);
+        }
+      }
+    } else {
+      request->status = status;
+    }
+    request->done = true;
+  }
+  done_cv_.NotifyAll();
+}
+
+BatcherStats Batcher::Stats() const {
+  MutexLock lock(&mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace erlb

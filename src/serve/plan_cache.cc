@@ -1,0 +1,106 @@
+#include "serve/plan_cache.h"
+
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "lb/strategy.h"
+
+namespace erlb {
+namespace serve {
+
+size_t PlanCache::KeyHash::operator()(const PlanCacheKey& key) const {
+  uint64_t h = Fnv1aHashU64(key.bdm.content_hash);
+  h = Fnv1aHashU64(key.bdm.num_blocks, h);
+  h = Fnv1aHashU64(key.bdm.num_partitions, h);
+  h = Fnv1aHashU64(key.bdm.two_source ? 1 : 0, h);
+  h = Fnv1aHashU64(key.bdm.total_entities, h);
+  h = Fnv1aHashU64(key.bdm.total_pairs, h);
+  h = Fnv1aHashU64(static_cast<uint64_t>(key.strategy), h);
+  h = Fnv1aHashU64(key.options.num_reduce_tasks, h);
+  h = Fnv1aHashU64(static_cast<uint64_t>(key.options.assignment), h);
+  h = Fnv1aHashU64(key.options.sub_splits, h);
+  return static_cast<size_t>(h);
+}
+
+PlanCache::PlanCache(size_t capacity) : capacity_(capacity) {
+  ERLB_CHECK(capacity_ >= 1);
+}
+
+void PlanCache::Touch(LruList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+std::shared_ptr<const lb::MatchPlan> PlanCache::Lookup(
+    const PlanCacheKey& key) {
+  MutexLock lock(&mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  Touch(it->second);
+  return it->second->plan;
+}
+
+std::shared_ptr<const lb::MatchPlan> PlanCache::Insert(
+    const PlanCacheKey& key, std::shared_ptr<const lb::MatchPlan> plan) {
+  MutexLock lock(&mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Lost a build race; the incumbent is identical (planning is
+    // deterministic), keep it so every caller shares one object.
+    Touch(it->second);
+    return it->second->plan;
+  }
+  lru_.push_front(Entry{key, std::move(plan)});
+  index_.emplace(key, lru_.begin());
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return lru_.front().plan;
+}
+
+Result<std::shared_ptr<const lb::MatchPlan>> PlanCache::GetOrBuild(
+    const bdm::Bdm& bdm, lb::StrategyKind strategy,
+    const lb::MatchJobOptions& options) {
+  const PlanCacheKey key = PlanCacheKey::Of(bdm, strategy, options);
+  if (std::shared_ptr<const lb::MatchPlan> hit = Lookup(key)) return hit;
+  ERLB_ASSIGN_OR_RETURN(lb::MatchPlan plan,
+                        lb::MakeStrategy(strategy)->BuildPlan(bdm, options));
+  return Insert(key,
+                std::make_shared<const lb::MatchPlan>(std::move(plan)));
+}
+
+void PlanCache::Invalidate(uint64_t bdm_content_hash) {
+  MutexLock lock(&mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.bdm.content_hash == bdm_content_hash) {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PlanCache::Clear() {
+  MutexLock lock(&mu_);
+  stats_.invalidations += lru_.size();
+  index_.clear();
+  lru_.clear();
+}
+
+PlanCacheStats PlanCache::Stats() const {
+  MutexLock lock(&mu_);
+  PlanCacheStats out = stats_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace serve
+}  // namespace erlb

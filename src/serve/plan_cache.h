@@ -1,0 +1,119 @@
+// Concurrent-safe LRU cache of built match plans — pillar (a) of the
+// serving subsystem. Planning (Strategy::BuildPlan) is pure: the plan is
+// a function of (BDM content, strategy, match-job options) and nothing
+// else, so a plan built once can serve every later request over the same
+// matrix. The cache keys on exactly that triple — the BdmFingerprint
+// *with* its content hash, not just the shape — so two different BDMs
+// that happen to agree on every count can never share a plan, and an
+// ApplyDelta to the corpus (which changes the hash) invalidates every
+// cached plan simply by making its key unreachable.
+//
+// Locking follows the PR 6 ground rule: one annotated erlb::Mutex guards
+// the map + LRU list. BuildPlan itself runs *outside* the lock — planning
+// a million-block BDM must not stall concurrent hits — so two threads
+// missing on the same key may both build; the first insert wins and the
+// loser adopts it (planning is deterministic, the plans are identical).
+#ifndef ERLB_SERVE_PLAN_CACHE_H_
+#define ERLB_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "bdm/bdm.h"
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "lb/plan.h"
+
+namespace erlb {
+namespace serve {
+
+/// The cache identity of one plan: which matrix, which strategy, which
+/// job options. Everything BuildPlan reads, nothing it doesn't.
+struct PlanCacheKey {
+  lb::BdmFingerprint bdm;
+  lb::StrategyKind strategy = lb::StrategyKind::kBasic;
+  lb::MatchJobOptions options;
+
+  static PlanCacheKey Of(const bdm::Bdm& bdm, lb::StrategyKind strategy,
+                         const lb::MatchJobOptions& options) {
+    return PlanCacheKey{lb::BdmFingerprint::Of(bdm), strategy, options};
+  }
+
+  friend bool operator==(const PlanCacheKey& a, const PlanCacheKey& b) {
+    return a.bdm == b.bdm && a.strategy == b.strategy &&
+           a.options.num_reduce_tasks == b.options.num_reduce_tasks &&
+           a.options.assignment == b.options.assignment &&
+           a.options.sub_splits == b.options.sub_splits;
+  }
+};
+
+/// Monotonic counters; `entries` is the snapshot size. hits + misses =
+/// lookups; misses = BuildPlan invocations the cache could not avoid.
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;      // LRU capacity pressure
+  uint64_t invalidations = 0;  // entries dropped by Invalidate/Clear
+  uint64_t entries = 0;
+};
+
+/// Thread-safe, LRU-bounded plan cache. All methods may be called
+/// concurrently from any thread.
+class PlanCache {
+ public:
+  /// `capacity` = maximum resident plans (>= 1); the least recently used
+  /// entry is evicted on overflow.
+  explicit PlanCache(size_t capacity = 64);
+
+  /// The cached plan for (bdm, strategy, options), building and inserting
+  /// it on a miss. Errors from BuildPlan propagate and cache nothing.
+  [[nodiscard]] Result<std::shared_ptr<const lb::MatchPlan>> GetOrBuild(
+      const bdm::Bdm& bdm, lb::StrategyKind strategy,
+      const lb::MatchJobOptions& options);
+
+  /// The cached plan, or nullptr on a miss (no build). Counts as a
+  /// hit/miss like GetOrBuild.
+  [[nodiscard]] std::shared_ptr<const lb::MatchPlan> Lookup(
+      const PlanCacheKey& key);
+
+  /// Drops every plan built over the BDM with this content hash (after a
+  /// corpus ApplyDelta, those keys can never be requested again).
+  void Invalidate(uint64_t bdm_content_hash);
+
+  /// Drops everything (admin flush).
+  void Clear();
+
+  [[nodiscard]] PlanCacheStats Stats() const;
+
+ private:
+  struct Entry {
+    PlanCacheKey key;
+    std::shared_ptr<const lb::MatchPlan> plan;
+  };
+  struct KeyHash {
+    size_t operator()(const PlanCacheKey& key) const;
+  };
+  using LruList = std::list<Entry>;
+
+  /// Moves `it` to the front of the LRU list.
+  void Touch(LruList::iterator it) ERLB_REQUIRES(mu_);
+  /// Inserts (key, plan), evicting the LRU entry at capacity. If the key
+  /// raced in meanwhile, returns the incumbent plan instead.
+  std::shared_ptr<const lb::MatchPlan> Insert(
+      const PlanCacheKey& key, std::shared_ptr<const lb::MatchPlan> plan);
+
+  const size_t capacity_;
+  mutable Mutex mu_;
+  LruList lru_ ERLB_GUARDED_BY(mu_);  // front = most recent
+  std::unordered_map<PlanCacheKey, LruList::iterator, KeyHash> index_
+      ERLB_GUARDED_BY(mu_);
+  PlanCacheStats stats_ ERLB_GUARDED_BY(mu_);
+};
+
+}  // namespace serve
+}  // namespace erlb
+
+#endif  // ERLB_SERVE_PLAN_CACHE_H_

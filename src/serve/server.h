@@ -1,0 +1,97 @@
+// The erlb_serve daemon's network face: a Unix-domain-socket server in
+// front of one ServeSession + Batcher. Clients connect, send request
+// frames (proc/wire.h framing, serve/protocol.h payloads), and get one
+// response frame per request on the same connection.
+//
+// Threading: one accept thread takes connections; each connection gets
+// its own handler thread that loops recv -> dispatch -> send. Probe
+// frames funnel into the shared Batcher, so concurrent clients coalesce
+// into shared linkage runs; admin frames go straight to the session.
+// A kShutdown admin acks, then releases WaitForShutdown() — the daemon's
+// main() then calls Stop(), which closes the listener, shuts down live
+// connections, and joins every thread.
+//
+// Fault sites: "serve.accept" fires after accept() hands over a client
+// fd — an injected error drops that one connection and keeps serving.
+#ifndef ERLB_SERVE_SERVER_H_
+#define ERLB_SERVE_SERVER_H_
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "proc/wire.h"
+#include "serve/batcher.h"
+#include "serve/session.h"
+
+namespace erlb {
+namespace serve {
+
+struct ServerOptions {
+  /// Filesystem path of the Unix domain socket (unlinked on bind and on
+  /// Stop). Must fit sockaddr_un (~107 bytes).
+  std::string socket_path;
+  BatcherOptions batcher;
+};
+
+class Server {
+ public:
+  /// `session` is not owned and must outlive the server.
+  Server(ServeSession* session, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds + listens on the socket path and starts the accept thread.
+  [[nodiscard]] Status Start();
+
+  /// Blocks until a client requested shutdown or Stop() was called.
+  void WaitForShutdown();
+
+  /// Stops accepting, disconnects clients, joins all threads, stops the
+  /// batcher, and unlinks the socket. Idempotent; the destructor calls it.
+  void Stop();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  [[nodiscard]] BatcherStats batcher_stats() const {
+    return batcher_.Stats();
+  }
+
+  /// Client side: connects to the daemon at `socket_path`. The caller
+  /// owns the returned fd (close(2) when done) and drives it with
+  /// serve::RoundTrip.
+  [[nodiscard]] static Result<int> Connect(const std::string& socket_path);
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Dispatches one request frame and sends its response. Sets
+  /// `*shutdown` when the frame was an acknowledged kShutdown.
+  [[nodiscard]] Status HandleFrame(int fd, const proc::Frame& frame,
+                                   bool* shutdown);
+
+  ServeSession* session_;
+  const ServerOptions options_;
+  Batcher batcher_;
+
+  mutable Mutex mu_;
+  CondVar shutdown_cv_;
+  bool shutdown_requested_ ERLB_GUARDED_BY(mu_) = false;
+  bool stopping_ ERLB_GUARDED_BY(mu_) = false;
+  int listen_fd_ ERLB_GUARDED_BY(mu_) = -1;
+  std::vector<int> conn_fds_ ERLB_GUARDED_BY(mu_);
+  std::vector<std::thread> conn_threads_ ERLB_GUARDED_BY(mu_);
+
+  std::thread accept_thread_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace serve
+}  // namespace erlb
+
+#endif  // ERLB_SERVE_SERVER_H_

@@ -133,6 +133,10 @@ TEST_F(FaultSweepTest, EveryRegisteredSiteOneShotError) {
     // fire under this single-process external configuration; their
     // deterministic crash/reassignment coverage is test_multiprocess.cc.
     if (std::string_view(site).rfind("worker.", 0) == 0) continue;
+    // serve.* sites live in the erlb_serve daemon (accept loop, batch
+    // drain) and never fire inside a batch pipeline; their injection
+    // coverage is tests/test_serve.cc and the serve smoke test.
+    if (std::string_view(site).rfind("serve.", 0) == 0) continue;
     FaultSpec spec;
     spec.kind = FaultKind::kError;
     spec.trigger_hit = 1;

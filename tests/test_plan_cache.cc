@@ -1,0 +1,188 @@
+// Plan-cache tests: hits must return the very plan a miss built (and the
+// plan a fresh BuildPlan would produce, byte for byte), LRU capacity and
+// content-hash invalidation must hold, and a multi-threaded churn of
+// lookups/builds/invalidations must stay race-free — the latter is what
+// the TSan CI preset runs this suite for.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bdm/bdm.h"
+#include "lb/plan_io.h"
+#include "lb/strategy.h"
+#include "serve/plan_cache.h"
+
+namespace erlb {
+namespace {
+
+using serve::PlanCache;
+using serve::PlanCacheKey;
+
+/// A small BDM whose content is parameterized by `salt`, so different
+/// salts produce different content hashes (and thus distinct cache keys).
+bdm::Bdm SaltedBdm(uint32_t salt) {
+  std::vector<std::vector<std::string>> keys(3);
+  keys[0] = {"aa", "aa", "bb", "cc" + std::to_string(salt)};
+  keys[1] = {"aa", "bb", "bb"};
+  keys[2] = {"cc" + std::to_string(salt), "aa"};
+  auto bdm = bdm::Bdm::FromKeys(keys);
+  EXPECT_TRUE(bdm.ok());
+  return std::move(*bdm);
+}
+
+lb::MatchJobOptions Options(uint32_t reduce_tasks = 4) {
+  lb::MatchJobOptions options;
+  options.num_reduce_tasks = reduce_tasks;
+  return options;
+}
+
+TEST(PlanCacheTest, HitSkipsBuildAndReturnsIdenticalPlan) {
+  PlanCache cache(8);
+  const bdm::Bdm bdm = SaltedBdm(0);
+
+  auto first =
+      cache.GetOrBuild(bdm, lb::StrategyKind::kBlockSplit, Options());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto stats = cache.Stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  auto second =
+      cache.GetOrBuild(bdm, lb::StrategyKind::kBlockSplit, Options());
+  ASSERT_TRUE(second.ok());
+  // The hit returns the same resident object — BuildPlan did not run.
+  EXPECT_EQ(first->get(), second->get());
+  stats = cache.Stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+
+  // And the cached plan is byte-identical to an uncached build.
+  auto fresh = lb::MakeStrategy(lb::StrategyKind::kBlockSplit)
+                   ->BuildPlan(bdm, Options());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(lb::MatchPlanToJson(**first), lb::MatchPlanToJson(*fresh));
+}
+
+TEST(PlanCacheTest, KeyCoversStrategyOptionsAndContent) {
+  PlanCache cache(8);
+  const bdm::Bdm bdm_a = SaltedBdm(0);
+  const bdm::Bdm bdm_b = SaltedBdm(1);
+
+  ASSERT_TRUE(
+      cache.GetOrBuild(bdm_a, lb::StrategyKind::kBlockSplit, Options())
+          .ok());
+  // Different strategy, options, or BDM content: all misses.
+  ASSERT_TRUE(
+      cache.GetOrBuild(bdm_a, lb::StrategyKind::kPairRange, Options())
+          .ok());
+  ASSERT_TRUE(
+      cache.GetOrBuild(bdm_a, lb::StrategyKind::kBlockSplit, Options(9))
+          .ok());
+  ASSERT_TRUE(
+      cache.GetOrBuild(bdm_b, lb::StrategyKind::kBlockSplit, Options())
+          .ok());
+  const auto stats = cache.Stats();
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 4u);
+}
+
+TEST(PlanCacheTest, LruEvictsOldestAtCapacity) {
+  PlanCache cache(2);
+  const bdm::Bdm a = SaltedBdm(0);
+  const bdm::Bdm b = SaltedBdm(1);
+  const bdm::Bdm c = SaltedBdm(2);
+  const auto kind = lb::StrategyKind::kBasic;
+
+  ASSERT_TRUE(cache.GetOrBuild(a, kind, Options()).ok());
+  ASSERT_TRUE(cache.GetOrBuild(b, kind, Options()).ok());
+  // Touch `a` so `b` is the LRU victim when `c` arrives.
+  ASSERT_TRUE(cache.GetOrBuild(a, kind, Options()).ok());
+  ASSERT_TRUE(cache.GetOrBuild(c, kind, Options()).ok());
+
+  auto stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  // `a` survived, `b` was evicted.
+  EXPECT_NE(cache.Lookup(PlanCacheKey::Of(a, kind, Options())), nullptr);
+  EXPECT_EQ(cache.Lookup(PlanCacheKey::Of(b, kind, Options())), nullptr);
+}
+
+TEST(PlanCacheTest, InvalidateDropsOnlyMatchingContent) {
+  PlanCache cache(8);
+  const bdm::Bdm a = SaltedBdm(0);
+  const bdm::Bdm b = SaltedBdm(1);
+  const auto kind = lb::StrategyKind::kBlockSplit;
+  ASSERT_TRUE(cache.GetOrBuild(a, kind, Options()).ok());
+  ASSERT_TRUE(cache.GetOrBuild(a, kind, Options(9)).ok());
+  ASSERT_TRUE(cache.GetOrBuild(b, kind, Options()).ok());
+
+  cache.Invalidate(a.ContentHash());
+  const auto stats = cache.Stats();
+  EXPECT_EQ(stats.invalidations, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(cache.Lookup(PlanCacheKey::Of(a, kind, Options())), nullptr);
+  EXPECT_NE(cache.Lookup(PlanCacheKey::Of(b, kind, Options())), nullptr);
+}
+
+TEST(PlanCacheTest, ClearDropsEverything) {
+  PlanCache cache(8);
+  ASSERT_TRUE(
+      cache.GetOrBuild(SaltedBdm(0), lb::StrategyKind::kBasic, Options())
+          .ok());
+  cache.Clear();
+  const auto stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.invalidations, 1u);
+}
+
+// The churn test the TSan preset exists for: several threads hammer one
+// small cache with overlapping GetOrBuild/Lookup/Invalidate/Clear/Stats
+// traffic. Correctness checks are deliberately loose (concurrent
+// interleavings legitimately vary); the suite's job under TSan is to
+// prove the locking covers every access.
+TEST(PlanCacheTest, ConcurrentChurnIsRaceFree) {
+  PlanCache cache(4);
+  std::vector<bdm::Bdm> bdms;
+  for (uint32_t salt = 0; salt < 6; ++salt) {
+    bdms.push_back(SaltedBdm(salt));
+  }
+  const auto kind = lb::StrategyKind::kBlockSplit;
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 40;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const bdm::Bdm& bdm = bdms[(t + round) % bdms.size()];
+        auto plan = cache.GetOrBuild(bdm, kind, Options());
+        ASSERT_TRUE(plan.ok());
+        // Every returned plan must describe this BDM, hit or miss.
+        EXPECT_TRUE((*plan)->ValidateFor(kind, bdm).ok());
+        if (round % 7 == t % 7) cache.Invalidate(bdm.ContentHash());
+        if (round % 31 == 30) cache.Clear();
+        static_cast<void>(
+            cache.Lookup(PlanCacheKey::Of(bdm, kind, Options())));
+        static_cast<void>(cache.Stats());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto stats = cache.Stats();
+  EXPECT_LE(stats.entries, 4u);
+  // Every GetOrBuild counted exactly one hit or miss; Lookups add the
+  // same number again.
+  EXPECT_EQ(stats.hits + stats.misses,
+            2ull * static_cast<uint64_t>(kThreads) * kRounds);
+}
+
+}  // namespace
+}  // namespace erlb

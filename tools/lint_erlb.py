@@ -41,7 +41,12 @@ Rules (each maps to a load-bearing project contract):
                  test; a registered-but-unused site makes the sweep arm
                  dead names). Direct `FaultInjector::Global().Hit("...")`
                  calls count as definition points too (used where the
-                 macro's return-Status shape does not fit).
+                 macro's return-Status shape does not fit). On top of the
+                 set equality, REQUIRED_FAULT_SITES must be present: the
+                 serve daemon's accept/batch hooks are exercised by
+                 tests/test_serve.cc rather than the generic fault sweep
+                 (which skips serve.*), so dropping them from the
+                 registry would silently lose that coverage.
 
 Exit code 1 iff any finding. Output is one `path:line: [rule] message`
 per finding, compiler-style, so editors and CI annotate it.
@@ -93,6 +98,14 @@ FAULT_ALLOWLIST = ("src/common/fault.h", "src/common/fault.cc")
 FAULT_REGISTRY_FILE = "src/common/fault.cc"
 FAULT_REGISTRY_RE = re.compile(
     r"kRegisteredFaultSites\s*\[\s*\]\s*=\s*\{(?P<body>[^}]*)\}", re.S)
+
+# Sites that must stay in the registry no matter how the code moves.
+# The serve daemon's fault hooks are covered by dedicated tests
+# (tests/test_serve.cc drops a connection / fails a batch), not by the
+# generic fault sweep, which skips serve.* because the daemon owns its
+# own recovery; without this check a refactor could delete the hooks and
+# no test would notice the lost coverage.
+REQUIRED_FAULT_SITES = frozenset({"serve.accept", "serve.batch"})
 
 # ++/-- anywhere, or a single = that is not part of ==, !=, <=, >=, =>,
 # += and friends.
@@ -304,6 +317,13 @@ def check_fault_sites_tree(root, site_defs, findings):
             FAULT_REGISTRY_FILE, 1, "fault-site",
             "cannot parse kRegisteredFaultSites[]"))
         return
+    for site in sorted(REQUIRED_FAULT_SITES - registry):
+        findings.append(Finding(
+            FAULT_REGISTRY_FILE, 1, "fault-site",
+            f'required fault site "{site}" is missing from '
+            "kRegisteredFaultSites — the serve daemon's fault hooks are "
+            "covered by tests/test_serve.cc, not the generic sweep, so "
+            "deleting them silently loses that coverage"))
     seen = {}
     for site, relpath, line in site_defs:
         if site in seen:
@@ -489,32 +509,54 @@ def selftest():
         "constexpr std::string_view kRegisteredFaultSites[] = {\n"
         '    "a.one",\n'
         '    "b.two",\n'
+        '    "serve.accept",\n'
+        '    "serve.batch",\n'
         "};\n"
         "}\n"
     )
+    # Definition points for the always-required serve sites, so fixtures
+    # exercise their *intended* rule and nothing else.
+    serve_cc = ('FaultInjector::Global().Hit("serve.accept");\n'
+                'FaultInjector::Global().Hit("serve.batch");\n')
     expect_tree("fault sites all registered and unique", {
         "src/common/fault.cc": registry_cc,
         "src/x/a.cc": 'ERLB_FAULT_POINT("a.one");\n',
         "src/x/b.cc": 'FaultInjector::Global().Hit("b.two");\n',
+        "src/serve/s.cc": serve_cc,
     }, [])
     expect_tree("duplicate fault site", {
         "src/common/fault.cc": registry_cc,
         "src/x/a.cc": 'ERLB_FAULT_POINT("a.one");\n'
                       'ERLB_FAULT_POINT("a.one");\n',
         "src/x/b.cc": 'ERLB_FAULT_POINT("b.two");\n',
+        "src/serve/s.cc": serve_cc,
     }, ["fault-site"])
     expect_tree("unregistered fault site", {
         "src/common/fault.cc": registry_cc,
         "src/x/a.cc": 'ERLB_FAULT_POINT("a.one");\n'
                       'ERLB_FAULT_POINT("c.three");\n',
         "src/x/b.cc": 'ERLB_FAULT_POINT("b.two");\n',
+        "src/serve/s.cc": serve_cc,
     }, ["fault-site"])
     expect_tree("registered but unused fault site", {
         "src/common/fault.cc": registry_cc,
-        "src/x/a.cc": 'ERLB_FAULT_POINT("a.one");\n',
+        "src/x/a.cc": 'ERLB_FAULT_POINT("a.one");\n'
+                      'ERLB_FAULT_POINT("b.two");\n',
+        "src/serve/s.cc": serve_cc[:serve_cc.find("\n") + 1],
     }, ["fault-site"])
     expect_tree("missing registry", {
         "src/x/a.cc": 'ERLB_FAULT_POINT("a.one");\n',
+    }, ["fault-site"])
+    expect_tree("required serve site dropped from registry", {
+        "src/common/fault.cc": (
+            "namespace {\n"
+            "constexpr std::string_view kRegisteredFaultSites[] = {\n"
+            '    "a.one",\n'
+            '    "serve.accept",\n'
+            "};\n"
+            "}\n"),
+        "src/x/a.cc": 'ERLB_FAULT_POINT("a.one");\n',
+        "src/serve/s.cc": serve_cc[:serve_cc.find("\n") + 1],
     }, ["fault-site"])
 
     if failures:
